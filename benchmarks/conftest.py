@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The experiment benches time the *analysis* (the paper's measurement), not
+dataset generation, so the shared simulated study and dictionaries are
+warmed once per session.  Each bench prints its paper-vs-measured report
+through the ``report`` fixture (bypassing capture so the rows land in
+``bench_output.txt``) and archives it under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_shared_data():
+    """Generate the shared dataset/dictionaries before any timing runs."""
+    from repro.experiments.common import default_dataset, default_dictionary
+
+    default_dataset()
+    default_dictionary("cars")
+    default_dictionary("pool")
+
+
+@pytest.fixture(scope="session")
+def reports_dir():
+    path = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture()
+def report(capsys, reports_dir):
+    """Print an ExperimentResult's report uncaptured and archive it."""
+
+    def _report(result):
+        text = result.rendered()
+        with capsys.disabled():
+            print()
+            print(text)
+        path = os.path.join(reports_dir, f"{result.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return result
+
+    return _report

@@ -1,0 +1,73 @@
+"""Benchmarks + reproductions: the ablation experiments.
+
+Each ablation isolates a design choice DESIGN.md calls out: Robust's grid
+selection policy, click accuracy, dictionary seed size, shoulder-surfing
+observation accuracy, dictionary seed source, PCCP's viewport persuasion,
+the static-grid edge problem, and the n-dimensional extension.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_grid_selection(benchmark, report):
+    result = benchmark.pedantic(ablations.grid_selection, rounds=1, iterations=1)
+    report(result)
+    by_policy = {row[0]: row for row in result.rows}
+    assert by_policy["most_centered"][2] <= by_policy["first_safe"][2]
+
+
+def test_ablation_click_accuracy(benchmark, report):
+    result = benchmark.pedantic(ablations.click_accuracy, rounds=1, iterations=1)
+    report(result)
+    accept = [row[4] for row in result.rows]
+    assert accept[0] >= accept[-1]
+
+
+def test_ablation_dictionary_size(benchmark, report):
+    result = benchmark.pedantic(ablations.dictionary_size, rounds=1, iterations=1)
+    report(result)
+    robust = [row[3] for row in result.rows]
+    assert robust[0] <= robust[-1]
+
+
+def test_ablation_shoulder_surfing(benchmark, report):
+    result = benchmark.pedantic(ablations.shoulder_surfing, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        assert row[2] >= row[1] - 1e-9  # robust at least as replayable
+
+
+def test_ablation_hotspot_sources(benchmark, report):
+    result = benchmark.pedantic(ablations.hotspot_sources, rounds=1, iterations=1)
+    report(result)
+    assert len(result.rows) == 3
+
+
+def test_ablation_pccp_flattening(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.pccp_flattening, kwargs={"population": 100}, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row[0]: row for row in result.rows}
+    free = rows["free selection (PassPoints/CCP)"]
+    viewport = rows["viewport selection (PCCP)"]
+    # Viewport persuasion collapses the attack against Centered; Robust's
+    # 54-px cells are wider than the 75-px viewport spreading scale, so it
+    # barely benefits — persuasion alone cannot rescue Robust.
+    assert viewport[1] < free[1]
+
+
+def test_ablation_edge_problem(benchmark, report):
+    result = benchmark.pedantic(ablations.edge_problem, rounds=1, iterations=1)
+    report(result)
+    by_label = {row[0]: row[1] for row in result.rows}
+    assert by_label["false-reject %"] > 0
+
+
+def test_ablation_ndim(benchmark, report):
+    result = benchmark.pedantic(ablations.ndim_advantage, rounds=3, iterations=1)
+    report(result)
+    advantages = [row[4] for row in result.rows]
+    assert advantages == sorted(advantages)

@@ -1,0 +1,55 @@
+"""Benchmarks + reproductions: the extension experiments.
+
+Analytic-vs-simulated acceptance (pipeline integrity), the §3.2 3-D room
+system, and the §5.1 attack-economics wall-clock budgets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extensions
+
+
+def test_extension_analytic_acceptance(benchmark, report):
+    result = benchmark.pedantic(
+        extensions.analytic_acceptance,
+        kwargs={"trials": 2500},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for comparison in result.comparisons:
+        assert float(comparison["measured"]) < 0.04
+
+
+def test_extension_space3d(benchmark, report):
+    result = benchmark.pedantic(extensions.space3d, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        assert row[1] > row[2]
+        assert row[4] == "ok"
+
+
+def test_extension_attack_economics(benchmark, report):
+    result = benchmark.pedantic(
+        extensions.attack_economics, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row[0]: float(row[1]) for row in result.rows}
+    assert rows["centered, ids hidden"] > rows["robust, ids hidden"]
+
+
+def test_extension_divide_conquer(benchmark, report):
+    result = benchmark.pedantic(
+        extensions.divide_and_conquer, kwargs={"targets": 40}, rounds=1, iterations=1
+    )
+    report(result)
+    assert float(result.comparisons[0]["measured"]) > 25  # ~2^26.5 speedup
+
+
+def test_extension_usability_profile(benchmark, report):
+    result = benchmark.pedantic(
+        extensions.usability_profile, rounds=1, iterations=1
+    )
+    report(result)
+    success = {row[0]: row[1] for row in result.rows}
+    assert success["static"] < success["centered"] <= success["robust"]

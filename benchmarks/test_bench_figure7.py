@@ -1,0 +1,27 @@
+"""Benchmark + reproduction: Figure 7 (offline attack, equal grid sizes).
+
+2^36-entry human-seeded dictionary vs 481 field passwords per scheme/size,
+evaluated in closed form; the figure's claim is that the schemes perform
+similarly when square sizes match.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_figure7_offline_attack_equal_size(benchmark, report):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    report(result)
+    for image_name, size, centered_pct, robust_pct, bits in result.rows:
+        assert abs(centered_pct - robust_pct) <= 12.0, (image_name, size)
+        assert 35.5 <= bits <= 36.5
+    # Crack rates must increase with square size per image/scheme.
+    by_series = {}
+    for image_name, size, centered_pct, robust_pct, _ in result.rows:
+        by_series.setdefault(image_name, []).append((centered_pct, robust_pct))
+    for series in by_series.values():
+        centered = [c for c, _ in series]
+        robust = [r for _, r in series]
+        assert centered == sorted(centered)
+        assert robust == sorted(robust)

@@ -1,0 +1,25 @@
+"""Benchmark + reproduction: Figure 8 (offline attack, equal r).
+
+The paper's headline security result: at equal guaranteed tolerance,
+Robust Discretization's 6r cells make the human-seeded dictionary attack
+far more effective than against Centered Discretization's 2r cells
+(paper quotes on Cars: r=6 → 45.1% vs 14.8%; r=9 → 79% vs 26%).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+
+
+def test_figure8_offline_attack_equal_r(benchmark, report):
+    result = benchmark.pedantic(figure8.run, rounds=1, iterations=1)
+    report(result)
+    # Robust must dominate centered everywhere.
+    for image_name, r, centered_pct, robust_pct in result.rows:
+        assert robust_pct > centered_pct, (image_name, r)
+    # Cars at r=9 must land in the paper's regime (79% vs 26%).
+    cars_r9 = next(row for row in result.rows if row[0] == "cars" and row[1] == 9)
+    _, _, centered_pct, robust_pct = cars_r9
+    assert 60.0 <= robust_pct <= 90.0
+    assert 15.0 <= centered_pct <= 40.0
+    assert robust_pct >= 2 * centered_pct

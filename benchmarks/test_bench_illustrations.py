@@ -1,0 +1,35 @@
+"""Benchmark + reproduction: Figures 1–6 (the paper's illustrative figures)."""
+
+from __future__ import annotations
+
+from repro.experiments import illustrations
+
+
+def test_figure1_worst_case_geometry(benchmark, report):
+    result = benchmark.pedantic(
+        illustrations.figure1, args=(9,), rounds=5, iterations=1
+    )
+    report(result)
+    for comparison in result.comparisons:
+        assert abs(float(comparison["measured"]) - float(comparison["paper"])) < 1e-6
+
+
+def test_figure2_worked_example(benchmark, report):
+    result = benchmark.pedantic(illustrations.figure2, rounds=5, iterations=1)
+    report(result)
+    by_label = {c["label"]: c for c in result.comparisons}
+    assert by_label["worked example i"]["measured"] == 0
+    assert by_label["worked example d"]["measured"] == 7.5
+    assert by_label["x'=10 accepted (1=yes)"]["measured"] == 1
+
+
+def test_figures_3_4_image_standins(benchmark, report):
+    result = benchmark.pedantic(illustrations.figures_3_4, rounds=1, iterations=1)
+    report(result)
+    assert len(result.rows) == 2
+
+
+def test_figures_5_6_framings(benchmark, report):
+    result = benchmark.pedantic(illustrations.figures_5_6, rounds=5, iterations=1)
+    report(result)
+    assert len(result.rows) == 2

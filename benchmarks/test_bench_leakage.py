@@ -1,0 +1,22 @@
+"""Benchmark + reproduction: §5.2 information-revealed analysis."""
+
+from __future__ import annotations
+
+from repro.experiments import leakage_exp
+
+
+def test_leakage_identifier_information(benchmark, report):
+    result = benchmark.pedantic(
+        leakage_exp.run, kwargs={"sample_passwords": 25}, rounds=1, iterations=1
+    )
+    report(result)
+    by_label = {c["label"]: c for c in result.comparisons}
+    assert by_label["centered identifier bits (r=8)"]["measured"] == 8.0
+    assert by_label["robust identifier storage bits"]["measured"] == 2
+    # The paper's conjecture: knowing the exact center pixel (centered)
+    # should not be dramatically more useful than the central region
+    # (robust) — the mean-rank advantage stays small.
+    advantage = abs(float(by_label[
+        "leak advantage: robust mean rank frac - centered"
+    ]["measured"]))
+    assert advantage < 0.25

@@ -1,0 +1,115 @@
+"""Micro-benchmarks: the per-operation costs of the core primitives.
+
+These are throughput measurements (proper multi-round pytest-benchmark
+timings) for the operations a deployed system performs: discretizing a
+click-point, verifying a login, hashing with iteration counts, and the
+closed-form attack decision for one password.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.offline import offline_attack_known_identifiers
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.crypto.hashing import Hasher
+from repro.geometry.point import Point
+from repro.passwords.system import enroll_password, verify_password
+from repro.study.dataset import PasswordSample
+from repro.study.fieldstudy import FieldStudyConfig, generate_field_study
+from repro.study.image import cars_image
+
+POINTS = [
+    Point.xy(42, 61),
+    Point.xy(130, 88),
+    Point.xy(227, 154),
+    Point.xy(318, 222),
+    Point.xy(401, 290),
+]
+
+
+@pytest.fixture(scope="module")
+def centered():
+    return CenteredDiscretization.for_pixel_tolerance(2, 9)
+
+
+@pytest.fixture(scope="module")
+def robust():
+    return RobustDiscretization.for_pixel_tolerance(2, 9)
+
+
+def test_micro_centered_enroll(benchmark, centered):
+    point = Point.xy(227, 154)
+    benchmark(centered.enroll, point)
+
+
+def test_micro_centered_locate(benchmark, centered):
+    enrolled = centered.enroll(Point.xy(227, 154))
+    benchmark(centered.locate, Point.xy(230, 150), enrolled.public)
+
+
+def test_micro_robust_enroll(benchmark, robust):
+    point = Point.xy(227, 154)
+    benchmark(robust.enroll, point)
+
+
+def test_micro_robust_locate(benchmark, robust):
+    enrolled = robust.enroll(Point.xy(227, 154))
+    benchmark(robust.locate, Point.xy(230, 150), enrolled.public)
+
+
+def test_micro_enroll_password_centered(benchmark, centered):
+    benchmark(enroll_password, centered, POINTS)
+
+
+def test_micro_verify_password_centered(benchmark, centered):
+    stored = enroll_password(centered, POINTS)
+    benchmark(verify_password, centered, stored, POINTS)
+
+
+def test_micro_verify_password_robust(benchmark, robust):
+    stored = enroll_password(robust, POINTS)
+    benchmark(verify_password, robust, stored, POINTS)
+
+
+def test_micro_hash_single(benchmark):
+    hasher = Hasher()
+    benchmark(hasher.hash_scalars, list(range(20)))
+
+
+def test_micro_hash_iterated_1000(benchmark):
+    hasher = Hasher(iterations=1000)
+    benchmark(hasher.hash_scalars, list(range(20)))
+
+
+def test_micro_attack_single_password(benchmark, robust):
+    rng = np.random.default_rng(3)
+    seeds = tuple(
+        Point.xy(int(rng.integers(0, 451)), int(rng.integers(0, 331)))
+        for _ in range(150)
+    )
+    dictionary = HumanSeededDictionary(
+        seed_points=seeds, tuple_length=5, image_name="cars"
+    )
+    target = PasswordSample(0, 0, "cars", tuple(POINTS))
+    benchmark(
+        offline_attack_known_identifiers,
+        robust,
+        [target],
+        dictionary,
+        count_entries=False,
+    )
+
+
+def test_micro_study_generation_small(benchmark):
+    config = FieldStudyConfig(
+        participants=10,
+        passwords_total=20,
+        logins_total=100,
+        seed=5,
+        images=(cars_image(),),
+    )
+    benchmark.pedantic(generate_field_study, args=(config,), rounds=3, iterations=1)

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction: Table 1 (false rates at equal grid sizes).
+
+Regenerates the paper's Table 1 on the simulated field study and prints
+paper-vs-measured rows; the benchmark times the full measurement (3339
+login attempts × 3 grid sizes × 2 schemes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_false_rates_equal_size(benchmark, report):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report(result)
+    # Reproduction gates: the paper's orderings must hold.
+    robust_fa = [row[2] for row in result.rows]
+    robust_fr = [row[3] for row in result.rows]
+    assert robust_fr[0] >= robust_fr[-1] > 0
+    assert robust_fa[0] >= robust_fa[-1] > 0
+    for row in result.rows:
+        assert row[4] == 0.0 and row[5] == 0.0  # centered: no errors

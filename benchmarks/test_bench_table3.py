@@ -1,0 +1,18 @@
+"""Benchmark + reproduction: Table 3 (theoretical password space, exact)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.experiments.paper_values import TABLE3
+
+
+def test_table3_password_space(benchmark, report):
+    result = benchmark.pedantic(table3.run, rounds=3, iterations=1)
+    report(result)
+    # Every published number must match exactly (closed form).
+    for comparison in result.comparisons:
+        if comparison["paper"] is None:
+            continue
+        delta = abs(float(comparison["measured"]) - float(comparison["paper"]))
+        assert delta <= 0.11, comparison["label"]
+    assert len(result.rows) == len(TABLE3)

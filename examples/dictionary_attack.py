@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Replicate the paper's security analysis (Figures 7 and 8, Section 5.1).
+
+Builds the ≈2^36-entry human-seeded dictionary (all ordered 5-tuples of the
+150 click-points from 30 lab passwords per image) and attacks the simulated
+field-study passwords offline, with known grid identifiers — under both
+comparison framings:
+
+* equal grid-square sizes (Figure 7): the schemes perform similarly;
+* equal guaranteed tolerance r (Figure 8): Robust Discretization's 6r
+  cells are dramatically easier to crack (paper: 79% vs 26% at r=9).
+
+Also prints the hash-only work-factor model (Section 5.1's last paragraph):
+what withholding the clear grid identifiers costs an attacker under each
+scheme.
+
+Run:  python examples/dictionary_attack.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import hash_only_work_factor
+from repro.core import CenteredDiscretization, RobustDiscretization
+from repro.experiments import figure7, figure8
+from repro.experiments.common import default_dictionary
+
+
+def main() -> None:
+    dictionary = default_dictionary("cars")
+    print(
+        f"attack dictionary: {len(dictionary.seed_points)} seed points, "
+        f"{dictionary.entry_count:,} ordered 5-tuples "
+        f"(~2^{dictionary.bits:.1f})"
+    )
+    print()
+
+    print(figure7.run().rendered())
+    print()
+    print(figure8.run().rendered())
+    print()
+
+    print("hash-only attacks (grid identifiers withheld, Section 5.1):")
+    print(f"{'scheme':<22} {'ids/click':>10} {'extra work':>14} {'extra bits':>11}")
+    for label, scheme in (
+        ("robust (any r)", RobustDiscretization(2, 6)),
+        ("centered 13x13", CenteredDiscretization.for_grid_size(2, 13)),
+        ("centered 19x19", CenteredDiscretization.for_grid_size(2, 19)),
+    ):
+        factor = hash_only_work_factor(scheme, clicks=5)
+        print(
+            f"{label:<22} {factor['per_click_identifiers']:>10.0f} "
+            f"{factor['multiplier']:>14.3g} {factor['extra_bits']:>11.1f}"
+        )
+    print()
+    print("withholding identifiers multiplies Robust's attack cost by only")
+    print("3^5 = 243 (~8 bits) but Centered's by 169^5 (~37 bits at 13x13) —")
+    print("the clear identifier is far less damaging for Centered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Replicate the paper's usability analysis (Tables 1 and 2).
+
+Simulates the field study the paper analyzed (191 participants, 481
+PassPoints passwords, 3339 login attempts on the Cars and Pool images),
+replays every login attempt under Robust and Centered Discretization, and
+prints the false-accept / false-reject tables with the paper's published
+values alongside.
+
+Run:  python examples/field_study_replication.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1, table2
+from repro.experiments.common import default_dataset
+
+
+def main() -> None:
+    dataset = default_dataset()
+    summary = dataset.summary()
+    print("simulated field study (stand-in for Chiasson et al. SOUPS 2007 data):")
+    print(
+        f"  {summary['participants']} participants, "
+        f"{summary['passwords']} passwords, {summary['logins']} login attempts"
+    )
+    for name, counts in summary["images"].items():
+        print(
+            f"  {name}: {counts['passwords']} passwords, "
+            f"{counts['logins']} logins"
+        )
+    print()
+
+    print(table1.run(dataset).rendered())
+    print()
+    print(table2.run(dataset).rendered())
+    print()
+    print("reading the tables:")
+    print(" * equal square size (Table 1): Robust falsely rejects a large")
+    print("   share of honest logins — the acceptance cell is not centered")
+    print("   on the click-point, so clicks slightly past the near edge lose.")
+    print(" * equal guaranteed r (Table 2): Robust never falsely rejects but")
+    print("   must use 6r-px cells, silently accepting clicks up to 5r away.")
+    print(" * Centered Discretization scores zero on both error types, in")
+    print("   both framings, on every attempt — measured, not assumed.")
+
+
+if __name__ == "__main__":
+    main()

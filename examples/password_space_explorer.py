@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Explore the theoretical password space (Table 3 and Section 2.2.2).
+
+Reproduces the paper's Table 3 exactly, then goes beyond it: a sweep of
+modern screen sizes, the equal-r comparison at several tolerances, the
+text-password comparator, and the Blonder predefined-region baseline.
+
+Run:  python examples/password_space_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    equal_r_comparison,
+    password_space_bits,
+    render_table,
+    text_password_bits,
+)
+from repro.experiments import table3
+from repro.passwords import BlonderSystem
+from repro.study import cars_image
+
+
+def main() -> None:
+    print(table3.run().rendered())
+    print()
+
+    # Beyond the paper: modern display sizes at the paper's r = 9.
+    rows = []
+    for width, height, label in (
+        (451, 331, "paper study image"),
+        (1280, 720, "HD"),
+        (1920, 1080, "full HD"),
+        (3840, 2160, "4K"),
+    ):
+        rows.append(
+            (
+                f"{width}x{height}",
+                label,
+                round(password_space_bits(width, height, 19), 1),
+                round(password_space_bits(width, height, 54), 1),
+            )
+        )
+    print(
+        render_table(
+            ("image", "display", "centered bits (r=9)", "robust bits (r=9)"),
+            rows,
+            title="password space vs display size (5 clicks, equal r = 9 px)",
+        )
+    )
+    print()
+
+    rows = []
+    for r in (3, 4, 6, 9, 12):
+        comparison = equal_r_comparison(1920, 1080, r)
+        rows.append(
+            (
+                r,
+                f"{comparison['centered_grid_size']}px",
+                f"{comparison['robust_grid_size']}px",
+                round(comparison["centered_bits"], 1),
+                round(comparison["robust_bits"], 1),
+                round(comparison["advantage_bits"], 1),
+            )
+        )
+    print(
+        render_table(
+            ("r", "centered cell", "robust cell", "centered bits",
+             "robust bits", "advantage"),
+            rows,
+            title="equal-r comparison on 1920x1080 (5 clicks)",
+        )
+    )
+    print()
+
+    blonder = BlonderSystem.uniform_partition(cars_image(), rows=6, columns=8)
+    print("comparators:")
+    print(f"  random 8-char text password (95 symbols): {text_password_bits():.1f} bits")
+    print(
+        f"  Blonder predefined regions (6x8 = 48 regions, 5 clicks): "
+        f"{blonder.password_space_bits():.1f} bits"
+    )
+    print(
+        "  centered discretization, 451x331 @ 9x9 squares, 5 clicks: "
+        f"{password_space_bits(451, 331, 9):.1f} bits"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Usability statistics, analytic acceptance curves, and 3-D passwords.
+
+Three capabilities beyond the paper's published artifacts:
+
+1. the descriptive usability layer behind Section 4 — success rates with
+   confidence intervals and click-accuracy percentiles on the simulated
+   field study;
+2. analytic acceptance-vs-accuracy curves for all three schemes (closed
+   form / quadrature), cross-checking the simulation;
+3. the Section 3.2 extension: Centered Discretization in a 3-D virtual
+   room, where its password-space advantage doubles to 6 bits per click.
+
+Run:  python examples/usability_and_3d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    acceptance_curve,
+    click_accuracy,
+    first_attempt_success,
+    login_success,
+    render_table,
+)
+from repro.core import CenteredDiscretization, RobustDiscretization, StaticGridScheme
+from repro.experiments.common import default_dataset
+from repro.geometry.point import Point
+from repro.passwords import ClickSpace3D, Space3DSystem, space3d_password_bits
+
+
+def usability_section() -> None:
+    dataset = default_dataset()
+    print("login success on the simulated field study (tolerance 9 px):")
+    rows = []
+    for scheme in (
+        CenteredDiscretization.for_pixel_tolerance(2, 9),
+        RobustDiscretization(2, 9),
+        StaticGridScheme(2, 19),
+    ):
+        overall = login_success(scheme, dataset)
+        first = first_attempt_success(scheme, dataset)
+        low, high = overall.interval
+        rows.append(
+            (
+                scheme.name,
+                f"{overall.rate:.1%}",
+                f"[{low:.1%}, {high:.1%}]",
+                f"{first.rate:.1%}",
+            )
+        )
+    print(render_table(("scheme", "success", "95% CI", "first attempt"), rows))
+    print()
+
+    accuracy = click_accuracy(dataset)
+    print(
+        f"click accuracy over {accuracy.clicks} clicks: "
+        f"mean Chebyshev {accuracy.mean_chebyshev:.2f} px, "
+        f"mean Euclidean {accuracy.mean_euclidean:.2f} px"
+    )
+    print("  " + ", ".join(f"p{p}={v:.1f}px" for p, v in accuracy.percentiles))
+    print(
+        "  within 4 px: "
+        f"{accuracy.fraction_within(4):.1%}; within 9 px: "
+        f"{accuracy.fraction_within(9):.1%}  (the paper's 'very accurate')"
+    )
+    print()
+
+
+def acceptance_section() -> None:
+    print("analytic acceptance probability vs user accuracy (5 clicks, r=9):")
+    sigmas = (1.0, 2.0, 3.0, 5.0, 8.0)
+    curves = [
+        acceptance_curve(CenteredDiscretization.for_pixel_tolerance(2, 9), sigmas),
+        acceptance_curve(RobustDiscretization(2, 9), sigmas),
+        acceptance_curve(StaticGridScheme(2, 19), sigmas),
+    ]
+    rows = [
+        (curve.scheme_name, *(f"{p:.3f}" for p in curve.probabilities))
+        for curve in curves
+    ]
+    headers = ("scheme",) + tuple(f"sigma={s}" for s in sigmas)
+    print(render_table(headers, rows))
+    print("  robust accepts sloppier clicks than its guarantee promises —")
+    print("  those extra accepts are exactly the Table-2 false accepts.")
+    print()
+
+
+def room_section() -> None:
+    room = ClickSpace3D(
+        name="studio",
+        width=400,
+        height=300,
+        depth=250,
+        objects=(
+            (120.0, 90.0, 60.0, 6.0, 3.0),
+            (310.0, 220.0, 130.0, 8.0, 2.0),
+            (200.0, 150.0, 200.0, 5.0, 1.0),
+        ),
+    )
+    scheme = CenteredDiscretization.for_pixel_tolerance(3, 9)
+    system = Space3DSystem(space=room, scheme=scheme)
+    rng = np.random.default_rng(99)
+    points = [room.sample_click(rng) for _ in range(5)]
+    stored = system.enroll(points)
+    nearby = [
+        Point.of(*room.clamp(float(p.x) + 4, float(p.y) - 4, float(p.z) + 4))
+        for p in points
+    ]
+    print(f"3-D room {room.width}x{room.height}x{room.depth}, 5 clicks, r=9:")
+    print(f"  enroll -> verify(exact) = {system.verify(stored, points)}, "
+          f"verify(4px off) = {system.verify(stored, nearby)}")
+    centered_bits = system.password_space_bits()
+    robust_bits = space3d_password_bits(room, 8 * 9.5)
+    print(f"  password space: centered {centered_bits:.1f} bits vs "
+          f"robust {robust_bits:.1f} bits (predefined-object schemes: "
+          f"{5 * np.log2(3):.1f} bits with 3 objects)")
+
+
+def main() -> None:
+    usability_section()
+    acceptance_section()
+    room_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of *Centered Discretization with Application to
+Graphical Passwords* (Chiasson, Srinivasan, Biddle, van Oorschot; USENIX
+UPSEC 2008).
+
+The library implements:
+
+* the paper's contribution, **Centered Discretization**, in 1-D/2-D/n-D;
+* its baseline, **Robust Discretization** (Birget et al. 2006), plus a
+  naive static grid;
+* the storage layer (clear grid identifiers + salted iterated hash);
+* click-based graphical password systems (PassPoints, CCP, PCCP) built on
+  any discretization scheme;
+* a simulated user-study substrate standing in for the paper's
+  191-participant field study;
+* the paper's full evaluation: false-accept/false-reject measurement
+  (Tables 1–2), theoretical password space (Table 3), and human-seeded
+  offline dictionary attacks (Figures 7–8), with ablations.
+
+Quickstart::
+
+    from repro import CenteredDiscretization, Point
+
+    scheme = CenteredDiscretization.for_pixel_tolerance(dim=2, tolerance_px=9)
+    enrolled = scheme.enroll(Point.xy(127, 83))
+    scheme.accepts(enrolled, Point.xy(130, 80))   # True: within 9 px
+    scheme.accepts(enrolled, Point.xy(140, 83))   # False: 13 px away
+"""
+
+from repro._version import __version__
+from repro.core import (
+    CenteredDiscretization,
+    Discretization,
+    DiscretizationScheme,
+    GridSelection,
+    Outcome,
+    RobustDiscretization,
+    StaticGridScheme,
+    worst_case_geometry,
+)
+from repro.crypto import Hasher, VerificationRecord, make_record
+from repro.errors import ReproError
+from repro.geometry import Box, Grid, Point, centered_box
+
+__all__ = [
+    "Box",
+    "CenteredDiscretization",
+    "Discretization",
+    "DiscretizationScheme",
+    "Grid",
+    "GridSelection",
+    "Hasher",
+    "Outcome",
+    "Point",
+    "ReproError",
+    "RobustDiscretization",
+    "StaticGridScheme",
+    "VerificationRecord",
+    "__version__",
+    "centered_box",
+    "make_record",
+    "worst_case_geometry",
+]

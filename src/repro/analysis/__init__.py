@@ -1,0 +1,78 @@
+"""Analysis layer: password-space math, false-rate measurement, analytic
+acceptance probabilities, usability statistics, reporting."""
+
+from repro.analysis.acceptance import (
+    AcceptanceCurve,
+    acceptance_curve,
+    centered_accept_probability,
+    interval_stay_probability,
+    robust_accept_probability,
+    scheme_accept_probability,
+    static_accept_probability,
+)
+from repro.analysis.false_rates import (
+    FalseRateReport,
+    equal_r_report,
+    equal_size_report,
+    measure_false_rates,
+    sweep_equal_r,
+    sweep_equal_size,
+)
+from repro.analysis.password_space import (
+    PAPER_GRID_SIZES,
+    PAPER_IMAGE_SIZES,
+    SpaceRow,
+    equal_r_comparison,
+    password_space_bits,
+    space_row,
+    space_table,
+    squares_per_grid,
+    text_password_bits,
+)
+from repro.analysis.stats import Summary, percent, summarize, wilson_interval
+from repro.analysis.tables import format_value, render_comparison, render_table
+from repro.analysis.usability import (
+    ClickAccuracyReport,
+    SuccessReport,
+    click_accuracy,
+    first_attempt_success,
+    login_success,
+    per_user_accuracy,
+)
+
+__all__ = [
+    "AcceptanceCurve",
+    "ClickAccuracyReport",
+    "FalseRateReport",
+    "PAPER_GRID_SIZES",
+    "PAPER_IMAGE_SIZES",
+    "SpaceRow",
+    "SuccessReport",
+    "Summary",
+    "acceptance_curve",
+    "centered_accept_probability",
+    "click_accuracy",
+    "equal_r_comparison",
+    "first_attempt_success",
+    "interval_stay_probability",
+    "login_success",
+    "per_user_accuracy",
+    "robust_accept_probability",
+    "scheme_accept_probability",
+    "static_accept_probability",
+    "equal_r_report",
+    "equal_size_report",
+    "format_value",
+    "measure_false_rates",
+    "password_space_bits",
+    "percent",
+    "render_comparison",
+    "render_table",
+    "space_row",
+    "space_table",
+    "squares_per_grid",
+    "summarize",
+    "sweep_equal_r",
+    "sweep_equal_size",
+    "text_password_bits",
+]

@@ -1,0 +1,211 @@
+"""Analytic login-acceptance probabilities under Gaussian click error.
+
+The simulation measures acceptance rates empirically; this module computes
+them *semi-analytically* for an isotropic Gaussian re-entry error with
+per-axis standard deviation σ, giving an independent check on the whole
+measurement pipeline (the cross-validation lives in the test suite and the
+``ablation_analytic`` benchmark):
+
+* **Centered Discretization** — closed form.  The acceptance region is
+  ``[x − r, x + r)`` per axis, so per-axis acceptance is
+  ``Φ(r/σ) − Φ(−r/σ)`` and a k-click 2-D attempt accepts with that to the
+  power 2k.
+* **Static grid** — one numeric integral.  Conditioned on the click's
+  position u inside its cell (uniform over [0, s)), per-axis acceptance is
+  ``Φ((s−u)/σ) − Φ(−u/σ)``; integrate u out.
+* **Robust Discretization** — quadrature over the enrollment position.
+  The chosen cell's margins depend on the click's position modulo the
+  3-grid lattice and on the selection policy; we average the exact
+  per-axis Gaussian integral over a dense grid of positions in one
+  ``6r × 6r`` fundamental domain.
+
+All three reduce to the same primitive: the probability that a Gaussian
+step from a known position inside a half-open interval stays inside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import GridSelection, RobustDiscretization
+from repro.core.scheme import DiscretizationScheme
+from repro.core.static import StaticGridScheme
+from repro.errors import ParameterError
+from repro.geometry.point import Point
+
+__all__ = [
+    "interval_stay_probability",
+    "centered_accept_probability",
+    "static_accept_probability",
+    "robust_accept_probability",
+    "scheme_accept_probability",
+    "AcceptanceCurve",
+    "acceptance_curve",
+]
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def interval_stay_probability(low: float, high: float, sigma: float) -> float:
+    """P(low ≤ ε < high) for ε ~ N(0, σ²).
+
+    The primitive shared by every scheme: the click stays within its
+    acceptance interval when the error lands between the distances to the
+    interval's two edges.
+    """
+    if sigma < 0:
+        raise ParameterError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return 1.0 if low <= 0 < high else 0.0
+    return _phi(high / sigma) - _phi(low / sigma)
+
+
+def centered_accept_probability(
+    r: float, sigma: float, clicks: int = 5, dim: int = 2
+) -> float:
+    """Closed-form acceptance probability for Centered Discretization.
+
+    Per axis the region is exactly ``[−r, +r)`` around the original point,
+    independent of where the point sits — that is the whole point of the
+    scheme — so no position averaging is needed.
+    """
+    if r <= 0:
+        raise ParameterError(f"r must be > 0, got {r}")
+    if clicks < 1 or dim < 1:
+        raise ParameterError("clicks and dim must be >= 1")
+    per_axis = interval_stay_probability(-r, r, sigma)
+    return per_axis ** (dim * clicks)
+
+
+def static_accept_probability(
+    cell_size: float,
+    sigma: float,
+    clicks: int = 5,
+    dim: int = 2,
+    position_samples: int = 512,
+) -> float:
+    """Acceptance probability for a static grid, position-averaged.
+
+    The click's per-axis position u inside its cell is uniform; the edge
+    problem is visible as the integrand collapsing near u = 0 and u = s.
+    """
+    if cell_size <= 0:
+        raise ParameterError(f"cell_size must be > 0, got {cell_size}")
+    if position_samples < 2:
+        raise ParameterError("position_samples must be >= 2")
+    positions = (np.arange(position_samples) + 0.5) / position_samples * cell_size
+    per_axis = float(
+        np.mean(
+            [
+                interval_stay_probability(-u, cell_size - u, sigma)
+                for u in positions
+            ]
+        )
+    )
+    return per_axis ** (dim * clicks)
+
+
+def robust_accept_probability(
+    r: float,
+    sigma: float,
+    clicks: int = 5,
+    selection: GridSelection = GridSelection.MOST_CENTERED,
+    position_samples: int = 48,
+) -> float:
+    """Acceptance probability for 2-D Robust Discretization, by quadrature.
+
+    Averages the exact per-attempt acceptance over a ``position_samples ×
+    position_samples`` grid of enrollment positions covering one 6r × 6r
+    fundamental domain of the 3-grid lattice.  For each position the scheme
+    itself chooses the grid (so the selection policy is honoured exactly),
+    and the two per-axis Gaussian integrals use the chosen cell's true
+    margins.
+    """
+    if r <= 0:
+        raise ParameterError(f"r must be > 0, got {r}")
+    if position_samples < 2:
+        raise ParameterError("position_samples must be >= 2")
+    scheme = RobustDiscretization(2, r, selection=selection, exact=False)
+    side = 6.0 * r
+    total = 0.0
+    count = 0
+    for ix in range(position_samples):
+        x = (ix + 0.5) / position_samples * side
+        for iy in range(position_samples):
+            y = (iy + 0.5) / position_samples * side
+            point = Point.xy(x, y)
+            enrollment = scheme.enroll(point)
+            box = scheme.acceptance_region(enrollment)
+            px = interval_stay_probability(
+                float(box.lo[0]) - x, float(box.hi[0]) - x, sigma
+            )
+            py = interval_stay_probability(
+                float(box.lo[1]) - y, float(box.hi[1]) - y, sigma
+            )
+            total += px * py
+            count += 1
+    per_click = total / count
+    return per_click**clicks
+
+
+def scheme_accept_probability(
+    scheme: DiscretizationScheme, sigma: float, clicks: int = 5
+) -> float:
+    """Dispatch on scheme type (2-D only for Robust)."""
+    if isinstance(scheme, CenteredDiscretization):
+        return centered_accept_probability(
+            float(scheme.r), sigma, clicks=clicks, dim=scheme.dim
+        )
+    if isinstance(scheme, RobustDiscretization):
+        if scheme.dim != 2:
+            raise ParameterError("analytic robust acceptance is 2-D only")
+        return robust_accept_probability(
+            float(scheme.r), sigma, clicks=clicks, selection=scheme.selection
+        )
+    if isinstance(scheme, StaticGridScheme):
+        return static_accept_probability(
+            float(scheme.cell_size), sigma, clicks=clicks, dim=scheme.dim
+        )
+    raise ParameterError(f"unsupported scheme {type(scheme).__name__}")
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptanceCurve:
+    """Login acceptance vs click-error σ for one scheme configuration."""
+
+    scheme_name: str
+    clicks: int
+    sigmas: tuple
+    probabilities: tuple
+
+    def at(self, sigma: float) -> float:
+        """Linear interpolation of the curve at *sigma*."""
+        return float(np.interp(sigma, self.sigmas, self.probabilities))
+
+
+def acceptance_curve(
+    scheme: DiscretizationScheme,
+    sigmas: Optional[tuple] = None,
+    clicks: int = 5,
+) -> AcceptanceCurve:
+    """Compute an acceptance-vs-σ curve for a scheme."""
+    grid = sigmas if sigmas is not None else tuple(
+        round(0.5 * k, 1) for k in range(1, 17)
+    )
+    probabilities = tuple(
+        scheme_accept_probability(scheme, sigma, clicks=clicks) for sigma in grid
+    )
+    return AcceptanceCurve(
+        scheme_name=scheme.name,
+        clicks=clicks,
+        sigmas=tuple(grid),
+        probabilities=probabilities,
+    )

@@ -1,0 +1,82 @@
+"""Small statistics helpers used across analyses and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["percent", "wilson_interval", "Summary", "summarize"]
+
+
+def percent(numerator: int, denominator: int, digits: int = 1) -> float:
+    """Percentage rounded to *digits*, 0.0 for an empty denominator."""
+    if denominator < 0 or numerator < 0:
+        raise ParameterError("counts must be non-negative")
+    if denominator == 0:
+        return 0.0
+    return round(100.0 * numerator / denominator, digits)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Robust at extreme proportions (0 % false accepts in a few thousand
+    attempts still gets a meaningful upper bound), which is exactly the
+    regime the Tables 1–2 reproductions live in.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ParameterError(
+            f"invalid binomial counts: {successes}/{trials}"
+        )
+    if trials == 0:
+        return (0.0, 1.0)
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty numeric sample (population std)."""
+    if not values:
+        raise ParameterError("cannot summarize an empty sample")
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    middle = count // 2
+    if count % 2:
+        median = ordered[middle]
+    else:
+        median = (ordered[middle - 1] + ordered[middle]) / 2
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )

@@ -1,0 +1,106 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness reproduces the paper's tables and figure series as
+aligned text (no plotting dependencies).  Two renderers:
+
+* :func:`render_table` — a generic aligned-columns table;
+* :func:`render_comparison` — paper-value vs measured-value rows with a
+  delta column, used by every experiment's report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["render_table", "render_comparison", "format_value"]
+
+
+def format_value(value, digits: int = 1) -> str:
+    """Human formatting: floats rounded, Fractions as short rationals."""
+    from fractions import Fraction
+
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        as_float = float(value)
+        return f"{as_float:.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    digits: int = 1,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.345]]))
+    a  b
+    -  ---
+    1  2.3
+    """
+    if not headers:
+        raise ParameterError("a table needs at least one column")
+    formatted = [[format_value(cell, digits) for cell in row] for row in rows]
+    for index, row in enumerate(formatted):
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in formatted))
+        if formatted
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[dict],
+    title: Optional[str] = None,
+    digits: int = 1,
+) -> str:
+    """Render paper-vs-measured rows.
+
+    Each row dict needs ``label``, ``paper`` and ``measured``; ``paper`` may
+    be ``None`` for measurements with no published counterpart (marked
+    ``--``).  Numeric pairs get a delta column.
+    """
+    headers = ["quantity", "paper", "measured", "delta"]
+    body = []
+    for row in rows:
+        label = row["label"]
+        paper = row.get("paper")
+        measured = row["measured"]
+        if paper is None:
+            body.append([label, "--", format_value(measured, digits), "--"])
+            continue
+        try:
+            delta = float(measured) - float(paper)
+            delta_text = f"{delta:+.{digits}f}"
+        except (TypeError, ValueError):
+            delta_text = "--"
+        body.append(
+            [
+                label,
+                format_value(paper, digits),
+                format_value(measured, digits),
+                delta_text,
+            ]
+        )
+    return render_table(headers, body, title=title, digits=digits)

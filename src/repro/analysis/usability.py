@@ -1,0 +1,202 @@
+"""Usability statistics over study datasets (the §4 companion analysis).
+
+The paper's usability section is backed by the SOUPS-2007 field study's
+login-success and click-accuracy statistics; this module computes the same
+descriptive layer on any :class:`~repro.study.dataset.StudyDataset`:
+
+* per-scheme login success rates with Wilson confidence intervals,
+* first-attempt vs. any-attempt success per password,
+* click-error distributions (per-click Chebyshev/Euclidean percentiles),
+* per-user accuracy variation.
+
+These feed the calibration notes in EXPERIMENTS.md and give downstream
+users the tooling to validate their own behavioural models against the
+regime the paper describes (93 %+ of clicks within 4 px, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import wilson_interval
+from repro.core.scheme import DiscretizationScheme
+from repro.errors import ParameterError
+from repro.geometry.metrics import chebyshev, euclidean
+from repro.study.dataset import StudyDataset
+
+__all__ = [
+    "SuccessReport",
+    "login_success",
+    "first_attempt_success",
+    "ClickAccuracyReport",
+    "click_accuracy",
+    "per_user_accuracy",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SuccessReport:
+    """Login success counts with a Wilson 95 % interval."""
+
+    scheme_name: str
+    attempts: int
+    successes: int
+
+    @property
+    def rate(self) -> float:
+        """Success fraction (0 when there were no attempts)."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """Wilson 95 % confidence interval for the success rate."""
+        return wilson_interval(self.successes, self.attempts)
+
+
+def login_success(
+    scheme: DiscretizationScheme,
+    dataset: StudyDataset,
+    image_name: Optional[str] = None,
+) -> SuccessReport:
+    """Fraction of login attempts the scheme accepts.
+
+    Replays every attempt against enrollments of the original points,
+    exactly like the deployed verification flow.
+    """
+    if image_name is not None and image_name not in dataset.images:
+        raise ParameterError(f"unknown image {image_name!r}")
+    attempts = 0
+    successes = 0
+    cache: dict = {}
+    for password, login in dataset.iter_login_pairs():
+        if image_name is not None and password.image_name != image_name:
+            continue
+        enrollments = cache.get(password.password_id)
+        if enrollments is None:
+            enrollments = scheme.enroll_many(password.points)
+            cache[password.password_id] = enrollments
+        attempts += 1
+        if all(
+            scheme.accepts(enrollment, point)
+            for enrollment, point in zip(enrollments, login.points)
+        ):
+            successes += 1
+    return SuccessReport(
+        scheme_name=scheme.name, attempts=attempts, successes=successes
+    )
+
+
+def first_attempt_success(
+    scheme: DiscretizationScheme,
+    dataset: StudyDataset,
+    image_name: Optional[str] = None,
+) -> SuccessReport:
+    """Success of each password's *first* recorded login attempt.
+
+    First-attempt success is the usability number users feel most; the
+    study literature reports it separately from overall success.
+    """
+    if image_name is not None and image_name not in dataset.images:
+        raise ParameterError(f"unknown image {image_name!r}")
+    first_logins: Dict[int, object] = {}
+    for login in dataset.logins:
+        if login.password_id not in first_logins:
+            first_logins[login.password_id] = login
+    attempts = 0
+    successes = 0
+    for password_id, login in first_logins.items():
+        password = dataset.password(password_id)
+        if image_name is not None and password.image_name != image_name:
+            continue
+        enrollments = scheme.enroll_many(password.points)
+        attempts += 1
+        if all(
+            scheme.accepts(enrollment, point)
+            for enrollment, point in zip(enrollments, login.points)  # type: ignore[attr-defined]
+        ):
+            successes += 1
+    return SuccessReport(
+        scheme_name=scheme.name, attempts=attempts, successes=successes
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ClickAccuracyReport:
+    """Distribution of per-click re-entry error over a dataset."""
+
+    clicks: int
+    mean_chebyshev: float
+    mean_euclidean: float
+    percentiles: Tuple[Tuple[int, float], ...]
+    within: Tuple[Tuple[int, float], ...]
+
+    def fraction_within(self, tolerance_px: int) -> float:
+        """Fraction of clicks with Chebyshev error ≤ tolerance_px."""
+        for tolerance, fraction in self.within:
+            if tolerance == tolerance_px:
+                return fraction
+        raise ParameterError(
+            f"tolerance {tolerance_px} not tabulated; available: "
+            f"{[t for t, _ in self.within]}"
+        )
+
+
+def click_accuracy(
+    dataset: StudyDataset,
+    image_name: Optional[str] = None,
+    tolerances: Sequence[int] = (1, 2, 4, 6, 9, 13),
+    percentiles: Sequence[int] = (50, 75, 90, 95, 99),
+) -> ClickAccuracyReport:
+    """Per-click error statistics across all login attempts."""
+    if image_name is not None and image_name not in dataset.images:
+        raise ParameterError(f"unknown image {image_name!r}")
+    cheb: list = []
+    eucl: list = []
+    for password, login in dataset.iter_login_pairs():
+        if image_name is not None and password.image_name != image_name:
+            continue
+        for original, attempt in zip(password.points, login.points):
+            cheb.append(float(chebyshev(original, attempt)))
+            eucl.append(euclidean(original, attempt))
+    if not cheb:
+        raise ParameterError("no login attempts matched the filter")
+    cheb_arr = np.array(cheb)
+    return ClickAccuracyReport(
+        clicks=len(cheb),
+        mean_chebyshev=float(cheb_arr.mean()),
+        mean_euclidean=float(np.mean(eucl)),
+        percentiles=tuple(
+            (p, float(np.percentile(cheb_arr, p))) for p in percentiles
+        ),
+        within=tuple(
+            (t, float((cheb_arr <= t).mean())) for t in tolerances
+        ),
+    )
+
+
+def per_user_accuracy(
+    dataset: StudyDataset, image_name: Optional[str] = None
+) -> Dict[int, float]:
+    """Mean Chebyshev click error per user (sorted by user id).
+
+    Exposes the per-user skill variation the error model injects; the
+    spread here is what makes "most users fine, some users struggling"
+    usability patterns appear.
+    """
+    if image_name is not None and image_name not in dataset.images:
+        raise ParameterError(f"unknown image {image_name!r}")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for password, login in dataset.iter_login_pairs():
+        if image_name is not None and password.image_name != image_name:
+            continue
+        for original, attempt in zip(password.points, login.points):
+            error = float(chebyshev(original, attempt))
+            sums[password.user_id] = sums.get(password.user_id, 0.0) + error
+            counts[password.user_id] = counts.get(password.user_id, 0) + 1
+    return {
+        user_id: sums[user_id] / counts[user_id] for user_id in sorted(sums)
+    }

@@ -1,0 +1,77 @@
+"""Attack suite: the paper's §5 security evaluation, executable.
+
+Human-seeded dictionaries with exact closed-form crack decisions, offline
+attacks with known grid identifiers (Figures 7–8), the hash-only work-factor
+model, throttled online attacks, hotspot harvesting, shoulder-surfing, and
+grid-identifier leakage analysis.
+"""
+
+from repro.attacks.dictionary import (
+    HumanSeededDictionary,
+    partition_moebius_weight,
+    set_partitions,
+)
+from repro.attacks.divide_conquer import (
+    PerPointStoredPassword,
+    attack_cost_comparison,
+    divide_and_conquer_attack,
+    enroll_per_point,
+    verify_per_point,
+)
+from repro.attacks.economics import (
+    CrackingCostEstimate,
+    expected_guesses_to_crack,
+    offline_cracking_cost,
+    summarize_attack_economics,
+)
+from repro.attacks.hotspot import (
+    HarvestedHotspot,
+    dictionary_from_hotspots,
+    harvest_hotspots,
+    hotspot_seed_points,
+    salience_hotspots,
+)
+from repro.attacks.leakage import (
+    LeakageRanking,
+    cell_salience_ranking,
+    identifier_bits,
+)
+from repro.attacks.offline import (
+    OfflineAttackResult,
+    PasswordAttackOutcome,
+    hash_only_work_factor,
+    offline_attack_known_identifiers,
+)
+from repro.attacks.online import OnlineAttackResult, online_attack
+from repro.attacks.shoulder import ShoulderSurfResult, shoulder_surf_attack
+
+__all__ = [
+    "CrackingCostEstimate",
+    "HarvestedHotspot",
+    "HumanSeededDictionary",
+    "LeakageRanking",
+    "expected_guesses_to_crack",
+    "offline_cracking_cost",
+    "summarize_attack_economics",
+    "OfflineAttackResult",
+    "OnlineAttackResult",
+    "PasswordAttackOutcome",
+    "PerPointStoredPassword",
+    "ShoulderSurfResult",
+    "attack_cost_comparison",
+    "cell_salience_ranking",
+    "divide_and_conquer_attack",
+    "enroll_per_point",
+    "verify_per_point",
+    "dictionary_from_hotspots",
+    "harvest_hotspots",
+    "hash_only_work_factor",
+    "hotspot_seed_points",
+    "identifier_bits",
+    "offline_attack_known_identifiers",
+    "online_attack",
+    "partition_moebius_weight",
+    "salience_hotspots",
+    "set_partitions",
+    "shoulder_surf_attack",
+]

@@ -1,0 +1,289 @@
+"""Human-seeded attack dictionaries (paper §5.1).
+
+The paper's attack dictionary is built from 30 lab-study passwords per
+image: their 150 click-points seed "all possible 5-click-point permutations"
+— ordered tuples of distinct seed points — giving ≈ 2^36 entries per image.
+Enumerating 2^36 hashes is the attacker's cost, not the analyst's: whether
+*any* entry cracks a password, and exactly *how many* do, can be computed in
+closed form from the per-position match sets.
+
+* A password is cracked by some entry  ⟺  the bipartite graph between
+  click positions and matching seed points has a perfect matching on the
+  positions (Hall's condition); we decide this with a tiny augmenting-path
+  matcher (5 positions × 150 points).
+* The exact number of cracking entries is the permanent of the 5×150
+  biadjacency matrix, computed by Möbius inversion over the partition
+  lattice of the 5 positions (52 partitions — exact and fast).
+
+For attackers that cannot afford full enumeration (online attacks), the
+dictionary also yields entries **best-first by popularity**: tuples ordered
+by the product of their points' empirical seed popularity, via lazy heap
+expansion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.study.dataset import PasswordSample
+
+__all__ = ["HumanSeededDictionary", "set_partitions", "partition_moebius_weight"]
+
+
+def set_partitions(items: Sequence[int]) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+    """Yield all partitions of *items* into non-empty blocks.
+
+    Standard recursive construction; Bell(5) = 52 partitions for the
+    classic 5-click case.
+    """
+    items = list(items)
+    if not items:
+        yield ()
+        return
+    first, rest = items[0], items[1:]
+    for sub_partition in set_partitions(rest):
+        # first joins an existing block...
+        for index, block in enumerate(sub_partition):
+            yield (
+                sub_partition[:index]
+                + ((first,) + block,)
+                + sub_partition[index + 1 :]
+            )
+        # ...or starts its own.
+        yield ((first,),) + sub_partition
+
+
+def partition_moebius_weight(partition: Tuple[Tuple[int, ...], ...]) -> int:
+    """Möbius weight of a partition in the injective-count inversion.
+
+    For counting injective tuples from per-position candidate sets:
+    ``Σ_partitions  Π_blocks (-1)^(|B|-1) (|B|-1)! · |∩_{j∈B} m_j|``.
+    This function returns the ``Π_blocks (-1)^(|B|-1) (|B|-1)!`` factor.
+    """
+    weight = 1
+    for block in partition:
+        size = len(block)
+        weight *= (-1) ** (size - 1) * math.factorial(size - 1)
+    return weight
+
+
+@dataclass(frozen=True)
+class HumanSeededDictionary:
+    """The attacker's dictionary: seed click-points and derived machinery.
+
+    Attributes
+    ----------
+    seed_points:
+        The flattened pool of observed click-points (150 for the paper's
+        30×5 configuration).
+    tuple_length:
+        Entry length (5 for classic PassPoints).
+    image_name:
+        The image the seeds were harvested from (entries only make sense
+        against passwords on the same image).
+    """
+
+    seed_points: Tuple[Point, ...]
+    tuple_length: int = 5
+    image_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tuple_length < 1:
+            raise AttackError(f"tuple_length must be >= 1, got {self.tuple_length}")
+        if len(self.seed_points) < self.tuple_length:
+            raise AttackError(
+                f"need at least {self.tuple_length} seed points, got "
+                f"{len(self.seed_points)}"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_lab_passwords(
+        cls, samples: Sequence[PasswordSample], tuple_length: int = 5
+    ) -> "HumanSeededDictionary":
+        """Build the dictionary from lab-study passwords (paper's method)."""
+        if not samples:
+            raise AttackError("need at least one lab password")
+        image_names = {s.image_name for s in samples}
+        if len(image_names) != 1:
+            raise AttackError(
+                f"lab passwords span multiple images: {sorted(image_names)}"
+            )
+        points: List[Point] = []
+        for sample in samples:
+            points.extend(sample.points)
+        return cls(
+            seed_points=tuple(points),
+            tuple_length=tuple_length,
+            image_name=image_names.pop(),
+        )
+
+    # -- size ----------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Number of entries: ordered tuples of distinct seed points.
+
+        For the paper's 150-point pool and 5-click tuples this is
+        P(150, 5) = 150·149·148·147·146 ≈ 2^36.05 — the "36-bit
+        dictionary" of Figures 7–8.
+        """
+        n = len(self.seed_points)
+        return math.perm(n, self.tuple_length)
+
+    @property
+    def bits(self) -> float:
+        """log2 of the entry count."""
+        return math.log2(self.entry_count)
+
+    # -- cracking decision ------------------------------------------------------
+
+    def match_sets(
+        self, accepts: Callable[[int, Point], bool]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Per-position sets of seed-point indices accepted at that position.
+
+        *accepts(position, point)* is the oracle "would this seed point,
+        placed at this click position, fall in the stored cell?" — supplied
+        by the offline attack, which knows the stored public material.
+        """
+        return tuple(
+            tuple(
+                index
+                for index, point in enumerate(self.seed_points)
+                if accepts(position, point)
+            )
+            for position in range(self.tuple_length)
+        )
+
+    @staticmethod
+    def has_injective_assignment(match_sets: Sequence[Sequence[int]]) -> bool:
+        """Whether distinct seed points can fill every position.
+
+        Augmenting-path bipartite matching with positions on the small side;
+        O(positions² · points) worst case, trivial at 5×150.
+        """
+        assigned: dict[int, int] = {}  # seed index -> position
+
+        def try_assign(position: int, banned: set) -> bool:
+            for seed in match_sets[position]:
+                if seed in banned:
+                    continue
+                banned.add(seed)
+                if seed not in assigned or try_assign(assigned[seed], banned):
+                    assigned[seed] = position
+                    return True
+            return False
+
+        return all(try_assign(position, set()) for position in range(len(match_sets)))
+
+    def cracks(self, accepts: Callable[[int, Point], bool]) -> bool:
+        """Whether *any* dictionary entry cracks the target password."""
+        return self.has_injective_assignment(self.match_sets(accepts))
+
+    @staticmethod
+    def count_injective_assignments(match_sets: Sequence[Sequence[int]]) -> int:
+        """Exact number of ordered distinct-point tuples filling all positions.
+
+        Permanent of the position×seed biadjacency matrix via Möbius
+        inversion over position partitions: distinctness of seed points is
+        handled exactly, with Bell(tuple_length) terms.
+        """
+        sets = [set(m) for m in match_sets]
+        total = 0
+        for partition in set_partitions(range(len(sets))):
+            term = partition_moebius_weight(partition)
+            for block in partition:
+                common = set.intersection(*[sets[j] for j in block])
+                term *= len(common)
+                if term == 0:
+                    break
+            total += term
+        return total
+
+    def matching_entry_count(self, accepts: Callable[[int, Point], bool]) -> int:
+        """Exact number of dictionary entries that crack the target."""
+        return self.count_injective_assignments(self.match_sets(accepts))
+
+    # -- prioritized enumeration ---------------------------------------------------
+
+    def popularity_scores(self) -> Tuple[float, ...]:
+        """Empirical popularity of each seed point.
+
+        A point observed (near-)identically several times in the seed pool
+        is more popular; we count neighbours within Chebyshev distance 5 as
+        "the same spot".
+        """
+        scores = []
+        for point in self.seed_points:
+            count = sum(
+                1
+                for other in self.seed_points
+                if max(abs(int(point.x) - int(other.x)), abs(int(point.y) - int(other.y)))
+                <= 5
+            )
+            scores.append(float(count))
+        return tuple(scores)
+
+    def prioritized_entries(self, limit: int) -> Iterator[Tuple[Point, ...]]:
+        """Yield up to *limit* entries, best-first by popularity product.
+
+        Lazy best-first search over the sorted seed list: start from the
+        top tuple (indices 0..k-1 of the popularity-sorted order) and
+        expand one index at a time, deduplicating via a visited set.
+        Entries with repeated seed points are skipped (dictionary entries
+        are ordered tuples of distinct points).
+        """
+        if limit < 0:
+            raise AttackError(f"limit must be >= 0, got {limit}")
+        scores = self.popularity_scores()
+        order = sorted(
+            range(len(self.seed_points)), key=lambda i: -scores[i]
+        )
+        k = self.tuple_length
+
+        def tuple_score(ranks: Tuple[int, ...]) -> float:
+            product = 1.0
+            for rank in ranks:
+                product *= scores[order[rank]]
+            return product
+
+        start = tuple(range(k))
+        heap = [(-tuple_score(start), start)]
+        visited = {start}
+        yielded = 0
+        while heap and yielded < limit:
+            negative_score, ranks = heapq.heappop(heap)
+            indices = tuple(order[rank] for rank in ranks)
+            if len(set(indices)) == k:
+                yield tuple(self.seed_points[i] for i in indices)
+                yielded += 1
+            for slot in range(k):
+                bumped = ranks[slot] + 1
+                if bumped >= len(self.seed_points):
+                    continue
+                successor = ranks[:slot] + (bumped,) + ranks[slot + 1 :]
+                if successor in visited:
+                    continue
+                visited.add(successor)
+                heapq.heappush(heap, (-tuple_score(successor), successor))
+
+    def enumerate_all(self) -> Iterator[Tuple[Point, ...]]:
+        """Exhaustive entry enumeration (only sane for tiny seed pools).
+
+        Provided for test cross-validation of the closed-form machinery;
+        guarded against accidental 2^36-entry iteration.
+        """
+        if self.entry_count > 2_000_000:
+            raise AttackError(
+                f"refusing to enumerate {self.entry_count} entries; use the "
+                "closed-form cracks()/matching_entry_count() instead"
+            )
+        yield from itertools.permutations(self.seed_points, self.tuple_length)

@@ -1,0 +1,171 @@
+"""Divide-and-conquer attacks on per-point hashing (paper §3.1).
+
+The paper stores **one** hash over all click-points' offsets and indices:
+"In practice, if a password consists of more than one click-point, all
+segment indices and their offsets are concatenated and hashed together as
+one.  This stops attackers from matching individual points, and thus
+carrying out an efficient divide-and-conquer attack."
+
+This module makes that design rationale demonstrable by implementing the
+*insecure alternative* — a record with one hash per click-point — and the
+attack it enables:
+
+* against the **combined** hash, a dictionary of ``n`` seed points costs
+  ``P(n, k) ≈ n^k`` hash trials per password (2^36 for the paper's
+  parameters);
+* against **per-point** hashes, each position is attacked independently at
+  ``n`` trials, so the whole password falls in ``k · n`` trials (750 for
+  the paper's parameters) — a ~2^26 speedup.
+
+Nothing in the main library uses per-point records; they exist only here,
+as the cautionary baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.scheme import DiscretizationScheme
+from repro.crypto.hashing import Hasher
+from repro.crypto.records import VerificationRecord, make_record
+from repro.errors import AttackError, VerificationError
+from repro.geometry.point import Point
+
+__all__ = [
+    "PerPointStoredPassword",
+    "enroll_per_point",
+    "verify_per_point",
+    "divide_and_conquer_attack",
+    "attack_cost_comparison",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PerPointStoredPassword:
+    """The INSECURE storage layout: one verification record per click-point.
+
+    Identical public material to the proper layout — the only difference is
+    hashing each point separately instead of all points together.
+    """
+
+    scheme_name: str
+    records: Tuple[VerificationRecord, ...]
+
+    @property
+    def clicks(self) -> int:
+        """Number of click-points."""
+        return len(self.records)
+
+
+def enroll_per_point(
+    scheme: DiscretizationScheme,
+    points: Sequence[Point],
+    hasher: Hasher | None = None,
+) -> PerPointStoredPassword:
+    """Enroll a password with per-point hashes (for attack demonstration)."""
+    if not points:
+        raise VerificationError("a password needs at least one click-point")
+    hasher = hasher if hasher is not None else Hasher()
+    records = []
+    for point in points:
+        enrollment = scheme.enroll(point)
+        records.append(
+            make_record(
+                enrollment.public,
+                tuple(int(i) for i in enrollment.secret),
+                hasher,
+            )
+        )
+    return PerPointStoredPassword(
+        scheme_name=scheme.name, records=tuple(records)
+    )
+
+
+def verify_per_point(
+    scheme: DiscretizationScheme,
+    stored: PerPointStoredPassword,
+    points: Sequence[Point],
+) -> bool:
+    """Verify a login against per-point records (all must match)."""
+    if len(points) != stored.clicks:
+        raise VerificationError(
+            f"expected {stored.clicks} click-points, got {len(points)}"
+        )
+    for point, record in zip(points, stored.records):
+        located = scheme.locate(point, record.public)
+        if not record.matches(tuple(int(i) for i in located)):
+            return False
+    return True
+
+
+@dataclass(frozen=True, slots=True)
+class DivideAndConquerResult:
+    """Outcome of a divide-and-conquer attack on one per-point password."""
+
+    cracked: bool
+    per_position_matches: Tuple[Tuple[Point, ...], ...]
+    hash_trials: int
+
+    @property
+    def recovered_candidates(self) -> int:
+        """Number of full-password candidates implied by the matches."""
+        total = 1
+        for matches in self.per_position_matches:
+            total *= len(matches)
+        return total
+
+
+def divide_and_conquer_attack(
+    scheme: DiscretizationScheme,
+    stored: PerPointStoredPassword,
+    seed_points: Sequence[Point],
+) -> DivideAndConquerResult:
+    """Attack per-point hashes position-by-position.
+
+    For every position, hash each seed point under that position's stored
+    public material and compare against the stored digest — ``k · n``
+    hash trials total, *actually performed* here (no closed-form shortcut;
+    the point of this attack is that brute force is affordable).
+    """
+    if not seed_points:
+        raise AttackError("no seed points supplied")
+    per_position: List[Tuple[Point, ...]] = []
+    trials = 0
+    for record in stored.records:
+        matches = []
+        for seed in seed_points:
+            trials += 1
+            located = scheme.locate(seed, record.public)
+            if record.matches(tuple(int(i) for i in located)):
+                matches.append(seed)
+        per_position.append(tuple(matches))
+    cracked = all(per_position)
+    return DivideAndConquerResult(
+        cracked=cracked,
+        per_position_matches=tuple(per_position),
+        hash_trials=trials,
+    )
+
+
+def attack_cost_comparison(seed_count: int, clicks: int = 5) -> dict:
+    """Hash-trial counts: combined hash vs per-point hashes.
+
+    >>> costs = attack_cost_comparison(150, 5)
+    >>> costs["per_point_trials"]
+    750
+    """
+    import math
+
+    if seed_count < clicks:
+        raise AttackError(
+            f"need at least {clicks} seed points, got {seed_count}"
+        )
+    combined = math.perm(seed_count, clicks)
+    per_point = seed_count * clicks
+    return {
+        "combined_trials": combined,
+        "per_point_trials": per_point,
+        "speedup": combined / per_point,
+        "speedup_bits": math.log2(combined / per_point),
+    }

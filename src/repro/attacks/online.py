@@ -1,0 +1,131 @@
+"""Online dictionary attacks against the live login interface (paper §5.1).
+
+"Alternatively, attackers without access to the password file may attempt an
+online attack.  While attackers may not explicitly know the grid
+identifiers, these are not necessary since the system will automatically use
+the correct grids when interpreting the login attempt. … The system may
+limit the number of incorrect login attempts for individual accounts,
+slowing or stopping the attack."
+
+The attacker submits dictionary entries — best-first by seed-point
+popularity — through the normal login flow until the account succumbs, the
+guess budget runs out, or the throttle locks the account.  Smaller grid
+squares force guesses closer to the real click-points, so at equal r the
+attack does markedly worse against Centered Discretization (same phenomenon
+as the offline Figure-8 gap, with the lockout cap on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AttackError, LockoutError
+from repro.passwords.store import PasswordStore
+from repro.attacks.dictionary import HumanSeededDictionary
+
+__all__ = ["OnlineAttackResult", "online_attack"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccountOutcome:
+    """Outcome of attacking one account online."""
+
+    username: str
+    compromised: bool
+    guesses_used: int
+    locked_out: bool
+
+
+@dataclass(frozen=True)
+class OnlineAttackResult:
+    """Aggregate online-attack result.
+
+    ``guess_budget`` is the per-account cap the attacker planned for;
+    throttling may stop them earlier.
+    """
+
+    guess_budget: int
+    outcomes: Tuple[AccountOutcome, ...]
+
+    @property
+    def compromised(self) -> int:
+        """Number of accounts taken over."""
+        return sum(1 for o in self.outcomes if o.compromised)
+
+    @property
+    def compromised_fraction(self) -> float:
+        """Fraction of attacked accounts compromised."""
+        if not self.outcomes:
+            return 0.0
+        return self.compromised / len(self.outcomes)
+
+    @property
+    def locked_fraction(self) -> float:
+        """Fraction of accounts driven into lockout (noisy attacks)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.locked_out) / len(self.outcomes)
+
+    @property
+    def total_guesses(self) -> int:
+        """Total login attempts the attacker spent."""
+        return sum(o.guesses_used for o in self.outcomes)
+
+
+def online_attack(
+    store: PasswordStore,
+    dictionary: HumanSeededDictionary,
+    usernames: Sequence[str] | None = None,
+    guess_budget: int = 100,
+) -> OnlineAttackResult:
+    """Attack accounts through the live, throttled login interface.
+
+    Parameters
+    ----------
+    store:
+        The deployed service (with its lockout policy active).
+    dictionary:
+        Seed dictionary; entries are tried best-first by popularity.
+    usernames:
+        Accounts to attack (default: all accounts in the store).
+    guess_budget:
+        Maximum login attempts per account the attacker is willing to spend
+        (rate limits make online guesses expensive).
+    """
+    if guess_budget < 1:
+        raise AttackError(f"guess_budget must be >= 1, got {guess_budget}")
+    targets = tuple(usernames) if usernames is not None else store.usernames
+    if not targets:
+        raise AttackError("no accounts to attack")
+
+    # The guess sequence is identical for every account (the attacker has
+    # one dictionary), so materialize it once.
+    guesses = list(dictionary.prioritized_entries(guess_budget))
+
+    outcomes: List[AccountOutcome] = []
+    for username in targets:
+        used = 0
+        compromised = False
+        locked = False
+        for guess in guesses:
+            try:
+                used += 1
+                if store.login(username, list(guess)):
+                    compromised = True
+                    break
+            except LockoutError:
+                used -= 1  # the refused attempt never executed
+                locked = True
+                break
+        if not locked and not compromised:
+            locked = store.is_locked(username)
+        outcomes.append(
+            AccountOutcome(
+                username=username,
+                compromised=compromised,
+                guesses_used=used,
+                locked_out=locked,
+            )
+        )
+    return OnlineAttackResult(guess_budget=guess_budget, outcomes=tuple(outcomes))

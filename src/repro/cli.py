@@ -1,0 +1,189 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``repro list`` — show available experiments;
+* ``repro run table1 figure8 …`` — run selected experiments (or ``all``)
+  and print their reports;
+* ``repro study --out study.json`` — generate and save the simulated field
+  study;
+* ``repro demo`` — the quickstart: enroll and verify a password under both
+  schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Centered Discretization with Application to "
+            "Graphical Passwords' (Chiasson et al., UPSEC 2008)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments and print reports")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'repro list'), or 'all'",
+    )
+
+    study_parser = sub.add_parser(
+        "study", help="generate the simulated field study"
+    )
+    study_parser.add_argument(
+        "--out", required=True, help="output JSON path"
+    )
+    study_parser.add_argument(
+        "--seed", type=int, default=2008, help="simulation seed"
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="run experiments and export JSON/CSV artifacts",
+    )
+    report_parser.add_argument(
+        "--out", required=True, help="output directory"
+    )
+    report_parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (default: all)",
+    )
+
+    sub.add_parser("demo", help="enroll/verify a password under both schemes")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.runner import EXPERIMENTS
+
+    for experiment_id in EXPERIMENTS:
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(experiment_ids: Sequence[str]) -> int:
+    from repro.experiments.runner import EXPERIMENTS, run_all
+
+    if list(experiment_ids) == ["all"]:
+        selected = list(EXPERIMENTS)
+    else:
+        unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown experiments: {', '.join(unknown)} "
+                f"(try 'repro list')",
+                file=sys.stderr,
+            )
+            return 2
+        selected = list(experiment_ids)
+    results = run_all(selected)
+    for index, result in enumerate(results.values()):
+        if index:
+            print()
+        print(result.rendered())
+    return 0
+
+
+def _cmd_study(out_path: str, seed: int) -> int:
+    from repro.study.fieldstudy import PAPER_STUDY, generate_field_study
+
+    dataset = generate_field_study(PAPER_STUDY.with_seed(seed))
+    dataset.save(out_path)
+    summary = dataset.summary()
+    print(
+        f"wrote {out_path}: {summary['participants']} participants, "
+        f"{summary['passwords']} passwords, {summary['logins']} logins"
+    )
+    return 0
+
+
+def _cmd_report(out_dir: str, experiment_ids: Sequence[str]) -> int:
+    from repro.experiments.export import write_reports
+    from repro.experiments.runner import EXPERIMENTS, run_all
+
+    selected = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiments: {', '.join(unknown)} (try 'repro list')",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_all(selected)
+    summary = write_reports(results.values(), out_dir)
+    print(f"wrote {len(results)} experiment artifacts; summary: {summary}")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.core.centered import CenteredDiscretization
+    from repro.core.robust import RobustDiscretization
+    from repro.geometry.point import Point
+    from repro.passwords.passpoints import PassPointsSystem
+    from repro.study.image import cars_image
+
+    image = cars_image()
+    points = [
+        Point.xy(42, 61),
+        Point.xy(130, 88),
+        Point.xy(227, 154),
+        Point.xy(318, 222),
+        Point.xy(401, 290),
+    ]
+    retry_ok = [Point.xy(int(p.x) + 4, int(p.y) - 3) for p in points]
+    retry_bad = [Point.xy(int(p.x) + 14, int(p.y)) for p in points]
+    for scheme in (
+        CenteredDiscretization.for_pixel_tolerance(2, 9),
+        RobustDiscretization.for_pixel_tolerance(2, 9),
+    ):
+        system = PassPointsSystem(image=image, scheme=scheme)
+        stored = system.enroll(points)
+        print(
+            f"{scheme.name}: cell {scheme.cell_size}px | "
+            f"exact login: {system.verify(stored, points)} | "
+            f"4px-off login: {system.verify(stored, retry_ok)} | "
+            f"14px-off login: {system.verify(stored, retry_bad)}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments)
+    if args.command == "study":
+        return _cmd_study(args.out, args.seed)
+    if args.command == "report":
+        return _cmd_report(args.out, args.experiments)
+    if args.command == "demo":
+        return _cmd_demo()
+    parser.error(f"unhandled command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core discretization schemes: the paper's contribution and its baselines.
+
+* :class:`~repro.core.centered.CenteredDiscretization` — the paper's scheme
+  (§3): per-axis offsets ``d = (x − r) mod 2r`` in the clear, segment
+  indices ``i = ⌊(x − r)/2r⌋`` in the hash, acceptance region exactly
+  centered on the original click-point.
+* :class:`~repro.core.robust.RobustDiscretization` — the Birget et al. 2006
+  baseline (§2.2): dim+1 offset grids of side 2(dim+1)r, r-safe grid chosen
+  at enrollment.
+* :class:`~repro.core.static.StaticGridScheme` — the naive single fixed
+  grid, exhibiting the edge problem (§2).
+* :mod:`~repro.core.tolerance` — centered-tolerance ground truth and the
+  false-accept / false-reject classification (§2.2.1, Figure 1).
+"""
+
+from repro.core.centered import CenteredDiscretization, discretize_1d, locate_1d
+from repro.core.robust import GridSelection, RobustDiscretization
+from repro.core.scheme import Discretization, DiscretizationScheme
+from repro.core.static import StaticGridScheme
+from repro.core.tolerance import (
+    Outcome,
+    WorstCaseGeometry,
+    centered_tolerance_region,
+    classify,
+    classify_attempt,
+    classify_point,
+    within_centered_tolerance,
+    worst_case_geometry,
+)
+
+__all__ = [
+    "CenteredDiscretization",
+    "Discretization",
+    "DiscretizationScheme",
+    "GridSelection",
+    "Outcome",
+    "RobustDiscretization",
+    "StaticGridScheme",
+    "WorstCaseGeometry",
+    "centered_tolerance_region",
+    "classify",
+    "classify_attempt",
+    "classify_point",
+    "discretize_1d",
+    "locate_1d",
+    "within_centered_tolerance",
+    "worst_case_geometry",
+]

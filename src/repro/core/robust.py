@@ -1,0 +1,269 @@
+"""Robust Discretization (Birget, Hong, Memon 2006) — the paper's baseline.
+
+To guarantee a minimum tolerance ``r`` without centering, Robust
+Discretization overlays ``dim + 1`` candidate grids (three in 2-D), each
+with (hyper-)square cells of side ``2·(dim+1)·r`` (6r in 2-D), diagonally
+offset from one another by ``2r`` along every axis.  For any point, at
+least one grid leaves the point **r-safe** — at least ``r`` away from every
+edge of the cell containing it (the paper's and Birget et al.'s
+three-grids-suffice argument; property-tested in this repository for 1-D
+through 4-D).
+
+Enrollment picks an r-safe grid, stores the grid identifier in the clear and
+the cell index in the hash.  Verification locates the candidate point in the
+*stored* grid.  Because the point is only guaranteed to be ``r``-safe — not
+centered — a login click can be rejected as little as ``r`` away in one
+direction (a *false reject* w.r.t. centered tolerance) yet accepted up to
+``(2(dim+1) − 1)·r = 5r`` away in the other (a *false accept*), which is the
+usability/security defect the paper quantifies (§2.2.1, Tables 1–2).
+
+Implementation notes mirroring the paper's §4:
+
+* The original authors never implemented the scheme; grid-selection policy
+  when several grids are r-safe was left unspecified.  The paper's
+  reconstruction used an "optimal" policy — pick the grid where the point
+  is closest to its cell center — implemented here as
+  :attr:`GridSelection.MOST_CENTERED` (the default), alongside
+  :attr:`GridSelection.FIRST_SAFE` and :attr:`GridSelection.RANDOM_SAFE`
+  for ablation.
+* All computations use exact rational arithmetic ("We used real numbers for
+  our computations and comparisons to minimize rounding errors").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple
+
+from repro.crypto.encoding import Encodable
+from repro.errors import EnrollmentError, ParameterError, VerificationError
+from repro.geometry.grid import Grid
+from repro.geometry.numbers import (
+    RealLike,
+    as_exact,
+    r_for_pixel_tolerance,
+    robust_r_for_grid_size,
+    validate_positive,
+)
+from repro.geometry.point import Point
+from repro.geometry.region import Box
+from repro.core.scheme import Discretization, DiscretizationScheme
+
+__all__ = ["GridSelection", "RobustDiscretization"]
+
+
+class GridSelection(enum.Enum):
+    """Policy for choosing among multiple r-safe grids at enrollment.
+
+    ``MOST_CENTERED`` reproduces the paper's optimal reconstruction: among
+    safe grids, pick the one whose cell the point is most central in
+    (maximum margin to the nearest edge); ties break toward the lowest grid
+    identifier, deterministically.
+    """
+
+    FIRST_SAFE = "first_safe"
+    MOST_CENTERED = "most_centered"
+    RANDOM_SAFE = "random_safe"
+
+
+class RobustDiscretization(DiscretizationScheme):
+    """Robust Discretization in ``dim`` dimensions with tolerance ``r``.
+
+    Public material is the 1-tuple ``(g,)`` naming the selected grid
+    (``0 ≤ g ≤ dim``); the secret is the cell-index vector in that grid.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality; 2-D gives the classic 3-grid, 6r-cell scheme.
+    r:
+        Guaranteed minimum tolerance.  Use :meth:`for_grid_size` to build
+        the scheme from a target cell side instead (r = side / (2(dim+1))).
+    selection:
+        Grid-selection policy (default: the paper's MOST_CENTERED).
+    rng:
+        Callable returning a float in [0, 1); required only for
+        ``RANDOM_SAFE`` (e.g. ``numpy.random.Generator.random``).
+
+    >>> from repro.geometry.point import Point
+    >>> scheme = RobustDiscretization(dim=2, r=3)
+    >>> scheme.cell_size, scheme.grid_count
+    (18, 3)
+    >>> enrolled = scheme.enroll(Point.xy(100, 100))
+    >>> scheme.accepts(enrolled, Point.xy(102, 99))
+    True
+    """
+
+    name = "robust"
+
+    def __init__(
+        self,
+        dim: int,
+        r: RealLike,
+        selection: GridSelection = GridSelection.MOST_CENTERED,
+        rng: Optional[Callable[[], float]] = None,
+        exact: bool = True,
+    ) -> None:
+        super().__init__(dim)
+        validate_positive(r, "r")
+        if not isinstance(selection, GridSelection):
+            raise ParameterError(
+                f"selection must be a GridSelection, got {selection!r}"
+            )
+        if selection is GridSelection.RANDOM_SAFE and rng is None:
+            raise ParameterError("RANDOM_SAFE selection requires an rng")
+        self._r: RealLike = as_exact(r) if exact else r
+        self._selection = selection
+        self._rng = rng
+        # dim + 1 grids of side 2(dim+1)r, diagonally offset by 2r each.
+        side = 2 * (dim + 1) * self._r
+        step = 2 * self._r
+        self._grids: Tuple[Grid, ...] = tuple(
+            Grid.square(dim, side, offset=g * step) for g in range(dim + 1)
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def for_grid_size(
+        cls,
+        dim: int,
+        grid_size: int,
+        selection: GridSelection = GridSelection.MOST_CENTERED,
+        rng: Optional[Callable[[], float]] = None,
+    ) -> "RobustDiscretization":
+        """Scheme whose cells have side ``grid_size``.
+
+        In 2-D, r = grid_size / 6 — the "Robust Discr. r" column of the
+        paper's Table 3 (e.g. 13×13 → r = 13/6 ≈ 2.17 px).
+        """
+        if dim == 2:
+            r = robust_r_for_grid_size(grid_size)
+        else:
+            from fractions import Fraction
+
+            if grid_size <= 0:
+                raise ParameterError(f"grid_size must be > 0, got {grid_size}")
+            r = Fraction(grid_size, 2 * (dim + 1))
+        return cls(dim, r, selection=selection, rng=rng)
+
+    @classmethod
+    def for_pixel_tolerance(
+        cls,
+        dim: int,
+        tolerance_px: int,
+        selection: GridSelection = GridSelection.MOST_CENTERED,
+        rng: Optional[Callable[[], float]] = None,
+    ) -> "RobustDiscretization":
+        """Scheme guaranteeing an integer pixel tolerance (r = t + ½)."""
+        return cls(
+            dim, r_for_pixel_tolerance(tolerance_px), selection=selection, rng=rng
+        )
+
+    # -- scheme interface ----------------------------------------------------
+
+    @property
+    def r(self) -> RealLike:
+        """The guaranteed minimum tolerance parameter."""
+        return self._r
+
+    @property
+    def guaranteed_tolerance(self) -> RealLike:
+        """Any point within r (Chebyshev) of the original is accepted."""
+        return self._r
+
+    @property
+    def cell_size(self) -> RealLike:
+        """Cells have side 2(dim+1)·r — 6r in 2-D."""
+        return 2 * (self.dim + 1) * self._r
+
+    @property
+    def r_max(self) -> RealLike:
+        """Worst-case accepted distance: (2(dim+1) − 1)·r — 5r in 2-D.
+
+        Beyond r_max, rejection is guaranteed (paper §2.2 objective (2)).
+        """
+        return (2 * (self.dim + 1) - 1) * self._r
+
+    @property
+    def grid_count(self) -> int:
+        """Number of candidate grids: dim + 1."""
+        return len(self._grids)
+
+    @property
+    def selection(self) -> GridSelection:
+        """The grid-selection policy in force."""
+        return self._selection
+
+    def grid(self, identifier: int) -> Grid:
+        """The candidate grid with the given identifier."""
+        if not 0 <= identifier < len(self._grids):
+            raise VerificationError(
+                f"robust: grid identifier {identifier} out of range "
+                f"[0, {len(self._grids) - 1}]"
+            )
+        return self._grids[identifier]
+
+    # -- enrollment ----------------------------------------------------------
+
+    def safe_grids(self, point: Point) -> Tuple[int, ...]:
+        """Identifiers of every grid in which *point* is r-safe.
+
+        By the Birget et al. guarantee this is never empty; the library
+        property-tests that claim rather than assuming it.
+        """
+        self._check_point(point)
+        return tuple(
+            g
+            for g, grid in enumerate(self._grids)
+            if grid.margin(point) >= self._r
+        )
+
+    def _select_grid(self, point: Point, candidates: Tuple[int, ...]) -> int:
+        """Apply the configured selection policy to the safe-grid set."""
+        if self._selection is GridSelection.FIRST_SAFE:
+            return candidates[0]
+        if self._selection is GridSelection.RANDOM_SAFE:
+            assert self._rng is not None  # guaranteed by __init__
+            pick = int(self._rng() * len(candidates))
+            return candidates[min(pick, len(candidates) - 1)]
+        # MOST_CENTERED: maximize margin; ties -> lowest identifier.
+        return max(candidates, key=lambda g: (self._grids[g].margin(point), -g))
+
+    def enroll(self, point: Point) -> Discretization:
+        """Pick an r-safe grid and discretize *point* in it."""
+        candidates = self.safe_grids(point)
+        if not candidates:
+            # Mathematically unreachable (the 3-grid guarantee), but the
+            # error path is kept honest rather than asserted away.
+            raise EnrollmentError(
+                f"robust: no r-safe grid for {point!r} with r={self._r!r}"
+            )
+        chosen = self._select_grid(point, candidates)
+        index = self._grids[chosen].cell_of(point)
+        return Discretization(public=(chosen,), secret=index)
+
+    def locate(
+        self, point: Point, public: Tuple[Encodable, ...]
+    ) -> Tuple[int, ...]:
+        """Cell index of *point* in the stored grid (verification side)."""
+        self._check_point(point)
+        if len(public) != 1:
+            raise VerificationError(
+                f"robust: expected 1 grid identifier, got {len(public)}"
+            )
+        identifier = public[0]
+        if isinstance(identifier, bool) or not isinstance(identifier, int):
+            raise VerificationError(
+                f"robust: grid identifier must be an int, got {identifier!r}"
+            )
+        return self.grid(identifier).cell_of(point)
+
+    def acceptance_region(self, discretization: Discretization) -> Box:
+        """The stored grid-square: everything inside verifies."""
+        identifier = discretization.public[0]
+        if isinstance(identifier, bool) or not isinstance(identifier, int):
+            raise VerificationError(
+                f"robust: grid identifier must be an int, got {identifier!r}"
+            )
+        return self.grid(identifier).cell_box(discretization.secret)

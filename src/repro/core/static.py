@@ -1,0 +1,108 @@
+"""Naive static-grid discretization — exhibits the paper's "edge problem".
+
+The simplest hashable discretization (paper §2): overlay one fixed grid on
+the image and map every point to its cell.  It needs no public material at
+all, but it gives **no tolerance guarantee**: an original click-point right
+next to a grid line is rejected for re-entry clicks a single pixel away on
+the wrong side, while clicks almost a full cell away on the right side are
+accepted.  Robust Discretization exists precisely to fix this, and Centered
+Discretization fixes it without giving up centering.
+
+The scheme is included as a baseline so the edge problem can be measured
+(see ``examples/quickstart.py`` and the ablation benchmarks) rather than
+just asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.encoding import Encodable
+from repro.errors import VerificationError
+from repro.geometry.grid import Grid
+from repro.geometry.numbers import RealLike, as_exact, validate_positive
+from repro.geometry.point import Point
+from repro.geometry.region import Box
+from repro.core.scheme import Discretization, DiscretizationScheme
+
+__all__ = ["StaticGridScheme"]
+
+
+class StaticGridScheme(DiscretizationScheme):
+    """One fixed grid of square cells; no per-point public material.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality.
+    cell_size:
+        Side of the square cells.
+    offset:
+        Optional global translation of the grid (same on every axis).
+
+    >>> from repro.geometry.point import Point
+    >>> scheme = StaticGridScheme(dim=2, cell_size=10)
+    >>> enrolled = scheme.enroll(Point.xy(19, 5))
+    >>> scheme.accepts(enrolled, Point.xy(20, 5))  # 1 px away, next cell
+    False
+    >>> scheme.accepts(enrolled, Point.xy(10, 5))  # 9 px away, same cell
+    True
+    """
+
+    name = "static"
+
+    def __init__(
+        self, dim: int, cell_size: RealLike, offset: RealLike = 0, exact: bool = True
+    ) -> None:
+        super().__init__(dim)
+        validate_positive(cell_size, "cell_size")
+        size = as_exact(cell_size) if exact else cell_size
+        off = as_exact(offset) if exact else offset
+        self._grid = Grid.square(dim, size, offset=off)
+
+    # -- scheme interface ----------------------------------------------------
+
+    @property
+    def guaranteed_tolerance(self) -> RealLike:
+        """Zero: a click-point may lie arbitrarily close to a cell edge."""
+        return 0
+
+    @property
+    def cell_size(self) -> RealLike:
+        """Side of the fixed grid's cells."""
+        return self._grid.cell_sizes[0]
+
+    @property
+    def grid(self) -> Grid:
+        """The underlying fixed grid."""
+        return self._grid
+
+    def enroll(self, point: Point) -> Discretization:
+        """Map the point to its cell; nothing is stored in the clear."""
+        self._check_point(point)
+        return Discretization(public=(), secret=self._grid.cell_of(point))
+
+    def locate(
+        self, point: Point, public: Tuple[Encodable, ...]
+    ) -> Tuple[int, ...]:
+        """Cell index of *point*; *public* must be empty."""
+        self._check_point(point)
+        if public:
+            raise VerificationError(
+                f"static: expected no public material, got {public!r}"
+            )
+        return self._grid.cell_of(point)
+
+    def acceptance_region(self, discretization: Discretization) -> Box:
+        """The fixed cell the original point fell into."""
+        return self._grid.cell_box(discretization.secret)
+
+    def worst_case_margin(self, point: Point) -> RealLike:
+        """Distance from *point* to the nearest edge of its cell.
+
+        This is the *actual* tolerance the point gets in its worst
+        direction; it can be arbitrarily close to zero, which is the edge
+        problem in one number.
+        """
+        self._check_point(point)
+        return self._grid.margin(point)

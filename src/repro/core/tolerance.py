@@ -1,0 +1,220 @@
+"""Centered-tolerance regions and false-accept / false-reject classification.
+
+The paper's usability argument (§2.2.1, Figure 1) compares what a scheme
+*accepts* against the **centered tolerance**: the evenly distributed buffer a
+user plausibly expects around their click-point.  For a region of half-side
+``ρ`` centered on the original point:
+
+* a **false reject** is a candidate *within* centered tolerance that the
+  scheme nevertheless rejects;
+* a **false accept** is a candidate *outside* centered tolerance that the
+  scheme nevertheless accepts.
+
+Centered Discretization's acceptance region *is* the centered-tolerance
+region, so both rates are identically zero; Robust Discretization's region
+is an off-center cell up to three times wider per axis, producing both kinds
+of errors.  This module provides the per-point classification machinery plus
+closed-form worst-case geometry (the numbers behind Figure 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.numbers import RealLike, validate_positive
+from repro.geometry.point import Point
+from repro.geometry.region import Box, centered_box
+from repro.core.scheme import Discretization, DiscretizationScheme
+
+__all__ = [
+    "Outcome",
+    "centered_tolerance_region",
+    "within_centered_tolerance",
+    "classify",
+    "classify_point",
+    "classify_attempt",
+    "WorstCaseGeometry",
+    "worst_case_geometry",
+]
+
+
+class Outcome(enum.Enum):
+    """Joint classification of (scheme decision, centered-tolerance truth)."""
+
+    TRUE_ACCEPT = "true_accept"
+    FALSE_ACCEPT = "false_accept"
+    FALSE_REJECT = "false_reject"
+    TRUE_REJECT = "true_reject"
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the scheme accepted the candidate."""
+        return self in (Outcome.TRUE_ACCEPT, Outcome.FALSE_ACCEPT)
+
+    @property
+    def erroneous(self) -> bool:
+        """Whether the scheme disagreed with centered tolerance."""
+        return self in (Outcome.FALSE_ACCEPT, Outcome.FALSE_REJECT)
+
+
+def centered_tolerance_region(original: Point, rho: RealLike) -> Box:
+    """The centered-tolerance box of half-side *rho* around *original*.
+
+    Half-open like every region in this library, so with the pixel
+    convention (ρ = t + ½, integer clicks) membership is exactly
+    Chebyshev distance ≤ t.
+    """
+    validate_positive(rho, "rho")
+    return centered_box(original, rho)
+
+
+def within_centered_tolerance(
+    original: Point, candidate: Point, rho: RealLike
+) -> bool:
+    """Whether *candidate* lies in the centered-tolerance box of *original*."""
+    return centered_tolerance_region(original, rho).contains(candidate)
+
+
+def classify(accepted: bool, within: bool) -> Outcome:
+    """Combine a scheme decision with the centered-tolerance ground truth."""
+    if accepted:
+        return Outcome.TRUE_ACCEPT if within else Outcome.FALSE_ACCEPT
+    return Outcome.FALSE_REJECT if within else Outcome.TRUE_REJECT
+
+
+def classify_point(
+    scheme: DiscretizationScheme,
+    enrolled: Discretization,
+    original: Point,
+    candidate: Point,
+    rho: RealLike,
+) -> Outcome:
+    """Classify a single candidate click against one enrolled click-point.
+
+    *rho* is the centered-tolerance half-side used as ground truth; for the
+    paper's Table 1 it is half the scheme's cell size (equal-square-size
+    framing), for Table 2 it is the scheme's guaranteed r (equal-r framing).
+    """
+    accepted = scheme.accepts(enrolled, candidate)
+    within = within_centered_tolerance(original, candidate, rho)
+    return classify(accepted, within)
+
+
+def classify_attempt(
+    scheme: DiscretizationScheme,
+    enrollments: Sequence[Discretization],
+    originals: Sequence[Point],
+    candidates: Sequence[Point],
+    rho: RealLike,
+) -> Outcome:
+    """Classify a full login attempt (all click-points, e.g. 5 for PassPoints).
+
+    The attempt is *accepted* iff every candidate point verifies (this is
+    what the single concatenated hash enforces) and *within tolerance* iff
+    every candidate is inside its centered-tolerance box.  The paper's
+    Tables 1–2 count attempts, not points; footnote 3 explains why
+    attempt-level false-accept rates look low (users click accurately, so
+    few attempts are outside centered tolerance at all).
+    """
+    if not (len(enrollments) == len(originals) == len(candidates)):
+        raise DimensionMismatchError(
+            "enrollments, originals and candidates must have equal length: "
+            f"{len(enrollments)}/{len(originals)}/{len(candidates)}"
+        )
+    if not enrollments:
+        raise ParameterError("an attempt needs at least one click-point")
+    accepted = all(
+        scheme.accepts(enrolled, candidate)
+        for enrolled, candidate in zip(enrollments, candidates)
+    )
+    within = all(
+        within_centered_tolerance(original, candidate, rho)
+        for original, candidate in zip(originals, candidates)
+    )
+    return classify(accepted, within)
+
+
+@dataclass(frozen=True, slots=True)
+class WorstCaseGeometry:
+    """Closed-form worst-case comparison of a Robust cell vs centered box.
+
+    Reproduces Figure 1 quantitatively for a given r (2-D unless *dim*
+    says otherwise).  The worst case places the original point exactly r
+    from the low edge of its cell on every axis.
+
+    Attributes
+    ----------
+    r: guaranteed tolerance.
+    r_max: farthest accepted distance from the original point (5r in 2-D).
+    cell_volume: volume of the Robust cell ((6r)^dim in 2-D terms).
+    centered_volume: volume of the same-size centered-tolerance box.
+    overlap_volume: worst-case overlap between the two.
+    false_accept_volume: accepted-but-outside-centered volume.
+    false_reject_volume: inside-centered-but-rejected volume.
+    overlap_fraction: overlap / cell volume — (2/3)^dim at worst case.
+    """
+
+    r: RealLike
+    dim: int
+    r_max: RealLike
+    cell_volume: RealLike
+    centered_volume: RealLike
+    overlap_volume: RealLike
+    false_accept_volume: RealLike
+    false_reject_volume: RealLike
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Worst-case fraction of the Robust cell that matches expectations."""
+        return float(self.overlap_volume) / float(self.cell_volume)
+
+
+def worst_case_geometry(r: RealLike, dim: int = 2) -> WorstCaseGeometry:
+    """Compute the Figure-1 worst case for tolerance *r* in *dim* dimensions.
+
+    The Robust cell has side ``2(dim+1)r``; the equally sized centered box
+    around the original point overlaps it on ``[x − r, x + (2(dim+1) − 3)r +
+    2r)``... concretely in 2-D: cell ``[x − r, x + 5r)`` vs centered
+    ``[x − 3r, x + 3r)``, overlapping on ``[x − r, x + 3r)`` per axis.
+
+    >>> geometry = worst_case_geometry(1, dim=2)
+    >>> geometry.cell_volume, geometry.overlap_volume
+    (36, 16)
+    """
+    from fractions import Fraction
+
+    validate_positive(r, "r")
+    if dim < 1:
+        raise DimensionMismatchError(f"dim must be >= 1, got {dim}")
+    side = 2 * (dim + 1) * r
+    half = side * Fraction(1, 2)  # exact for int/Fraction, float for float
+    origin = Point((0,) * dim)
+    # Worst case: the point sits r above the low edge on every axis.
+    cell = Box(
+        Point((-r,) * dim),
+        Point((side - r,) * dim),
+    )
+    centered = centered_box(origin, half)
+    overlap = cell.overlap_volume(centered)
+
+    def norm(value: RealLike) -> RealLike:
+        # Reduce integral Fractions to plain ints for readable reporting.
+        if isinstance(value, float):
+            return value
+        from repro.geometry.numbers import as_exact
+
+        return as_exact(value)
+
+    return WorstCaseGeometry(
+        r=norm(r),
+        dim=dim,
+        r_max=norm(side - r),
+        cell_volume=norm(cell.volume()),
+        centered_volume=norm(centered.volume()),
+        overlap_volume=norm(overlap),
+        false_accept_volume=norm(cell.volume() - overlap),
+        false_reject_volume=norm(centered.volume() - overlap),
+    )

@@ -1,0 +1,22 @@
+"""Crypto substrate: canonical encoding, salted iterated hashing, records.
+
+Implements the storage side of the paper: grid identifiers in the clear,
+one salted (optionally iterated) hash over the concatenated offsets and
+segment indices of all click-points.
+"""
+
+from repro.crypto.encoding import Encodable, encode_scalar, encode_scalars
+from repro.crypto.hashing import DEFAULT_ALGORITHM, Hasher, added_security_bits
+from repro.crypto.records import VerificationRecord, combine_material, make_record
+
+__all__ = [
+    "DEFAULT_ALGORITHM",
+    "Encodable",
+    "Hasher",
+    "VerificationRecord",
+    "added_security_bits",
+    "combine_material",
+    "encode_scalar",
+    "encode_scalars",
+    "make_record",
+]

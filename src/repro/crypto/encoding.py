@@ -1,0 +1,90 @@
+"""Canonical, injective byte encoding of discretized password material.
+
+Before hashing, a discretized password — a sequence of per-point clear
+*offsets* and secret *segment indices* (paper §3.1–3.2) — must be turned
+into bytes.  The encoding must be **canonical** (equal values always produce
+equal bytes, so a correct re-entry reproduces the stored hash) and
+**injective** (distinct values never collide at the encoding layer, so the
+only collisions are those of the hash function itself).
+
+We achieve injectivity with a tagged, length-prefixed format:
+
+* every scalar is rendered to a canonical text form and tagged with its
+  type (``i`` int, ``f`` float, ``q`` rational, ``s`` string),
+* every item is length-prefixed, so concatenations cannot be re-split
+  ambiguously (``("ab", "c")`` ≠ ``("a", "bc")``),
+* the sequence itself is prefixed with its length.
+
+Numeric canonicalization: ints and integral Fractions encode identically
+(``2 == Fraction(2, 1)``), and floats that are exactly integral encode as
+ints — so ``Fraction(19, 2)`` and ``9.5`` encode identically too.  This
+mirrors the mathematics: the discretization formulas do not care which
+Python type carried the value.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["Encodable", "encode_scalar", "encode_scalars"]
+
+#: Scalar types accepted by the encoder.
+Encodable = Union[int, float, Fraction, str]
+
+
+def _canonical_number(value: Union[int, float, Fraction]) -> tuple[str, str]:
+    """Return ``(tag, text)`` for a number in canonical form.
+
+    All exactly-rational values are reduced to lowest terms; integral values
+    (of any carrier type) become plain ints.
+    """
+    if isinstance(value, float):
+        if not value == value or value in (float("inf"), float("-inf")):
+            raise ParameterError(f"cannot encode non-finite float {value!r}")
+        frac = Fraction(value)
+    elif isinstance(value, Fraction):
+        frac = value
+    else:
+        frac = Fraction(value)
+    if frac.denominator == 1:
+        return "i", str(frac.numerator)
+    return "q", f"{frac.numerator}/{frac.denominator}"
+
+
+def encode_scalar(value: Encodable) -> bytes:
+    """Encode one scalar as tagged, length-prefixed bytes.
+
+    >>> encode_scalar(7)
+    b'i:1:7'
+    >>> encode_scalar(Fraction(19, 2))
+    b'q:4:19/2'
+    """
+    if isinstance(value, bool):
+        raise ParameterError("booleans are not valid password material")
+    if isinstance(value, str):
+        tag, text = "s", value
+    elif isinstance(value, (int, float, Fraction)):
+        tag, text = _canonical_number(value)
+    else:
+        raise ParameterError(
+            f"cannot encode value of type {type(value).__name__}: {value!r}"
+        )
+    payload = text.encode("utf-8")
+    return f"{tag}:{len(payload)}:".encode("ascii") + payload
+
+
+def encode_scalars(values: Iterable[Encodable]) -> bytes:
+    """Encode a sequence of scalars injectively.
+
+    The result is the count header followed by each scalar's encoding:
+    distinct sequences always yield distinct byte strings.
+
+    >>> encode_scalars([1, 2]) != encode_scalars([12])
+    True
+    """
+    parts = [encode_scalar(v) for v in values]
+    header = f"n:{len(parts)};".encode("ascii")
+    return header + b"".join(parts)

@@ -1,0 +1,121 @@
+"""Password verification records: clear public data plus a hash.
+
+Both discretization schemes store the same *shape* of record (paper §2.2 and
+§3.1):
+
+* **public** material kept in the clear — grid identifiers (Robust: which of
+  the 3 grids per click-point; Centered: the per-axis offsets ``d``), plus
+  the salt and hashing parameters;
+* one **digest** over the concatenation of the public material and the
+  secret segment/cell indices of every click-point.
+
+A record deliberately never stores the indices themselves; the only way to
+check a login is to discretize the attempted click-points under the stored
+public parameters and compare hashes — exactly the verification flow of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.crypto.encoding import Encodable
+from repro.crypto.hashing import Hasher
+from repro.errors import VerificationError
+
+__all__ = ["VerificationRecord", "make_record", "combine_material"]
+
+
+def combine_material(
+    public: Sequence[Encodable], secret: Sequence[Encodable]
+) -> Tuple[Encodable, ...]:
+    """Concatenate public and secret scalars in the canonical hash order.
+
+    The paper hashes ``h(d₁ˣ, d₁ʸ, i₁ˣ, i₁ʸ, …, d₅ˣ, d₅ʸ, i₅ˣ, i₅ʸ)`` — the
+    clear offsets are bound *inside* the hash so a record's digest commits to
+    them.  We keep the simpler (public…, secret…) order; what matters is
+    that it is fixed, injective (the encoder length-prefixes everything) and
+    covers both halves.
+    """
+    return tuple(public) + tuple(secret)
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationRecord:
+    """The stored form of one graphical password.
+
+    Attributes
+    ----------
+    public:
+        Clear-text scalars (grid identifiers / offsets), in a scheme-defined
+        order.  Visible to any attacker who obtains the password file.
+    digest:
+        Hex digest over :func:`combine_material` of the public scalars and
+        the secret index scalars.
+    hasher:
+        The hashing configuration (algorithm, iterations, salt) — also
+        clear-text, as in any password file.
+    """
+
+    public: Tuple[Encodable, ...]
+    digest: str
+    hasher: Hasher
+
+    def matches(self, secret: Iterable[Encodable]) -> bool:
+        """Whether *secret* index material reproduces the stored digest."""
+        material = combine_material(self.public, tuple(secret))
+        return self.hasher.verify_scalars(material, self.digest)
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation."""
+        from fractions import Fraction
+
+        def scalar_json(value: Encodable):
+            if isinstance(value, Fraction):
+                return {"q": [value.numerator, value.denominator]}
+            return value
+
+        return {
+            "public": [scalar_json(v) for v in self.public],
+            "digest": self.digest,
+            "hasher": self.hasher.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "VerificationRecord":
+        """Inverse of :meth:`to_json`."""
+        from fractions import Fraction
+
+        def scalar_from_json(value):
+            if isinstance(value, dict) and "q" in value:
+                num, den = value["q"]
+                return Fraction(int(num), int(den))
+            return value
+
+        try:
+            public = tuple(scalar_from_json(v) for v in data["public"])
+            return cls(
+                public=public,
+                digest=str(data["digest"]),
+                hasher=Hasher.from_json(data["hasher"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise VerificationError(f"malformed record JSON: {exc}") from exc
+
+
+def make_record(
+    public: Sequence[Encodable],
+    secret: Sequence[Encodable],
+    hasher: Hasher | None = None,
+) -> VerificationRecord:
+    """Create a :class:`VerificationRecord` from enrollment material.
+
+    >>> record = make_record([7.5], [0])
+    >>> record.matches([0]), record.matches([1])
+    (True, False)
+    """
+    hasher = hasher if hasher is not None else Hasher()
+    material = combine_material(public, secret)
+    digest = hasher.hash_scalars(material)
+    return VerificationRecord(tuple(public), digest, hasher)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch any library failure with a single ``except`` clause while
+still being able to distinguish the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is invalid (e.g. non-positive tolerance).
+
+    Raised eagerly at construction time so that misconfiguration surfaces at
+    the call site rather than deep inside a computation.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two geometric objects with incompatible dimensionality were combined."""
+
+
+class DomainError(ReproError, ValueError):
+    """A point lies outside the domain it is required to be in.
+
+    For example, a click-point outside the image it belongs to.
+    """
+
+
+class EnrollmentError(ReproError, ValueError):
+    """A password could not be enrolled (e.g. no r-safe grid available)."""
+
+
+class VerificationError(ReproError, ValueError):
+    """A login attempt could not be checked against a stored record.
+
+    This signals *structural* problems (wrong number of click-points, wrong
+    record format) rather than a mere mismatch: a mismatching but well-formed
+    attempt verifies to ``False``, it does not raise.
+    """
+
+
+class StoreError(ReproError, KeyError):
+    """A password store operation failed (unknown user, duplicate user...)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A study dataset is malformed or violates its declared invariants."""
+
+
+class AttackError(ReproError, ValueError):
+    """An attack was configured inconsistently with its target."""
+
+
+class LockoutError(ReproError, RuntimeError):
+    """An online login was refused because the account is locked out."""

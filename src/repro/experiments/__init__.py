@@ -1,0 +1,29 @@
+"""Experiment drivers: every table and figure of the paper, runnable.
+
+Each driver returns an :class:`~repro.experiments.common.ExperimentResult`
+with the reproduced rows/series and paper-vs-measured comparisons; the
+benchmarks under ``benchmarks/`` and the CLI call these.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    clear_caches,
+    default_dataset,
+    default_dictionary,
+)
+from repro.experiments.export import result_to_json, write_reports, write_result
+from repro.experiments.runner import EXPERIMENTS, render_all, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "clear_caches",
+    "default_dataset",
+    "default_dictionary",
+    "render_all",
+    "result_to_json",
+    "run_all",
+    "run_experiment",
+    "write_reports",
+    "write_result",
+]

@@ -1,0 +1,95 @@
+"""Export experiment results to machine-readable artifacts.
+
+The benchmarks archive human-readable reports; this module produces the
+machine-readable counterparts so downstream analyses (plotting, regression
+tracking across library versions) don't have to parse text tables:
+
+* per-experiment JSON (rows, comparisons, notes, metadata),
+* per-experiment CSV of the data rows,
+* a combined ``summary.json`` of every paper-vs-measured comparison, the
+  artifact a CI job would diff release-over-release.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from repro._version import __version__
+from repro.errors import ParameterError
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["result_to_json", "write_result", "write_reports"]
+
+
+def result_to_json(result: ExperimentResult) -> dict:
+    """JSON-serializable form of an :class:`ExperimentResult`."""
+
+    def cell(value):
+        from fractions import Fraction
+
+        if isinstance(value, Fraction):
+            return float(value)
+        return value
+
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[cell(v) for v in row] for row in result.rows],
+        "comparisons": [dict(c) for c in result.comparisons],
+        "notes": result.notes,
+        "library_version": __version__,
+    }
+
+
+def write_result(result: ExperimentResult, directory: str) -> Dict[str, str]:
+    """Write one experiment's JSON and CSV files; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    json_path = os.path.join(directory, f"{result.experiment_id}.json")
+    csv_path = os.path.join(directory, f"{result.experiment_id}.csv")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_json(result), handle, indent=1)
+    with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow([str(v) for v in row])
+    return {"json": json_path, "csv": csv_path}
+
+
+def write_reports(
+    results: Iterable[ExperimentResult],
+    directory: str,
+    summary_name: str = "summary.json",
+) -> str:
+    """Write every result plus the combined comparison summary.
+
+    Returns the summary path.  The summary flattens every
+    paper-vs-measured comparison into one list — the regression artifact.
+    """
+    results = list(results)
+    if not results:
+        raise ParameterError("no results to write")
+    os.makedirs(directory, exist_ok=True)
+    comparisons = []
+    for result in results:
+        write_result(result, directory)
+        for comparison in result.comparisons:
+            entry = dict(comparison)
+            entry["experiment_id"] = result.experiment_id
+            comparisons.append(entry)
+    summary_path = os.path.join(directory, summary_name)
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "library_version": __version__,
+                "experiments": [r.experiment_id for r in results],
+                "comparisons": comparisons,
+            },
+            handle,
+            indent=1,
+        )
+    return summary_path

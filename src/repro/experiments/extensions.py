@@ -1,0 +1,373 @@
+"""Extension experiments: analytic cross-checks and §3.2's 3-D system.
+
+Beyond the paper's own artifacts:
+
+* :func:`analytic_acceptance` — the semi-analytic acceptance probabilities
+  of :mod:`repro.analysis.acceptance` against Monte-Carlo measurements on
+  freshly simulated logins, validating the whole measurement pipeline
+  (agreement within Monte-Carlo noise);
+* :func:`space3d` — the 3-D room system the paper sketches in §3.2:
+  password-space accounting (Centered's advantage is 6 bits/click in 3-D)
+  and a working enroll/verify round-trip at scale;
+* :func:`attack_economics` — the §5.1 work-factor arguments as wall-clock
+  cracking budgets for a GPU-class attacker, with and without identifiers
+  and with iterated hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.acceptance import scheme_accept_probability
+from repro.attacks.economics import offline_cracking_cost
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.crypto.hashing import Hasher
+from repro.experiments.common import ExperimentResult, default_dictionary
+from repro.geometry.point import Point
+from repro.passwords.space3d import ClickSpace3D, Space3DSystem, space3d_password_bits
+
+__all__ = [
+    "analytic_acceptance",
+    "space3d",
+    "attack_economics",
+    "divide_and_conquer",
+    "usability_profile",
+]
+
+
+def analytic_acceptance(
+    sigma: float = 3.0,
+    r: int = 4,
+    trials: int = 4000,
+    seed: int = 314,
+) -> ExperimentResult:
+    """Analytic vs Monte-Carlo acceptance at one (σ, r) configuration.
+
+    The Monte-Carlo side enrolls uniform-random points on a 451×331 image
+    and replays them with pure Gaussian error (no tails, matching the
+    analytic model's assumption), 5 clicks per attempt.
+    """
+    rng = np.random.default_rng(seed)
+    schemes = (
+        CenteredDiscretization.for_pixel_tolerance(2, r),
+        RobustDiscretization(2, r),
+        StaticGridScheme(2, 2 * r + 1),
+    )
+    rows = []
+    comparisons = []
+    for scheme in schemes:
+        analytic = scheme_accept_probability(scheme, sigma, clicks=5)
+        hits = 0
+        for _ in range(trials):
+            accepted = True
+            for _ in range(5):
+                x = float(rng.uniform(30, 420))
+                y = float(rng.uniform(30, 300))
+                enrollment = scheme.enroll(Point.xy(x, y))
+                candidate = Point.xy(
+                    x + float(rng.normal(0, sigma)),
+                    y + float(rng.normal(0, sigma)),
+                )
+                if not scheme.accepts(enrollment, candidate):
+                    accepted = False
+                    break
+            if accepted:
+                hits += 1
+        simulated = hits / trials
+        rows.append(
+            (
+                scheme.name,
+                float(scheme.cell_size),
+                f"{analytic:.4f}",
+                f"{simulated:.4f}",
+                f"{abs(analytic - simulated):.4f}",
+            )
+        )
+        comparisons.append(
+            {
+                "label": f"{scheme.name}: |analytic - simulated|",
+                "paper": None,
+                "measured": round(abs(analytic - simulated), 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="extension_analytic_acceptance",
+        title=(
+            f"Extension: analytic vs Monte-Carlo acceptance "
+            f"(sigma={sigma}, r={r}, 5 clicks, {trials} trials)"
+        ),
+        headers=(
+            "scheme",
+            "cell size",
+            "analytic P(accept)",
+            "simulated P(accept)",
+            "|delta|",
+        ),
+        rows=tuple(rows),
+        comparisons=tuple(comparisons),
+        notes=(
+            "Two independent code paths (closed-form/quadrature vs the "
+            "actual scheme implementations on sampled clicks) must agree "
+            "within Monte-Carlo noise; this is a pipeline-integrity check."
+        ),
+    )
+
+
+def space3d(
+    room: Sequence[int] = (400, 300, 250),
+    r_values: Sequence[int] = (4, 6, 9),
+    seed: int = 2718,
+) -> ExperimentResult:
+    """§3.2's 3-D extension: password space and a working system.
+
+    Compares Centered (2r cells) against Robust (8r cells — four grids in
+    3-D) on a virtual room, and against the predefined-objects approach the
+    existing 3-D schemes use (the paper's motivation for discretizing the
+    whole space).
+    """
+    import math
+
+    width, height, depth = room
+    space = ClickSpace3D(
+        name="room",
+        width=width,
+        height=height,
+        depth=depth,
+        objects=(
+            (100.0, 80.0, 60.0, 6.0, 3.0),
+            (300.0, 200.0, 120.0, 8.0, 2.0),
+            (200.0, 150.0, 200.0, 5.0, 1.0),
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    rows = []
+    for r in r_values:
+        centered_scheme = CenteredDiscretization.for_pixel_tolerance(3, r)
+        robust_scheme = RobustDiscretization(3, r)
+        centered_system = Space3DSystem(space=space, scheme=centered_scheme)
+        # Round-trip sanity at this r: enroll/verify simulated clicks.
+        points = [space.sample_click(rng) for _ in range(5)]
+        stored = centered_system.enroll(points)
+        ok = centered_system.verify(stored, points)
+        rows.append(
+            (
+                r,
+                round(space3d_password_bits(space, float(centered_scheme.cell_size)), 1),
+                round(space3d_password_bits(space, float(robust_scheme.cell_size)), 1),
+                round(3 * math.log2(4), 1),
+                "ok" if ok else "FAIL",
+            )
+        )
+    predefined_bits = 5 * math.log2(len(space.objects))
+    comparisons = (
+        {
+            "label": "predefined-objects space (3 objects, 5 clicks) bits",
+            "paper": None,
+            "measured": round(predefined_bits, 1),
+        },
+        {
+            "label": "centered advantage per click in 3-D (dim*log2(dim+1))",
+            "paper": 6.0,
+            "measured": round(3 * __import__("math").log2(4), 1),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="extension_space3d",
+        title=(
+            f"Extension (§3.2): 3-D room {width}x{height}x{depth}, "
+            "5-click passwords"
+        ),
+        headers=(
+            "r (px)",
+            "centered bits",
+            "robust bits",
+            "advantage/click",
+            "enroll/verify",
+        ),
+        rows=tuple(rows),
+        comparisons=comparisons,
+        notes=(
+            "Discretizing the whole room dwarfs the predefined-object "
+            "password space, and Centered's edge over Robust doubles from "
+            "2-D (~3.17 bits/click) to 3-D (6 bits/click): Robust needs "
+            "four grids of 8r cells."
+        ),
+    )
+
+
+def divide_and_conquer(
+    r: int = 9, image_name: str = "cars", targets: int = 60
+) -> ExperimentResult:
+    """§3.1's rationale for one combined hash, demonstrated.
+
+    Enrolls field passwords under the INSECURE per-point-hash layout and
+    attacks them with the divide-and-conquer strategy — actually hashing,
+    no closed form — then compares trial counts against what the combined
+    hash forces.
+    """
+    from repro.attacks.divide_conquer import (
+        attack_cost_comparison,
+        divide_and_conquer_attack,
+        enroll_per_point,
+    )
+    from repro.experiments.common import default_dataset
+
+    dataset = default_dataset()
+    dictionary = default_dictionary(image_name)
+    passwords = dataset.passwords_on(image_name)[:targets]
+    scheme = CenteredDiscretization.for_pixel_tolerance(2, r)
+
+    cracked = 0
+    trials = 0
+    for password in passwords:
+        stored = enroll_per_point(scheme, password.points)
+        result = divide_and_conquer_attack(
+            scheme, stored, dictionary.seed_points
+        )
+        trials += result.hash_trials
+        if result.cracked:
+            cracked += 1
+    costs = attack_cost_comparison(len(dictionary.seed_points), 5)
+    rows = (
+        ("passwords attacked", targets),
+        ("cracked via per-point hashes", cracked),
+        ("hash trials per password (per-point)", costs["per_point_trials"]),
+        ("hash trials per password (combined)", f"{costs['combined_trials']:.3g}"),
+        ("divide-and-conquer speedup", f"{costs['speedup']:.3g}"),
+        ("speedup in bits", round(costs["speedup_bits"], 1)),
+    )
+    comparisons = (
+        {
+            "label": "speedup bits the combined hash denies the attacker",
+            "paper": None,
+            "measured": round(costs["speedup_bits"], 1),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="extension_divide_conquer",
+        title=(
+            "Extension (§3.1): divide-and-conquer against per-point hashes "
+            f"(centered r={r}, {image_name})"
+        ),
+        headers=("quantity", "value"),
+        rows=rows,
+        comparisons=comparisons,
+        notes=(
+            "Hashing each click-point separately lets an attacker match "
+            "positions independently (k·n real hash trials here) instead of "
+            "enumerating k-tuples (n^k); the paper's single concatenated "
+            "hash is what makes the 2^36 dictionary cost real."
+        ),
+    )
+
+
+def usability_profile(image_name: str | None = None) -> ExperimentResult:
+    """§4 companion: success rates and click-accuracy profile.
+
+    The descriptive statistics behind the paper's usability discussion:
+    per-scheme login success with Wilson intervals, first-attempt success,
+    and the click-error distribution that drives Tables 1–2.
+    """
+    from repro.analysis.usability import (
+        click_accuracy,
+        first_attempt_success,
+        login_success,
+    )
+    from repro.experiments.common import default_dataset
+
+    dataset = default_dataset()
+    rows = []
+    for scheme in (
+        CenteredDiscretization.for_pixel_tolerance(2, 9),
+        RobustDiscretization(2, 9),
+        StaticGridScheme(2, 19),
+    ):
+        overall = login_success(scheme, dataset, image_name=image_name)
+        first = first_attempt_success(scheme, dataset, image_name=image_name)
+        low, high = overall.interval
+        rows.append(
+            (
+                scheme.name,
+                round(100 * overall.rate, 1),
+                f"[{100 * low:.1f}, {100 * high:.1f}]",
+                round(100 * first.rate, 1),
+            )
+        )
+    accuracy = click_accuracy(dataset, image_name=image_name)
+    comparisons = (
+        {
+            "label": "fraction of clicks within 4 px (paper: 'very accurate')",
+            "paper": None,
+            "measured": round(accuracy.fraction_within(4), 3),
+        },
+        {
+            "label": "median click error (px, Chebyshev)",
+            "paper": None,
+            "measured": accuracy.percentiles[0][1],
+        },
+    )
+    return ExperimentResult(
+        experiment_id="extension_usability",
+        title=(
+            "Extension (§4): success rates and click accuracy "
+            + (f"({image_name})" if image_name else "(both images)")
+        ),
+        headers=("scheme", "success %", "95% CI", "first-attempt %"),
+        rows=tuple(rows),
+        comparisons=comparisons,
+        notes=(
+            "Robust's higher raw success at equal r is not a usability win "
+            "— the surplus accepts are exactly Table 2's false accepts "
+            "(clicks the user should expect rejected). The static grid's "
+            "collapse shows why discretization schemes exist."
+        ),
+    )
+
+
+def attack_economics(
+    r: int = 9, image_name: str = "cars", hash_rate: float = 1e9
+) -> ExperimentResult:
+    """§5.1 work factors as wall-clock budgets for a 1 GH/s attacker."""
+    dictionary = default_dictionary(image_name)
+    rows = []
+    for label, scheme, identifiers_known, iterations in (
+        ("robust, ids known", RobustDiscretization(2, r), True, 1),
+        ("centered, ids known", CenteredDiscretization.for_pixel_tolerance(2, r), True, 1),
+        ("robust, ids hidden", RobustDiscretization(2, r), False, 1),
+        ("centered, ids hidden", CenteredDiscretization.for_pixel_tolerance(2, r), False, 1),
+        ("centered, ids known, h^1000", CenteredDiscretization.for_pixel_tolerance(2, r), True, 1000),
+    ):
+        estimate = offline_cracking_cost(
+            scheme,
+            dictionary,
+            Hasher(iterations=iterations),
+            identifiers_known=identifiers_known,
+            hash_rate=hash_rate,
+        )
+        rows.append(
+            (
+                label,
+                f"{estimate.hashes_per_password:.3g}",
+                f"{estimate.hours_per_password:.3g}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="extension_attack_economics",
+        title=(
+            f"Extension (§5.1): offline cracking budgets, 2^36 dictionary, "
+            f"r={r}, {hash_rate:.0e} hashes/s"
+        ),
+        headers=("configuration", "hashes per password", "hours per password"),
+        rows=tuple(rows),
+        comparisons=(),
+        notes=(
+            "Known identifiers make both schemes cheap to enumerate; hiding "
+            "them multiplies Robust's cost by only 3^5 but Centered's by "
+            "(2r)^10, and iterated hashing multiplies everything — the "
+            "paper's layered-hardening story in wall-clock terms."
+        ),
+    )

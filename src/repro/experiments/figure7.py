@@ -1,0 +1,102 @@
+"""Experiment: Figure 7 — offline dictionary attack at equal grid sizes.
+
+Paper, Figure 7: "Offline dictionary attack with known grid identifiers for
+Robust and Centered Discretization with a 36-bit dictionary and equal
+grid-square sizes assumed."  With equal squares, roughly the same guesses
+land inside the acceptance cells of both schemes, so the curves track each
+other — the figure's point is precisely this similarity (the schemes only
+separate under the equal-r framing of Figure 8).
+
+Workload: the simulated field-study passwords per image, attacked with the
+lab-seeded ≈2^36-entry dictionary (30 passwords × 5 clicks per image),
+evaluated in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.attacks.offline import offline_attack_known_identifiers
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.experiments.common import (
+    ExperimentResult,
+    default_dataset,
+    default_dictionary,
+)
+from repro.study.dataset import StudyDataset
+
+__all__ = ["run"]
+
+#: Grid sizes swept (superset of Table 1's; all have both-scheme variants).
+PAPER_SIZES: Tuple[int, ...] = (9, 13, 19, 24, 36, 54)
+
+
+def run(
+    dataset: Optional[StudyDataset] = None,
+    grid_sizes: Sequence[int] = PAPER_SIZES,
+    images: Sequence[str] = ("cars", "pool"),
+) -> ExperimentResult:
+    """Reproduce the Figure 7 series: % cracked vs grid size, equal sizes."""
+    data = dataset if dataset is not None else default_dataset()
+    rows = []
+    comparisons = []
+    max_gap = 0.0
+    for image_name in images:
+        passwords = data.passwords_on(image_name)
+        dictionary = default_dictionary(image_name)
+        for size in grid_sizes:
+            centered = offline_attack_known_identifiers(
+                CenteredDiscretization.for_grid_size(2, size),
+                passwords,
+                dictionary,
+                count_entries=False,
+            )
+            robust = offline_attack_known_identifiers(
+                RobustDiscretization.for_grid_size(2, size),
+                passwords,
+                dictionary,
+                count_entries=False,
+            )
+            centered_pct = round(100 * centered.cracked_fraction, 1)
+            robust_pct = round(100 * robust.cracked_fraction, 1)
+            max_gap = max(max_gap, abs(centered_pct - robust_pct))
+            rows.append(
+                (
+                    image_name,
+                    f"{size}x{size}",
+                    centered_pct,
+                    robust_pct,
+                    round(dictionary.bits, 1),
+                )
+            )
+    comparisons.append(
+        {
+            "label": "max |centered - robust| gap (pct pts; paper: 'similar')",
+            "paper": None,
+            "measured": max_gap,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="figure7",
+        title=(
+            "Figure 7: offline dictionary attack, known grid identifiers, "
+            "equal grid-square sizes (% of passwords cracked)"
+        ),
+        headers=(
+            "image",
+            "grid size",
+            "centered cracked %",
+            "robust cracked %",
+            "dictionary bits",
+        ),
+        rows=tuple(rows),
+        comparisons=tuple(comparisons),
+        notes=(
+            "Shape target: the two schemes perform similarly at every size "
+            "(same-size squares accept roughly the same guesses) and crack "
+            "rates increase with square size. The paper's figure is a bar "
+            "chart without printed values; the claim it makes is the "
+            "similarity, which the gap row quantifies."
+        ),
+    )

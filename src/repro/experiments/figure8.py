@@ -1,0 +1,97 @@
+"""Experiment: Figure 8 — offline dictionary attack at equal r.
+
+Paper, Figure 8: "Offline dictionary attack with known grid identifiers for
+Robust and Centered Discretization with a 36-bit dictionary and equal
+r-values assumed."  At equal guaranteed tolerance, Robust's squares are 3×
+wider per axis (6r vs 2r), so far more dictionary entries land inside —
+the paper quotes: with r = 6, 14.8 % of Cars passwords cracked under
+Centered vs 45.1 % under Robust; with r = 9, Robust reaches 79 % while
+Centered stays at 26 %.
+
+This is the paper's headline security result (also the abstract's 79 %-vs-
+26 % claim), and the experiment this module reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.attacks.offline import offline_attack_known_identifiers
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.experiments.common import (
+    ExperimentResult,
+    default_dataset,
+    default_dictionary,
+)
+from repro.experiments.paper_values import FIGURE8_QUOTES
+from repro.study.dataset import StudyDataset
+
+__all__ = ["run"]
+
+#: Tolerance values swept (Table 2's set).
+PAPER_R_VALUES: Tuple[int, ...] = (4, 6, 9)
+
+
+def run(
+    dataset: Optional[StudyDataset] = None,
+    r_values: Sequence[int] = PAPER_R_VALUES,
+    images: Sequence[str] = ("cars", "pool"),
+) -> ExperimentResult:
+    """Reproduce the Figure 8 series: % cracked vs r, equal r.
+
+    Centered uses (2r+1)-px cells (pixel convention), Robust 6r-px cells —
+    the same pairing as Table 2.
+    """
+    data = dataset if dataset is not None else default_dataset()
+    rows = []
+    comparisons = []
+    for image_name in images:
+        passwords = data.passwords_on(image_name)
+        dictionary = default_dictionary(image_name)
+        for r in r_values:
+            centered = offline_attack_known_identifiers(
+                CenteredDiscretization.for_pixel_tolerance(2, r),
+                passwords,
+                dictionary,
+                count_entries=False,
+            )
+            robust = offline_attack_known_identifiers(
+                RobustDiscretization(2, r),
+                passwords,
+                dictionary,
+                count_entries=False,
+            )
+            centered_pct = round(100 * centered.cracked_fraction, 1)
+            robust_pct = round(100 * robust.cracked_fraction, 1)
+            rows.append((image_name, r, centered_pct, robust_pct))
+            for scheme_name, measured in (
+                ("centered", centered_pct),
+                ("robust", robust_pct),
+            ):
+                key = (image_name, r, scheme_name)
+                if key in FIGURE8_QUOTES:
+                    comparisons.append(
+                        {
+                            "label": f"{image_name} r={r} {scheme_name} cracked %",
+                            "paper": FIGURE8_QUOTES[key],
+                            "measured": measured,
+                        }
+                    )
+    return ExperimentResult(
+        experiment_id="figure8",
+        title=(
+            "Figure 8: offline dictionary attack, known grid identifiers, "
+            "equal r (% of passwords cracked)"
+        ),
+        headers=("image", "r (px)", "centered cracked %", "robust cracked %"),
+        rows=tuple(rows),
+        comparisons=tuple(comparisons),
+        notes=(
+            "Shape targets: Robust ≫ Centered at every r; the gap grows "
+            "with r; Robust reaches the high-double-digit regime at r=9 on "
+            "the concentrated (cars) image while Centered stays far lower "
+            "(paper: 79% vs 26%). Paper values are from the human dataset; "
+            "ours from the calibrated simulation."
+        ),
+    )

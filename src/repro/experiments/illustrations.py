@@ -1,0 +1,162 @@
+"""Experiments: the paper's illustrative figures, quantified.
+
+Figures 1–6 of the paper are diagrams, not data plots; this module
+reproduces their *content* as numbers and text art:
+
+* Figure 1 — worst-case offset between a Robust cell and the same-size
+  centered-tolerance square: overlap, false-accept and false-reject areas.
+* Figure 2 — 1-D Centered Discretization walkthrough, including the
+  paper's §3.1 worked example (x = 13, r = 5.5).
+* Figures 3–4 — the Cars/Pool stand-ins rendered as ASCII salience maps.
+* Figures 5–6 — the two comparison framings (equal size vs equal r) as
+  side-by-side square geometries.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from repro.core.centered import discretize_1d, locate_1d
+from repro.core.tolerance import worst_case_geometry
+from repro.experiments.common import ExperimentResult
+from repro.geometry.numbers import RealLike
+from repro.study.image import cars_image, pool_image
+
+__all__ = ["figure1", "figure2", "figures_3_4", "figures_5_6"]
+
+
+def figure1(r: RealLike = 9) -> ExperimentResult:
+    """Quantify the Figure-1 worst case for tolerance *r* (2-D)."""
+    geometry = worst_case_geometry(r, dim=2)
+    rows = (
+        ("guaranteed tolerance r", float(geometry.r)),
+        ("worst-case accepted distance r_max", float(geometry.r_max)),
+        ("robust cell area (6r)^2", float(geometry.cell_volume)),
+        ("same-size centered square area", float(geometry.centered_volume)),
+        ("worst-case overlap area", float(geometry.overlap_volume)),
+        ("false-accept area", float(geometry.false_accept_volume)),
+        ("false-reject area", float(geometry.false_reject_volume)),
+        ("overlap fraction (worst case)", round(geometry.overlap_fraction, 4)),
+    )
+    comparisons = (
+        {
+            "label": "r_max / r (paper: 5r worst case)",
+            "paper": 5.0,
+            "measured": float(geometry.r_max) / float(geometry.r),
+        },
+        {
+            "label": "worst-case overlap fraction ((2/3)^2)",
+            "paper": round((2 / 3) ** 2, 4),
+            "measured": round(geometry.overlap_fraction, 4),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="figure1",
+        title=f"Figure 1: worst-case Robust cell vs centered tolerance (r={r})",
+        headers=("quantity", "value"),
+        rows=rows,
+        comparisons=comparisons,
+        notes=(
+            "A user clicking r+1 px in the bad direction is rejected while "
+            "clicks up to 5r px in the good direction are accepted."
+        ),
+    )
+
+
+def figure2(
+    x: RealLike = 13, r: RealLike = Fraction(11, 2), probes: Tuple[RealLike, ...] = (10, 7, 19)
+) -> ExperimentResult:
+    """The paper's §3.1 worked example as a checkable table.
+
+    Defaults reproduce x = 13, r = 5.5 → i = 0, d = 7.5, with probe logins
+    x′ = 10 (accepted), 7 (rejected: 6 away ≥ r), 19 (rejected: 6 away).
+    """
+    index, offset = discretize_1d(x, r)
+    rows = [
+        ("original x", float(x)),
+        ("tolerance r", float(r)),
+        ("segment index i = floor((x-r)/2r)", index),
+        ("offset d = (x-r) mod 2r", float(offset)),
+        ("segment", f"[{float(x) - float(r)}, {float(x) + float(r)})"),
+    ]
+    for probe in probes:
+        located = locate_1d(probe, offset, r)
+        rows.append(
+            (
+                f"login x'={probe} -> segment {located}",
+                "accepted" if located == index else "rejected",
+            )
+        )
+    comparisons = (
+        {"label": "worked example i", "paper": 0, "measured": index},
+        {"label": "worked example d", "paper": 7.5, "measured": float(offset)},
+        {
+            "label": "x'=10 accepted (1=yes)",
+            "paper": 1,
+            "measured": int(locate_1d(10, offset, r) == index),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Figure 2 / §3.1: 1-D Centered Discretization walkthrough",
+        headers=("quantity", "value"),
+        rows=tuple(rows),
+        comparisons=comparisons,
+        notes="x is exactly centered: the segment is [x-r, x+r).",
+    )
+
+
+def figures_3_4(columns: int = 56) -> ExperimentResult:
+    """ASCII salience renderings of the Cars and Pool stand-ins."""
+    cars = cars_image()
+    pool = pool_image()
+    rows = (
+        ("cars", f"{cars.width}x{cars.height}", len(cars.hotspots), cars.background_rate),
+        ("pool", f"{pool.width}x{pool.height}", len(pool.hotspots), pool.background_rate),
+    )
+    art = (
+        f"--- cars ({cars.width}x{cars.height}) ---\n"
+        + cars.render_ascii(columns)
+        + f"\n--- pool ({pool.width}x{pool.height}) ---\n"
+        + pool.render_ascii(columns)
+    )
+    return ExperimentResult(
+        experiment_id="figures_3_4",
+        title="Figures 3-4: synthetic stand-ins for the study images",
+        headers=("image", "size", "hotspots", "background rate"),
+        rows=rows,
+        comparisons=(),
+        notes="Salience heat-maps (denser glyph = more clickable):\n" + art,
+    )
+
+
+def figures_5_6(r: int = 6) -> ExperimentResult:
+    """The two comparison framings, as concrete square sizes."""
+    equal_size = 6 * r  # compare at robust's natural size
+    rows = (
+        (
+            "Figure 5 framing: equal grid-square size",
+            f"{equal_size}x{equal_size}",
+            f"{equal_size}x{equal_size}",
+            f"centered r = {equal_size / 2:g} px vs robust r = {equal_size / 6:g} px",
+        ),
+        (
+            "Figure 6 framing: equal guaranteed r",
+            f"{2 * r + 1}x{2 * r + 1}",
+            f"{6 * r}x{6 * r}",
+            f"both guarantee r = {r} px; robust cells 9x the area",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="figures_5_6",
+        title="Figures 5-6: the equal-size and equal-r comparison framings",
+        headers=("framing", "centered square", "robust square", "consequence"),
+        rows=rows,
+        comparisons=(),
+        notes=(
+            "Equal size (Fig 5): same security, worse usability for robust "
+            "(small guaranteed r). Equal r (Fig 6): same usability "
+            "guarantee, far smaller password space for robust."
+        ),
+    )

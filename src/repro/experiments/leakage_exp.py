@@ -1,0 +1,113 @@
+"""Experiment: §5.2 — information revealed by clear grid identifiers.
+
+Two measurements:
+
+* identifier storage/entropy per click-point — Robust stores one of 3 grids
+  (2 bits as stored), Centered stores (2r)² offsets (8 bits at r = 8), as
+  the paper states;
+* the visual-prioritization leak: with the identifier known, how early does
+  a salience-ranked scan of grid cells reach the user's true cell?  The
+  paper conjectures knowing Centered's exact cell-center pixel adds little
+  over knowing Robust's central region; the mean rank fractions here test
+  that conjecture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.leakage import cell_salience_ranking, identifier_bits
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.experiments.common import ExperimentResult, default_dataset
+from repro.experiments.paper_values import IN_TEXT
+from repro.study.dataset import StudyDataset
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: Optional[StudyDataset] = None,
+    r: int = 8,
+    image_name: str = "cars",
+    sample_passwords: int = 40,
+) -> ExperimentResult:
+    """Measure identifier bits and the prioritization leak.
+
+    ``r = 8`` matches the paper's §5.2 example (2r = 16 → 8 bits).  The
+    rank experiment enrolls the first click-point of ``sample_passwords``
+    field passwords under both schemes at equal r and salience-ranks cells.
+    """
+    data = dataset if dataset is not None else default_dataset()
+    centered = CenteredDiscretization(2, r)
+    robust = RobustDiscretization(2, r)
+    centered_bits = identifier_bits(centered)
+    robust_bits = identifier_bits(robust)
+
+    image = data.images[image_name]
+    passwords = data.passwords_on(image_name)[:sample_passwords]
+    centered_ranks = []
+    robust_ranks = []
+    for password in passwords:
+        point = password.points[0]
+        centered_ranks.append(
+            cell_salience_ranking(centered, image, point, center_window=1)
+        )
+        robust_ranks.append(
+            cell_salience_ranking(robust, image, point, center_window=r)
+        )
+    centered_mean = sum(l.rank_fraction for l in centered_ranks) / len(centered_ranks)
+    robust_mean = sum(l.rank_fraction for l in robust_ranks) / len(robust_ranks)
+
+    rows = (
+        (
+            "centered",
+            f"{2 * r}x{2 * r}",
+            round(centered_bits["entropy_bits"], 2),
+            centered_bits["storage_bits"],
+            round(centered_mean, 3),
+        ),
+        (
+            "robust",
+            f"{6 * r}x{6 * r}",
+            round(robust_bits["entropy_bits"], 2),
+            robust_bits["storage_bits"],
+            round(robust_mean, 3),
+        ),
+    )
+    comparisons = (
+        {
+            "label": f"centered identifier bits (r={r})",
+            "paper": IN_TEXT["centered_identifier_bits_r8"],
+            "measured": round(centered_bits["entropy_bits"], 2),
+        },
+        {
+            "label": "robust identifier storage bits",
+            "paper": IN_TEXT["robust_identifier_storage_bits"],
+            "measured": robust_bits["storage_bits"],
+        },
+        {
+            "label": "leak advantage: robust mean rank frac - centered",
+            "paper": None,
+            "measured": round(robust_mean - centered_mean, 3),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="leakage",
+        title=f"§5.2: grid-identifier information leakage (r={r}, {image_name})",
+        headers=(
+            "scheme",
+            "cell size",
+            "identifier entropy bits",
+            "storage bits",
+            "mean true-cell rank fraction",
+        ),
+        rows=rows,
+        comparisons=comparisons,
+        notes=(
+            "Rank fraction near 0 = the salience scan finds the true cell "
+            "immediately (strong leak); near 0.5 = no better than random. "
+            "The paper's conjecture is that the two schemes leak similarly; "
+            "a small advantage delta confirms it."
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Published values from the paper, for side-by-side comparison.
+
+Every number the paper's evaluation reports, transcribed from the text and
+tables.  Experiment drivers compare their measurements against these; the
+benchmarks print both columns.  Values measured on the authors' human
+dataset (Tables 1–2, Figures 7–8) are *targets for shape, not identity* —
+our substrate is a simulated population (see DESIGN.md §4).  Table 3 and
+the in-text arithmetic are exact and must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "FIGURE8_QUOTES",
+    "IN_TEXT",
+    "STUDY_SHAPE",
+]
+
+#: Table 1 — Robust Discretization false rates at equal grid-square size.
+#: grid size -> (robust r in px, false-accept %, false-reject %).
+TABLE1: Dict[int, Tuple[float, float, float]] = {
+    9: (1.50, 3.5, 21.8),
+    13: (2.17, 1.7, 21.1),
+    19: (3.17, 0.5, 10.0),
+}
+
+#: Table 2 — Robust Discretization false rates at equal guaranteed r.
+#: r -> (robust grid size, false-accept %, false-reject %).
+TABLE2: Dict[int, Tuple[int, float, float]] = {
+    4: (24, 32.1, 0.0),
+    6: (36, 14.1, 0.0),
+    9: (54, 4.3, 0.0),
+}
+
+#: Table 3 — theoretical password space for 5-click passwords.
+#: (image width, image height, grid size) ->
+#:   (centered r px, robust r px, squares per grid, bits).
+TABLE3: Dict[Tuple[int, int, int], Tuple[float, float, int, float]] = {
+    (451, 331, 9): (4.0, 1.50, 1887, 54.4),
+    (451, 331, 13): (6.0, 2.17, 910, 49.1),
+    (451, 331, 19): (9.0, 3.17, 432, 43.8),
+    (451, 331, 24): (11.5, 4.0, 266, 40.3),
+    (451, 331, 36): (17.5, 6.0, 130, 35.1),
+    (451, 331, 54): (26.5, 9.0, 63, 29.9),
+    (640, 480, 9): (4.0, 1.50, 3888, 59.6),
+    (640, 480, 13): (6.0, 2.17, 1850, 54.3),
+    (640, 480, 19): (9.0, 3.17, 884, 48.9),
+    (640, 480, 24): (11.5, 4.0, 540, 45.4),
+    (640, 480, 36): (17.5, 6.0, 252, 39.9),
+    (640, 480, 54): (26.5, 9.0, 108, 33.8),
+}
+
+#: Figure 8 — the crack percentages the paper quotes in text.
+#: (image, r, scheme) -> % of passwords cracked.
+FIGURE8_QUOTES: Dict[Tuple[str, int, str], float] = {
+    ("cars", 6, "centered"): 14.8,
+    ("cars", 6, "robust"): 45.1,
+    ("cars", 9, "centered"): 26.0,
+    ("cars", 9, "robust"): 79.0,
+}
+
+#: Claims made in prose (section -> value).
+IN_TEXT: Dict[str, float] = {
+    # §2.2.2: 640x480 @ 36x36 squares.
+    "squares_640x480_36": 252,
+    "bits_640x480_36": 39.9,
+    # §2.2.2: 640x480 @ 13x13 squares (centered-tolerance framing).
+    "bits_640x480_13": 54.3,
+    # §2.2.2: random 8-char text password over 95 symbols.
+    "text_password_bits": 52.5,
+    # §5.1: 30 lab passwords -> ≈2^36-entry dictionary.
+    "dictionary_bits": 36.0,
+    # §5.2: robust grid identifier storage.
+    "robust_identifier_storage_bits": 2,
+    # §5.2: centered identifier bits for r = 8 (2r = 16 -> log2 256).
+    "centered_identifier_bits_r8": 8.0,
+    # §3.2: iterated hashing h^1000 ≈ 10 bits.
+    "iterated_hash_bits_1000": 10.0,
+    # §5.1 in-text example at equal r = 4 on 640x480.
+    "bits_640x480_equal_r4_centered": 59.6,
+    "bits_640x480_equal_r4_robust": 45.4,
+}
+
+#: The field-study dataset shape (§4) and lab seed size (§5.1).
+STUDY_SHAPE: Dict[str, int] = {
+    "participants": 191,
+    "passwords": 481,
+    "logins": 3339,
+    "image_width": 451,
+    "image_height": 331,
+    "lab_passwords_per_image": 30,
+    "clicks_per_password": 5,
+}

@@ -1,0 +1,73 @@
+"""Run every experiment and collect results.
+
+``run_all()`` executes the full reproduction — every paper table and
+figure plus the ablations — against the shared simulated dataset and
+returns the results keyed by experiment id.  The CLI and the EXPERIMENTS.md
+generator are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import ablations, extensions, figure7, figure8, illustrations
+from repro.experiments import leakage_exp, table1, table2, table3
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_all"]
+
+#: Registry of every runnable experiment (id -> zero-argument callable).
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure1": illustrations.figure1,
+    "figure2": illustrations.figure2,
+    "figures_3_4": illustrations.figures_3_4,
+    "figures_5_6": illustrations.figures_5_6,
+    "leakage": leakage_exp.run,
+    "ablation_grid_selection": ablations.grid_selection,
+    "ablation_click_accuracy": ablations.click_accuracy,
+    "ablation_dictionary_size": ablations.dictionary_size,
+    "ablation_shoulder_surfing": ablations.shoulder_surfing,
+    "ablation_hotspot_sources": ablations.hotspot_sources,
+    "ablation_pccp": ablations.pccp_flattening,
+    "ablation_edge_problem": ablations.edge_problem,
+    "ablation_ndim": ablations.ndim_advantage,
+    "extension_analytic_acceptance": extensions.analytic_acceptance,
+    "extension_space3d": extensions.space3d,
+    "extension_attack_economics": extensions.attack_economics,
+    "extension_divide_conquer": extensions.divide_and_conquer,
+    "extension_usability": extensions.usability_profile,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id; raises ``KeyError`` with the known ids."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()
+
+
+def run_all(
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run all (or the selected) experiments, in registry order."""
+    ids = list(EXPERIMENTS) if only is None else list(only)
+    return {experiment_id: run_experiment(experiment_id) for experiment_id in ids}
+
+
+def render_all(results: Dict[str, ExperimentResult]) -> str:
+    """Render a full text report from :func:`run_all` output."""
+    sections = []
+    for experiment_id, result in results.items():
+        sections.append("=" * 72)
+        sections.append(result.rendered())
+    return "\n".join(sections)

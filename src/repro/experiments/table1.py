@@ -1,0 +1,104 @@
+"""Experiment: Table 1 — false rates at equal grid-square size.
+
+Paper, Table 1: "False accept and reject rates for Robust Discretization
+when grid-squares for both schemes are of equal size."  With s×s squares
+the centered ground truth is the s×s box centered on the original point;
+Robust Discretization's off-center cells produce both error kinds, Centered
+Discretization produces neither (measured here, not assumed).
+
+Workload: every login attempt of the simulated field study (defaults: 3339
+attempts over 481 passwords, both images pooled, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.false_rates import equal_size_report
+from repro.analysis.stats import percent
+from repro.core.centered import CenteredDiscretization
+from repro.experiments.common import ExperimentResult, default_dataset
+from repro.experiments.paper_values import TABLE1
+from repro.study.dataset import StudyDataset
+
+__all__ = ["run"]
+
+#: Grid sizes of the paper's Table 1.
+PAPER_SIZES: Tuple[int, ...] = (9, 13, 19)
+
+
+def run(
+    dataset: Optional[StudyDataset] = None,
+    grid_sizes: Sequence[int] = PAPER_SIZES,
+    image_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Reproduce Table 1 on the (simulated) field study.
+
+    Returns rows ``(grid size, robust r, FA% robust, FR% robust,
+    FA% centered, FR% centered)`` and paper-vs-measured comparisons for the
+    Robust columns.
+    """
+    data = dataset if dataset is not None else default_dataset()
+    rows = []
+    comparisons = []
+    for size in grid_sizes:
+        robust = equal_size_report(data, size, image_name=image_name)
+        centered = equal_size_report(
+            data,
+            size,
+            scheme=CenteredDiscretization.for_grid_size(2, size),
+            image_name=image_name,
+        )
+        robust_fa = percent(robust.false_accepts, robust.attempts)
+        robust_fr = percent(robust.false_rejects, robust.attempts)
+        rows.append(
+            (
+                f"{size}x{size}",
+                f"{size / 6:.2f}",
+                robust_fa,
+                robust_fr,
+                percent(centered.false_accepts, centered.attempts),
+                percent(centered.false_rejects, centered.attempts),
+            )
+        )
+        if size in TABLE1:
+            _, paper_fa, paper_fr = TABLE1[size]
+            comparisons.append(
+                {
+                    "label": f"{size}x{size} robust false-accept %",
+                    "paper": paper_fa,
+                    "measured": robust_fa,
+                }
+            )
+            comparisons.append(
+                {
+                    "label": f"{size}x{size} robust false-reject %",
+                    "paper": paper_fr,
+                    "measured": robust_fr,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table1",
+        title=(
+            "Table 1: false accept/reject rates, equal grid-square sizes "
+            f"({data.summary()['logins']} login attempts"
+            + (f", image={image_name}" if image_name else ", both images")
+            + ")"
+        ),
+        headers=(
+            "grid size",
+            "robust r (px)",
+            "robust FA %",
+            "robust FR %",
+            "centered FA %",
+            "centered FR %",
+        ),
+        rows=tuple(rows),
+        comparisons=tuple(comparisons),
+        notes=(
+            "Paper values were measured on the human field-study dataset; "
+            "ours on the calibrated simulation. Shape targets: FR high and "
+            "slowly decaying with size, FA small and decaying, centered "
+            "identically zero."
+        ),
+    )

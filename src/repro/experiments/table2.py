@@ -1,0 +1,97 @@
+"""Experiment: Table 2 — false rates at equal guaranteed tolerance r.
+
+Paper, Table 2: "False accept and reject rates for Robust Discretization
+when r is the same as for Centered Discretization."  Robust then needs
+6r×6r squares; everything within the (half-open) centered r-box is
+guaranteed accepted, so false rejects are structurally zero and only false
+accepts remain, driven by the 6r cell reaching up to 5r from the original
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.false_rates import equal_r_report
+from repro.analysis.stats import percent
+from repro.core.centered import CenteredDiscretization
+from repro.experiments.common import ExperimentResult, default_dataset
+from repro.experiments.paper_values import TABLE2
+from repro.study.dataset import StudyDataset
+
+__all__ = ["run"]
+
+#: Tolerance values of the paper's Table 2.
+PAPER_R_VALUES: Tuple[int, ...] = (4, 6, 9)
+
+
+def run(
+    dataset: Optional[StudyDataset] = None,
+    r_values: Sequence[int] = PAPER_R_VALUES,
+    image_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Reproduce Table 2 on the (simulated) field study."""
+    data = dataset if dataset is not None else default_dataset()
+    rows = []
+    comparisons = []
+    for r in r_values:
+        robust = equal_r_report(data, r, image_name=image_name)
+        centered = equal_r_report(
+            data,
+            r,
+            scheme=CenteredDiscretization(2, r),
+            image_name=image_name,
+        )
+        robust_fa = percent(robust.false_accepts, robust.attempts)
+        robust_fr = percent(robust.false_rejects, robust.attempts)
+        rows.append(
+            (
+                r,
+                f"{6 * r}x{6 * r}",
+                robust_fa,
+                robust_fr,
+                percent(centered.false_accepts, centered.attempts),
+                percent(centered.false_rejects, centered.attempts),
+            )
+        )
+        if r in TABLE2:
+            _, paper_fa, paper_fr = TABLE2[r]
+            comparisons.append(
+                {
+                    "label": f"r={r} robust false-accept %",
+                    "paper": paper_fa,
+                    "measured": robust_fa,
+                }
+            )
+            comparisons.append(
+                {
+                    "label": f"r={r} robust false-reject %",
+                    "paper": paper_fr,
+                    "measured": robust_fr,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table2",
+        title=(
+            "Table 2: false accept/reject rates, equal guaranteed r "
+            f"({data.summary()['logins']} login attempts"
+            + (f", image={image_name}" if image_name else ", both images")
+            + ")"
+        ),
+        headers=(
+            "r (px)",
+            "robust grid",
+            "robust FA %",
+            "robust FR %",
+            "centered FA %",
+            "centered FR %",
+        ),
+        rows=tuple(rows),
+        comparisons=tuple(comparisons),
+        notes=(
+            "Robust FR is zero by construction in this framing (the paper "
+            "makes the same observation); the measurement confirms the "
+            "theorem on every attempt. FA falls as r grows because fewer "
+            "re-entry clicks escape the centered r-box at all."
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Geometry substrate: points, grids, boxes and metrics.
+
+This subpackage contains the dimension-generic geometric machinery that the
+discretization schemes (:mod:`repro.core`) are built on.  Nothing here knows
+about passwords or images; it is pure real/rational geometry.
+"""
+
+from repro.geometry.grid import CellIndex, Grid
+from repro.geometry.metrics import (
+    Metric,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    squared_euclidean,
+)
+from repro.geometry.numbers import (
+    RealLike,
+    as_exact,
+    centered_pixel_tolerance_for_grid_size,
+    centered_r_for_grid_size,
+    floor_div,
+    floor_mod,
+    grid_size_for_pixel_tolerance,
+    is_real,
+    pixel_tolerance_for_r,
+    r_for_pixel_tolerance,
+    robust_r_for_grid_size,
+    to_float,
+    validate_positive,
+    validate_real,
+)
+from repro.geometry.point import Point
+from repro.geometry.region import Box, centered_box
+
+__all__ = [
+    "Box",
+    "CellIndex",
+    "Grid",
+    "Metric",
+    "Point",
+    "RealLike",
+    "as_exact",
+    "centered_box",
+    "centered_pixel_tolerance_for_grid_size",
+    "centered_r_for_grid_size",
+    "chebyshev",
+    "euclidean",
+    "floor_div",
+    "floor_mod",
+    "get_metric",
+    "grid_size_for_pixel_tolerance",
+    "is_real",
+    "manhattan",
+    "pixel_tolerance_for_r",
+    "r_for_pixel_tolerance",
+    "robust_r_for_grid_size",
+    "squared_euclidean",
+    "to_float",
+    "validate_positive",
+    "validate_real",
+]

@@ -1,0 +1,175 @@
+"""Uniform axis-aligned grids.
+
+A :class:`Grid` partitions n-dimensional space into half-open cells of a
+fixed per-axis size, with the whole lattice translated by a per-axis
+*offset*.  Both discretization schemes in the paper are built from grids:
+
+* **Robust Discretization** overlays three (in 2-D) fixed candidate grids of
+  cell size 6r, diagonally offset by 0, 2r and 4r.
+* **Centered Discretization** constructs, per click-point, a grid of cell
+  size 2r whose offset ``d = (x − r) mod 2r`` is derived from the point so
+  the point is exactly centered in its cell.
+
+Cells are identified by integer index vectors; ``cell_of`` maps a point to
+the index of the unique cell containing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.numbers import RealLike, floor_div, validate_positive, validate_real
+from repro.geometry.point import Point
+from repro.geometry.region import Box
+
+__all__ = ["Grid", "CellIndex"]
+
+#: Integer index vector identifying one cell of a grid.
+CellIndex = Tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Grid:
+    """A uniform half-open grid: cell k spans ``[offset + k·size, offset + (k+1)·size)``.
+
+    ``cell_sizes`` and ``offsets`` are per-axis; a square 2-D grid of side s
+    with offset (dx, dy) is ``Grid((s, s), (dx, dy))``.
+
+    >>> g = Grid((10, 10), (0, 0))
+    >>> g.cell_of(Point.xy(25, 7))
+    (2, 0)
+    """
+
+    cell_sizes: Tuple[RealLike, ...]
+    offsets: Tuple[RealLike, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cell_sizes, tuple):
+            object.__setattr__(self, "cell_sizes", tuple(self.cell_sizes))
+        if not isinstance(self.offsets, tuple):
+            object.__setattr__(self, "offsets", tuple(self.offsets))
+        if not self.cell_sizes:
+            raise ParameterError("a Grid needs at least one axis")
+        if len(self.cell_sizes) != len(self.offsets):
+            raise DimensionMismatchError(
+                f"{len(self.cell_sizes)} cell sizes but {len(self.offsets)} offsets"
+            )
+        for axis, size in enumerate(self.cell_sizes):
+            validate_positive(size, f"cell_sizes[{axis}]")
+        for axis, offset in enumerate(self.offsets):
+            validate_real(offset, f"offsets[{axis}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def square(cls, dim: int, size: RealLike, offset: RealLike = 0) -> "Grid":
+        """A grid with the same cell size and offset on every axis."""
+        if dim < 1:
+            raise ParameterError(f"dim must be >= 1, got {dim}")
+        return cls((size,) * dim, (offset,) * dim)
+
+    @classmethod
+    def with_offsets(cls, size: RealLike, offsets: Tuple[RealLike, ...]) -> "Grid":
+        """A grid with uniform cell size but per-axis offsets."""
+        return cls((size,) * len(offsets), tuple(offsets))
+
+    # -- core operations ---------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.cell_sizes)
+
+    def cell_of(self, point: Point) -> CellIndex:
+        """Index vector of the unique cell containing *point*.
+
+        Implements ``i_k = ⌊(p_k − offset_k) / size_k⌋`` per axis — the same
+        floor the paper uses for verification (§3.1,
+        ``i' = ⌊(x' − d)/2r⌋``).
+        """
+        if point.dim != self.dim:
+            raise DimensionMismatchError(
+                f"point is {point.dim}-D but grid is {self.dim}-D"
+            )
+        return tuple(
+            floor_div(p_c - off, size)
+            for p_c, off, size in zip(point, self.offsets, self.cell_sizes)
+        )
+
+    def cell_box(self, index: CellIndex) -> Box:
+        """The half-open box of the cell with the given *index*."""
+        if len(index) != self.dim:
+            raise DimensionMismatchError(
+                f"index has {len(index)} components but grid is {self.dim}-D"
+            )
+        lo = Point(
+            tuple(
+                off + i * size
+                for i, off, size in zip(index, self.offsets, self.cell_sizes)
+            )
+        )
+        hi = Point(
+            tuple(
+                off + (i + 1) * size
+                for i, off, size in zip(index, self.offsets, self.cell_sizes)
+            )
+        )
+        return Box(lo, hi)
+
+    def cell_box_of(self, point: Point) -> Box:
+        """The box of the cell containing *point* (convenience)."""
+        return self.cell_box(self.cell_of(point))
+
+    def cell_center(self, index: CellIndex) -> Point:
+        """Center of the cell with the given *index*."""
+        return self.cell_box(index).center()
+
+    def margin(self, point: Point) -> RealLike:
+        """Distance from *point* to the nearest edge of its own cell.
+
+        A point is **r-safe** in this grid (Birget et al.) iff
+        ``margin(point) >= r``.
+        """
+        return self.cell_box_of(point).margin(point)
+
+    def is_safe(self, point: Point, r: RealLike) -> bool:
+        """Whether *point* is at least *r* from every edge of its cell."""
+        validate_positive(r, "r")
+        return self.margin(point) >= r
+
+    def translate(self, *deltas: RealLike) -> "Grid":
+        """A copy of the grid shifted by per-axis *deltas*."""
+        if len(deltas) != self.dim:
+            raise DimensionMismatchError(
+                f"expected {self.dim} deltas, got {len(deltas)}"
+            )
+        return Grid(
+            self.cell_sizes,
+            tuple(off + d for off, d in zip(self.offsets, deltas)),
+        )
+
+    def cells_covering(self, box: Box) -> Tuple[CellIndex, ...]:
+        """Indices of every cell intersecting *box* (half-open semantics).
+
+        Used by the attack code to enumerate which grid cells a tolerance
+        region can map into.
+        """
+        import itertools
+
+        if box.dim != self.dim:
+            raise DimensionMismatchError(
+                f"box is {box.dim}-D but grid is {self.dim}-D"
+            )
+        axis_ranges = []
+        for k in range(self.dim):
+            first = floor_div(box.lo[k] - self.offsets[k], self.cell_sizes[k])
+            # hi is exclusive; the cell containing hi is excluded when hi
+            # lies exactly on a boundary.
+            last_edge = box.hi[k] - self.offsets[k]
+            last = floor_div(last_edge, self.cell_sizes[k])
+            if last_edge % self.cell_sizes[k] == 0:
+                last -= 1
+            axis_ranges.append(range(first, last + 1))
+        return tuple(itertools.product(*axis_ranges))

@@ -1,0 +1,78 @@
+"""Distance metrics over :class:`~repro.geometry.point.Point`.
+
+The tolerance regions in click-based graphical passwords are axis-aligned
+squares, so the natural acceptance metric is the **Chebyshev** (L∞) distance:
+a login click is inside the centered-tolerance square of side 2t+1 around the
+original click iff its Chebyshev distance is ≤ t.  Euclidean and Manhattan
+distances are provided for the study analytics (click-accuracy statistics,
+hotspot clustering).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.geometry.numbers import RealLike, to_float
+from repro.geometry.point import Point
+
+__all__ = [
+    "chebyshev",
+    "euclidean",
+    "squared_euclidean",
+    "manhattan",
+    "Metric",
+    "get_metric",
+]
+
+#: Signature shared by all metrics in this module.
+Metric = Callable[[Point, Point], float]
+
+
+def chebyshev(a: Point, b: Point) -> RealLike:
+    """L∞ distance: the maximum per-axis absolute difference.
+
+    Exact when both points have exact coordinates.  This is the metric under
+    which a centered-tolerance *square* is a ball.
+
+    >>> chebyshev(Point.xy(0, 0), Point.xy(3, -7))
+    7
+    """
+    diff = a - b
+    return max(abs(c) for c in diff.coords)
+
+
+def manhattan(a: Point, b: Point) -> RealLike:
+    """L1 distance: the sum of per-axis absolute differences."""
+    diff = a - b
+    return sum(abs(c) for c in diff.coords)
+
+
+def squared_euclidean(a: Point, b: Point) -> RealLike:
+    """Squared L2 distance (exact for exact inputs; avoids the sqrt)."""
+    diff = a - b
+    return sum(c * c for c in diff.coords)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """L2 distance as a float."""
+    return math.sqrt(to_float(squared_euclidean(a, b)))
+
+
+_METRICS: dict[str, Metric] = {
+    "chebyshev": chebyshev,  # type: ignore[dict-item]
+    "euclidean": euclidean,
+    "manhattan": manhattan,  # type: ignore[dict-item]
+}
+
+
+def get_metric(name: str) -> Metric:
+    """Look up a metric by name (``chebyshev``, ``euclidean``, ``manhattan``).
+
+    Raises :class:`KeyError` with the list of known names on a miss.
+    """
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise KeyError(f"unknown metric {name!r}; known metrics: {known}") from None

@@ -1,0 +1,237 @@
+"""Numeric helpers shared by the geometry and discretization code.
+
+The discretization algorithms in this library follow the paper in working
+over the *reals*: coordinates may be integers (pixel data), floats, or exact
+rationals (:class:`fractions.Fraction`).  Exact rationals matter because the
+paper's tables imply fractional tolerances (a 13x13 Robust-Discretization
+square has r = 13/6) and we want boundary comparisons to be exact rather
+than subject to binary floating-point wobble.  The paper itself notes: "We
+used real numbers for our computations and comparisons to minimize rounding
+errors."
+
+This module centralizes:
+
+* the :data:`RealLike` union accepted everywhere,
+* conversion into exact :class:`~fractions.Fraction` arithmetic,
+* floor-division and modulo that behave identically for ints, floats and
+  Fractions (Python's ``//`` and ``%`` already do; we wrap them with
+  validation and give them names matching the paper's formulas),
+* the pixel-tolerance convention of the paper's footnote 2.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+from repro.errors import ParameterError
+
+#: Any scalar the discretization math accepts.  ``bool`` is deliberately
+#: excluded by validation (it is an ``int`` subclass but almost always a bug
+#: when used as a coordinate).
+RealLike = Union[int, float, Fraction]
+
+__all__ = [
+    "RealLike",
+    "as_exact",
+    "is_real",
+    "validate_real",
+    "validate_positive",
+    "floor_div",
+    "floor_mod",
+    "r_for_pixel_tolerance",
+    "pixel_tolerance_for_r",
+    "grid_size_for_pixel_tolerance",
+    "centered_r_for_grid_size",
+    "centered_pixel_tolerance_for_grid_size",
+    "robust_r_for_grid_size",
+    "to_float",
+]
+
+
+def is_real(value: object) -> bool:
+    """Return ``True`` when *value* is an accepted real scalar.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``: a
+    coordinate of ``True`` is a bug, not a pixel.  NaN floats are rejected
+    because every comparison against them is silently false, which would turn
+    algorithmic errors into wrong-but-plausible results.
+    """
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return isinstance(value, (int, Fraction))
+
+
+def validate_real(value: object, name: str = "value") -> RealLike:
+    """Validate that *value* is a finite real scalar and return it.
+
+    Raises :class:`~repro.errors.ParameterError` otherwise.  The *name* is
+    used in the error message so callers can point at the offending
+    parameter.
+    """
+    if not is_real(value):
+        raise ParameterError(
+            f"{name} must be an int, finite float, or Fraction, "
+            f"got {value!r} of type {type(value).__name__}"
+        )
+    return value  # type: ignore[return-value]
+
+
+def validate_positive(value: object, name: str = "value") -> RealLike:
+    """Validate that *value* is a strictly positive real scalar."""
+    real = validate_real(value, name)
+    if real <= 0:
+        raise ParameterError(f"{name} must be > 0, got {real!r}")
+    return real
+
+
+def as_exact(value: RealLike) -> Union[int, Fraction]:
+    """Convert *value* to exact arithmetic (``int`` or ``Fraction``).
+
+    Floats are converted through :meth:`Fraction.from_float`, i.e. to the
+    exact binary rational they already represent; no decimal rounding is
+    applied.  Integers pass through unchanged, and integral Fractions are
+    normalized back to ``int`` for cheaper arithmetic.
+
+    >>> as_exact(0.5)
+    Fraction(1, 2)
+    >>> as_exact(Fraction(6, 3))
+    2
+    """
+    validate_real(value, "value")
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**9)
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return int(value)
+    return value
+
+
+def floor_div(numerator: RealLike, denominator: RealLike) -> int:
+    """Return ``floor(numerator / denominator)`` as an ``int``.
+
+    This is the paper's ``⌊.⌋`` used in ``i = ⌊(x − r)/2r⌋``.  Python's
+    ``//`` already implements mathematical floor division for ints, floats
+    and Fractions; we normalize the result to ``int`` (``float.__floordiv__``
+    returns a float).
+    """
+    validate_real(numerator, "numerator")
+    validate_positive(denominator, "denominator")
+    return int(numerator // denominator)
+
+
+def floor_mod(numerator: RealLike, denominator: RealLike) -> RealLike:
+    """Return ``numerator mod denominator`` in ``[0, denominator)``.
+
+    This is the paper's ``mod`` in ``d = (x − r) mod 2r``.  Python's ``%``
+    has exactly the required sign convention for a positive modulus.
+    """
+    validate_real(numerator, "numerator")
+    validate_positive(denominator, "denominator")
+    return numerator % denominator
+
+
+def r_for_pixel_tolerance(tolerance_px: int) -> Fraction:
+    """Map an integer pixel tolerance to the real tolerance ``r``.
+
+    Paper, footnote 2: "In practice when dealing with graphical passwords
+    and pixels, we add 0.5 to r to arrange for an odd number of pixels" —
+    a desired tolerance of t pixels uses r = t + ½ so the segment width
+    2r = 2t + 1 is an odd pixel count with the original pixel exactly
+    centered.
+
+    >>> r_for_pixel_tolerance(9)
+    Fraction(19, 2)
+    """
+    if isinstance(tolerance_px, bool) or not isinstance(tolerance_px, int):
+        raise ParameterError(
+            f"tolerance_px must be an int, got {tolerance_px!r}"
+        )
+    if tolerance_px < 0:
+        raise ParameterError(f"tolerance_px must be >= 0, got {tolerance_px}")
+    return Fraction(2 * tolerance_px + 1, 2)
+
+
+def pixel_tolerance_for_r(r: RealLike) -> int:
+    """Inverse of :func:`r_for_pixel_tolerance` for exact half-integers.
+
+    Raises :class:`~repro.errors.ParameterError` when *r* is not of the form
+    t + ½ for a non-negative integer t.
+    """
+    exact = as_exact(validate_positive(r, "r"))
+    doubled = exact * 2 - 1
+    if isinstance(doubled, Fraction):
+        if doubled.denominator != 1:
+            raise ParameterError(f"r={r!r} is not a half-integer tolerance")
+        doubled = int(doubled)
+    if doubled % 2 != 0 or doubled < 0:
+        raise ParameterError(f"r={r!r} is not of the form t + 1/2, t >= 0")
+    return doubled // 2
+
+
+def grid_size_for_pixel_tolerance(tolerance_px: int) -> int:
+    """Centered-Discretization square side (in pixels) for a pixel tolerance.
+
+    With r = t + ½ the segment width is 2r = 2t + 1.
+
+    >>> grid_size_for_pixel_tolerance(9)
+    19
+    """
+    r = r_for_pixel_tolerance(tolerance_px)  # validates tolerance_px
+    return int(2 * r)
+
+
+def centered_r_for_grid_size(grid_size: int) -> Fraction:
+    """Guaranteed tolerance r of Centered Discretization for a square side.
+
+    Inverse of the 2r = side relation: r = side / 2.  For an odd pixel side
+    s = 2t + 1 this is t + ½, i.e. an effective integer pixel tolerance of
+    (s − 1) / 2 — the "Centered Discr. r (pixels)" column of the paper's
+    Table 3 (9x9 → 4, 13x13 → 6, 19x19 → 9, 24x24 → 11.5, ...).
+
+    >>> centered_r_for_grid_size(13)
+    Fraction(13, 2)
+    """
+    if isinstance(grid_size, bool) or not isinstance(grid_size, int):
+        raise ParameterError(f"grid_size must be an int, got {grid_size!r}")
+    if grid_size <= 0:
+        raise ParameterError(f"grid_size must be > 0, got {grid_size}")
+    return Fraction(grid_size, 2)
+
+
+def centered_pixel_tolerance_for_grid_size(grid_size: int) -> Fraction:
+    """Effective pixel tolerance of a Centered square: (side − 1) / 2.
+
+    This is the value the paper tabulates (Table 3, "Centered Discr. r"):
+    integral for odd sides, half-integral for even ones (24x24 → 11.5).
+    """
+    if isinstance(grid_size, bool) or not isinstance(grid_size, int):
+        raise ParameterError(f"grid_size must be an int, got {grid_size!r}")
+    if grid_size <= 0:
+        raise ParameterError(f"grid_size must be > 0, got {grid_size}")
+    return Fraction(grid_size - 1, 2)
+
+
+def robust_r_for_grid_size(grid_size: int) -> Fraction:
+    """Guaranteed tolerance r of Robust Discretization for a square side.
+
+    Robust Discretization uses 6r x 6r squares, so r = side / 6 — the
+    "Robust Discr. r (pixels)" column of Table 3 (9x9 → 1.5, 13x13 → 2.17,
+    19x19 → 3.17, 24x24 → 4, 36x36 → 6, 54x54 → 9).
+
+    >>> robust_r_for_grid_size(54)
+    Fraction(9, 1)
+    """
+    if isinstance(grid_size, bool) or not isinstance(grid_size, int):
+        raise ParameterError(f"grid_size must be an int, got {grid_size!r}")
+    if grid_size <= 0:
+        raise ParameterError(f"grid_size must be > 0, got {grid_size}")
+    return Fraction(grid_size, 6)
+
+
+def to_float(value: RealLike) -> float:
+    """Lossy conversion to float, for reporting and plotting-style output."""
+    validate_real(value, "value")
+    return float(value)

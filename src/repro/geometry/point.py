@@ -1,0 +1,170 @@
+"""Immutable n-dimensional points.
+
+A :class:`Point` is the basic currency of the library: click-points on an
+image, centers of tolerance regions, grid offsets.  Points are immutable,
+hashable and dimension-checked, and support the small amount of vector
+arithmetic the discretization algorithms need.
+
+The paper works in 1-D (the core algorithm), 2-D (click-based graphical
+passwords) and sketches n-D (3-D graphical password schemes); :class:`Point`
+is dimension-generic so a single implementation serves all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.numbers import RealLike, as_exact, to_float, validate_real
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in n-dimensional real space.
+
+    Coordinates may be ``int``, ``float`` or :class:`~fractions.Fraction`
+    (mixed freely).  Construct via ``Point((x, y))``, or the convenience
+    class methods :meth:`of` and :meth:`xy`.
+
+    >>> p = Point.xy(10, 20)
+    >>> p.x, p.y
+    (10, 20)
+    >>> (p + Point.xy(1, 2)).coords
+    (11, 22)
+    """
+
+    coords: Tuple[RealLike, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.coords, tuple):
+            object.__setattr__(self, "coords", tuple(self.coords))
+        if not self.coords:
+            raise ParameterError("a Point needs at least one coordinate")
+        for index, coord in enumerate(self.coords):
+            validate_real(coord, f"coords[{index}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of(cls, *coords: RealLike) -> "Point":
+        """Build a point from positional coordinates: ``Point.of(3, 4)``."""
+        return cls(tuple(coords))
+
+    @classmethod
+    def xy(cls, x: RealLike, y: RealLike) -> "Point":
+        """Build a 2-D point; the common case for click-points."""
+        return cls((x, y))
+
+    @classmethod
+    def from_sequence(cls, seq: Sequence[RealLike] | Iterable[RealLike]) -> "Point":
+        """Build a point from any iterable of coordinates."""
+        return cls(tuple(seq))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.coords)
+
+    @property
+    def x(self) -> RealLike:
+        """First coordinate."""
+        return self.coords[0]
+
+    @property
+    def y(self) -> RealLike:
+        """Second coordinate (requires ``dim >= 2``)."""
+        if self.dim < 2:
+            raise DimensionMismatchError("Point has no y coordinate (1-D)")
+        return self.coords[1]
+
+    @property
+    def z(self) -> RealLike:
+        """Third coordinate (requires ``dim >= 3``)."""
+        if self.dim < 3:
+            raise DimensionMismatchError("Point has no z coordinate")
+        return self.coords[2]
+
+    def __iter__(self) -> Iterator[RealLike]:
+        return iter(self.coords)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __getitem__(self, index: int) -> RealLike:
+        return self.coords[index]
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _check_dim(self, other: "Point") -> None:
+        if self.dim != other.dim:
+            raise DimensionMismatchError(
+                f"dimension mismatch: {self.dim}-D vs {other.dim}-D"
+            )
+
+    def __add__(self, other: "Point") -> "Point":
+        self._check_dim(other)
+        return Point(tuple(a + b for a, b in zip(self.coords, other.coords)))
+
+    def __sub__(self, other: "Point") -> "Point":
+        self._check_dim(other)
+        return Point(tuple(a - b for a, b in zip(self.coords, other.coords)))
+
+    def scale(self, factor: RealLike) -> "Point":
+        """Return the point with every coordinate multiplied by *factor*."""
+        validate_real(factor, "factor")
+        return Point(tuple(c * factor for c in self.coords))
+
+    def translate(self, *deltas: RealLike) -> "Point":
+        """Return the point shifted by per-axis *deltas*."""
+        if len(deltas) != self.dim:
+            raise DimensionMismatchError(
+                f"expected {self.dim} deltas, got {len(deltas)}"
+            )
+        return Point(tuple(c + d for c, d in zip(self.coords, deltas)))
+
+    # -- conversions -------------------------------------------------------
+
+    def exact(self) -> "Point":
+        """Return the point with coordinates converted to exact rationals."""
+        return Point(tuple(as_exact(c) for c in self.coords))
+
+    def as_floats(self) -> Tuple[float, ...]:
+        """Return coordinates as a tuple of floats (lossy, for reporting)."""
+        return tuple(to_float(c) for c in self.coords)
+
+    def rounded(self) -> "Point":
+        """Return the nearest integer-pixel point (round-half-to-even)."""
+        return Point(tuple(int(round(to_float(c))) for c in self.coords))
+
+    def to_json(self) -> list:
+        """JSON-serializable representation (Fractions become ``[num, den]``)."""
+        out: list = []
+        for coord in self.coords:
+            if isinstance(coord, Fraction):
+                out.append([coord.numerator, coord.denominator])
+            else:
+                out.append(coord)
+        return out
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "Point":
+        """Inverse of :meth:`to_json`."""
+        coords: list[RealLike] = []
+        for item in data:
+            if isinstance(item, (list, tuple)):
+                if len(item) != 2:
+                    raise ParameterError(f"bad serialized coordinate: {item!r}")
+                coords.append(Fraction(int(item[0]), int(item[1])))
+            else:
+                coords.append(item)
+        return cls(tuple(coords))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(c) for c in self.coords)
+        return f"Point({inner})"

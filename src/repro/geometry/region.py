@@ -1,0 +1,184 @@
+"""Axis-aligned boxes (intervals, rectangles, hyper-rectangles).
+
+A :class:`Box` is half-open on every axis: it contains a point ``p`` iff
+``lo[k] <= p[k] < hi[k]`` for every axis ``k``.  Half-open boxes tile space
+exactly — every point belongs to exactly one cell of a grid — which is the
+property discretization schemes rely on.  The paper's tolerance squares,
+Robust-Discretization grid-squares, and the false-accept / false-reject
+regions of Figure 1 are all instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.numbers import RealLike, validate_real
+from repro.geometry.point import Point
+
+__all__ = ["Box", "centered_box"]
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A half-open axis-aligned box ``[lo, hi)`` in n dimensions.
+
+    >>> b = Box(Point.xy(0, 0), Point.xy(10, 5))
+    >>> b.contains(Point.xy(9, 4)), b.contains(Point.xy(10, 0))
+    (True, False)
+    """
+
+    lo: Point
+    hi: Point
+
+    def __post_init__(self) -> None:
+        if self.lo.dim != self.hi.dim:
+            raise DimensionMismatchError(
+                f"lo is {self.lo.dim}-D but hi is {self.hi.dim}-D"
+            )
+        for axis, (lo_c, hi_c) in enumerate(zip(self.lo, self.hi)):
+            if lo_c >= hi_c:
+                raise ParameterError(
+                    f"box is empty on axis {axis}: lo={lo_c!r} >= hi={hi_c!r}"
+                )
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return self.lo.dim
+
+    def side(self, axis: int) -> RealLike:
+        """Length of the box along *axis*."""
+        return self.hi[axis] - self.lo[axis]
+
+    @property
+    def sides(self) -> Tuple[RealLike, ...]:
+        """Per-axis lengths."""
+        return tuple(self.side(k) for k in range(self.dim))
+
+    def volume(self) -> RealLike:
+        """Product of the side lengths (area in 2-D, length in 1-D)."""
+        result: RealLike = 1
+        for k in range(self.dim):
+            result = result * self.side(k)
+        return result
+
+    def center(self) -> Point:
+        """The centroid of the box.
+
+        For a Centered-Discretization cell this is exactly the enrolled
+        click-point; for a Robust-Discretization cell it generally is not —
+        that gap is the source of false accepts and rejects.
+        """
+        halves = tuple((lo + hi) / 2 for lo, hi in zip(self.lo, self.hi))
+        return Point(halves)
+
+    # -- predicates --------------------------------------------------------
+
+    def contains(self, point: Point) -> bool:
+        """Half-open membership test: ``lo <= p < hi`` on every axis."""
+        if point.dim != self.dim:
+            raise DimensionMismatchError(
+                f"point is {point.dim}-D but box is {self.dim}-D"
+            )
+        return all(
+            lo_c <= p_c < hi_c
+            for lo_c, p_c, hi_c in zip(self.lo, point, self.hi)
+        )
+
+    def margin(self, point: Point) -> RealLike:
+        """Minimum distance from *point* to any face of the box.
+
+        Positive for interior points; negative when the point is outside
+        (then it is minus the largest per-axis violation).  A point is
+        *r-safe* in the sense of Birget et al. iff ``margin(point) >= r``.
+        """
+        if point.dim != self.dim:
+            raise DimensionMismatchError(
+                f"point is {point.dim}-D but box is {self.dim}-D"
+            )
+        return min(
+            min(p_c - lo_c, hi_c - p_c)
+            for lo_c, p_c, hi_c in zip(self.lo, point, self.hi)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """Whether the two boxes share any point (half-open semantics)."""
+        if other.dim != self.dim:
+            raise DimensionMismatchError(
+                f"boxes have different dimensions: {self.dim} vs {other.dim}"
+            )
+        return all(
+            self.lo[k] < other.hi[k] and other.lo[k] < self.hi[k]
+            for k in range(self.dim)
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping box, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        lo = Point(tuple(max(self.lo[k], other.lo[k]) for k in range(self.dim)))
+        hi = Point(tuple(min(self.hi[k], other.hi[k]) for k in range(self.dim)))
+        return Box(lo, hi)
+
+    def overlap_volume(self, other: "Box") -> RealLike:
+        """Volume of the intersection (0 when disjoint).
+
+        Used by the Figure-1 analysis: the false-accept area of a Robust
+        cell is ``cell.volume() - cell.overlap_volume(centered_square)``.
+        """
+        overlap = self.intersection(other)
+        return 0 if overlap is None else overlap.volume()
+
+    # -- pixel enumeration -------------------------------------------------
+
+    def integer_points(self) -> Iterator[Point]:
+        """Yield every integer-coordinate point inside the box.
+
+        Only sensible for small boxes (tolerance squares, grid cells); used
+        by exhaustive verification in tests and by the leakage analysis.
+        """
+        import itertools
+        import math
+
+        ranges = []
+        for k in range(self.dim):
+            lo_k = math.ceil(self.lo[k])
+            # half-open: hi itself excluded
+            hi_k = math.ceil(self.hi[k])
+            ranges.append(range(int(lo_k), int(hi_k)))
+        for combo in itertools.product(*ranges):
+            yield Point(tuple(combo))
+
+    def count_integer_points(self) -> int:
+        """Number of integer-coordinate points inside the box, in O(dim)."""
+        import math
+
+        total = 1
+        for k in range(self.dim):
+            lo_k = math.ceil(self.lo[k])
+            hi_k = math.ceil(self.hi[k])
+            total *= max(0, int(hi_k) - int(lo_k))
+        return total
+
+
+def centered_box(center: Point, radius: RealLike) -> Box:
+    """The half-open box of half-side *radius* centered on *center*.
+
+    This is the paper's **centered-tolerance** region: the region a user
+    plausibly expects to be accepted, ``[x − r, x + r)`` on each axis.  With
+    the pixel convention r = t + ½ and an integer-pixel center, the integer
+    points inside are exactly those with Chebyshev distance ≤ t.
+
+    >>> centered_box(Point.xy(10, 10), 2).contains(Point.xy(11, 8))
+    True
+    """
+    validate_real(radius, "radius")
+    if radius <= 0:
+        raise ParameterError(f"radius must be > 0, got {radius!r}")
+    lo = Point(tuple(c - radius for c in center))
+    hi = Point(tuple(c + radius for c in center))
+    return Box(lo, hi)

@@ -1,0 +1,144 @@
+"""Blonder-style predefined-region graphical passwords.
+
+The original click-based scheme (Blonder 1996, the paper's [3]): the image
+carries a fixed set of predefined clickable regions, and a password is a
+sequence of clicks on those regions.  No discretization is needed — a click
+is resolved to the region containing it — but the password space is capped
+by the number of regions, which is precisely the limitation PassPoints-style
+arbitrary-pixel schemes (and therefore discretization) exist to remove
+(paper §2).
+
+Included as the historical baseline for the password-space comparisons: the
+region count plays the role the per-grid square count plays for the
+discretizing schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.crypto.hashing import Hasher
+from repro.crypto.records import VerificationRecord, make_record
+from repro.errors import DomainError, ParameterError, VerificationError
+from repro.geometry.point import Point
+from repro.geometry.region import Box
+from repro.study.image import StudyImage
+
+__all__ = ["BlonderSystem"]
+
+
+@dataclass(frozen=True)
+class BlonderSystem:
+    """A predefined-region click scheme.
+
+    Parameters
+    ----------
+    image:
+        The background image (defines the click domain).
+    regions:
+        Disjoint clickable boxes.  Disjointness is validated so every click
+        resolves to at most one region.
+    clicks:
+        Sequence length of a password.
+    hasher:
+        Hashing configuration for stored records.
+    """
+
+    image: StudyImage
+    regions: Tuple[Box, ...]
+    clicks: int = 5
+    hasher: Hasher = Hasher()
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ParameterError("BlonderSystem needs at least one region")
+        if self.clicks < 1:
+            raise ParameterError(f"clicks must be >= 1, got {self.clicks}")
+        for index, box in enumerate(self.regions):
+            if box.dim != 2:
+                raise ParameterError(f"region {index} is not 2-D")
+            for other_index in range(index + 1, len(self.regions)):
+                if box.intersects(self.regions[other_index]):
+                    raise ParameterError(
+                        f"regions {index} and {other_index} overlap"
+                    )
+
+    # -- resolution ---------------------------------------------------------
+
+    def region_of(self, point: Point) -> Optional[int]:
+        """Index of the region containing *point*, or ``None``."""
+        if not self.image.contains(point):
+            raise DomainError(f"click {point!r} outside image {self.image.name!r}")
+        for index, box in enumerate(self.regions):
+            if box.contains(point):
+                return index
+        return None
+
+    # -- enrollment / verification ---------------------------------------------
+
+    def enroll(self, points: Sequence[Point]) -> VerificationRecord:
+        """Create a password; every click must hit a region."""
+        if len(points) != self.clicks:
+            raise VerificationError(
+                f"expected {self.clicks} clicks, got {len(points)}"
+            )
+        indices = []
+        for point in points:
+            region = self.region_of(point)
+            if region is None:
+                raise DomainError(
+                    f"click {point!r} does not hit any predefined region"
+                )
+            indices.append(region)
+        return make_record((), tuple(indices), self.hasher)
+
+    def verify(self, record: VerificationRecord, points: Sequence[Point]) -> bool:
+        """Check a login attempt; clicks off-region simply fail."""
+        if len(points) != self.clicks:
+            raise VerificationError(
+                f"expected {self.clicks} clicks, got {len(points)}"
+            )
+        indices = []
+        for point in points:
+            region = self.region_of(point)
+            if region is None:
+                return False
+            indices.append(region)
+        return record.matches(tuple(indices))
+
+    # -- analytics -----------------------------------------------------------
+
+    def password_space_bits(self) -> float:
+        """Theoretical full password space in bits: clicks · log2(regions).
+
+        Directly comparable to the per-scheme numbers of the paper's
+        Table 3; with realistic region counts (dozens) this is far below
+        what discretized arbitrary-pixel schemes reach.
+        """
+        return self.clicks * math.log2(len(self.regions))
+
+    @classmethod
+    def uniform_partition(
+        cls,
+        image: StudyImage,
+        rows: int,
+        columns: int,
+        clicks: int = 5,
+        hasher: Hasher = Hasher(),
+    ) -> "BlonderSystem":
+        """A system whose regions tile the image in a rows×columns grid."""
+        if rows < 1 or columns < 1:
+            raise ParameterError("rows and columns must be >= 1")
+        from fractions import Fraction
+
+        cell_w = Fraction(image.width, columns)
+        cell_h = Fraction(image.height, rows)
+        regions = []
+        for row in range(rows):
+            for column in range(columns):
+                lo = Point.xy(column * cell_w, row * cell_h)
+                hi = Point.xy((column + 1) * cell_w, (row + 1) * cell_h)
+                regions.append(Box(lo, hi))
+        return cls(image=image, regions=tuple(regions), clicks=clicks, hasher=hasher)

@@ -1,0 +1,166 @@
+"""Cued Click-Points (CCP) — one click on each of several images.
+
+CCP (Chiasson, van Oorschot, Biddle; ESORICS 2007 — cited as [6] by the
+paper) replaces PassPoints' five clicks on one image with one click on each
+of five images, where **the next image displayed is a deterministic function
+of the current click's grid cell**.  Correct-but-tolerant clicks land in the
+same cell, so the user sees their familiar image sequence (implicit
+feedback); a wrong click silently diverts to an unfamiliar image path.
+
+The paper discusses CCP as one of the systems whose discretization layer
+Centered Discretization improves (§2, §6); this implementation makes the
+claim concrete: any :class:`~repro.core.scheme.DiscretizationScheme` plugs
+in, and the image-path function keys off the scheme's located cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.scheme import DiscretizationScheme
+from repro.crypto.encoding import encode_scalars
+from repro.crypto.hashing import Hasher
+from repro.crypto.records import make_record
+from repro.errors import DomainError, ParameterError, VerificationError
+from repro.geometry.point import Point
+from repro.passwords.system import StoredPassword, _flatten
+from repro.study.image import StudyImage
+
+__all__ = ["CCPSystem", "next_image_index"]
+
+
+def next_image_index(
+    round_index: int,
+    located_cell: Tuple[int, ...],
+    public: Tuple,
+    image_count: int,
+) -> int:
+    """Deterministic next-image function of CCP.
+
+    Hashes (round, cell, per-point public material) and reduces modulo the
+    image-pool size.  Any click in the same cell — i.e. any click the
+    discretization scheme accepts — follows the same path; a click in a
+    different cell diverts.
+    """
+    if image_count < 1:
+        raise ParameterError(f"image_count must be >= 1, got {image_count}")
+    material = encode_scalars(
+        [round_index, *[int(c) for c in located_cell], *public]
+    )
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") % image_count
+
+
+@dataclass(frozen=True)
+class CCPSystem:
+    """A Cued Click-Points deployment.
+
+    Parameters
+    ----------
+    images:
+        The image pool.  The first image of every password is
+        ``images[start_index]``; subsequent images follow the click-dependent
+        path.
+    scheme:
+        Any 2-D discretization scheme.
+    hasher:
+        Hashing configuration for the final stored record.
+    rounds:
+        Number of images/clicks per password (default 5).
+    start_index:
+        Index of the first image in the pool.
+    """
+
+    images: Tuple[StudyImage, ...]
+    scheme: DiscretizationScheme
+    hasher: Hasher = Hasher()
+    rounds: int = 5
+    start_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.images:
+            raise ParameterError("CCP needs a non-empty image pool")
+        if self.scheme.dim != 2:
+            raise ParameterError(
+                f"CCP needs a 2-D scheme, got {self.scheme.dim}-D"
+            )
+        if self.rounds < 1:
+            raise ParameterError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0 <= self.start_index < len(self.images):
+            raise ParameterError(
+                f"start_index {self.start_index} out of range for "
+                f"{len(self.images)} images"
+            )
+
+    # -- enrollment -------------------------------------------------------------
+
+    def enroll(self, points: Sequence[Point]) -> StoredPassword:
+        """Create a CCP password from one click per round.
+
+        Raises :class:`~repro.errors.DomainError` when a click falls outside
+        the image shown at its round (image identity is path-dependent).
+        """
+        if len(points) != self.rounds:
+            raise VerificationError(
+                f"expected {self.rounds} click-points, got {len(points)}"
+            )
+        publics = []
+        secrets = []
+        image_index = self.start_index
+        for round_index, point in enumerate(points):
+            image = self.images[image_index]
+            if not image.contains(point):
+                raise DomainError(
+                    f"round {round_index}: click {point!r} outside image "
+                    f"{image.name!r}"
+                )
+            enrollment = self.scheme.enroll(point)
+            publics.append(enrollment.public)
+            secrets.append(tuple(int(i) for i in enrollment.secret))
+            image_index = next_image_index(
+                round_index, enrollment.secret, enrollment.public, len(self.images)
+            )
+        record = make_record(
+            _flatten(tuple(publics)), _flatten(tuple(secrets)), self.hasher
+        )
+        return StoredPassword(
+            scheme_name=f"ccp-{self.scheme.name}",
+            publics=tuple(publics),
+            record=record,
+        )
+
+    # -- verification -------------------------------------------------------------
+
+    def image_path(
+        self, stored: StoredPassword, points: Sequence[Point]
+    ) -> Tuple[int, ...]:
+        """The image indices a login attempt would be shown.
+
+        Computed from the *located* cells of the attempted clicks — this is
+        the implicit-feedback path, which diverges as soon as a click lands
+        in a wrong cell.
+        """
+        if len(points) != self.rounds:
+            raise VerificationError(
+                f"expected {self.rounds} click-points, got {len(points)}"
+            )
+        path = [self.start_index]
+        for round_index, (point, public) in enumerate(zip(points, stored.publics)):
+            located = self.scheme.locate(point, public)
+            path.append(
+                next_image_index(round_index, located, public, len(self.images))
+            )
+        return tuple(path[:-1])
+
+    def verify(self, stored: StoredPassword, points: Sequence[Point]) -> bool:
+        """Check a login attempt (final-hash comparison, as deployed)."""
+        if len(points) != self.rounds:
+            raise VerificationError(
+                f"expected {self.rounds} click-points, got {len(points)}"
+            )
+        secrets = []
+        for point, public in zip(points, stored.publics):
+            secrets.append(tuple(int(i) for i in self.scheme.locate(point, public)))
+        return stored.record.matches(_flatten(tuple(secrets)))

@@ -1,0 +1,101 @@
+"""PassPoints: the click-based graphical password system the paper evaluates.
+
+PassPoints (Wiedenbeck et al. 2005) passwords are ordered sequences of five
+click-points on a single image; login requires re-entering all five within
+tolerance, in order.  The discretization scheme is pluggable — the whole
+point of the paper is comparing PassPoints-over-Robust against
+PassPoints-over-Centered.
+
+:class:`PassPointsSystem` enforces the image domain, click count, and the
+storage flow; it delegates geometry to the scheme and hashing to the crypto
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.scheme import DiscretizationScheme
+from repro.crypto.hashing import Hasher
+from repro.errors import DomainError, ParameterError, VerificationError
+from repro.geometry.point import Point
+from repro.passwords.system import StoredPassword, enroll_password, verify_password
+from repro.study.dataset import PasswordSample
+from repro.study.image import StudyImage
+
+__all__ = ["PassPointsSystem"]
+
+#: Classic PassPoints click count (paper §4: 5-click passwords).
+DEFAULT_CLICKS = 5
+
+
+@dataclass(frozen=True)
+class PassPointsSystem:
+    """A PassPoints deployment: one image, one scheme, one hasher.
+
+    Parameters
+    ----------
+    image:
+        The background image defining the click domain.
+    scheme:
+        Any 2-D discretization scheme.
+    hasher:
+        Hashing configuration; per-user salts are applied by the store via
+        :meth:`with_salt` at account-creation time.
+    clicks:
+        Number of click-points per password (default 5).
+    """
+
+    image: StudyImage
+    scheme: DiscretizationScheme
+    hasher: Hasher = Hasher()
+    clicks: int = DEFAULT_CLICKS
+
+    def __post_init__(self) -> None:
+        if self.scheme.dim != 2:
+            raise ParameterError(
+                f"PassPoints needs a 2-D scheme, got {self.scheme.dim}-D"
+            )
+        if self.clicks < 1:
+            raise ParameterError(f"clicks must be >= 1, got {self.clicks}")
+
+    def _validate_points(self, points: Sequence[Point]) -> None:
+        if len(points) != self.clicks:
+            raise VerificationError(
+                f"expected {self.clicks} click-points, got {len(points)}"
+            )
+        for point in points:
+            if not self.image.contains(point):
+                raise DomainError(
+                    f"click-point {point!r} outside image "
+                    f"{self.image.name!r} ({self.image.width}x{self.image.height})"
+                )
+
+    def enroll(self, points: Sequence[Point]) -> StoredPassword:
+        """Create a password from ordered click-points on the image."""
+        self._validate_points(points)
+        return enroll_password(self.scheme, points, self.hasher)
+
+    def enroll_sample(self, sample: PasswordSample) -> StoredPassword:
+        """Enroll a study-dataset password sample."""
+        if sample.image_name != self.image.name:
+            raise DomainError(
+                f"sample is for image {sample.image_name!r}, system uses "
+                f"{self.image.name!r}"
+            )
+        return self.enroll(sample.points)
+
+    def verify(self, stored: StoredPassword, points: Sequence[Point]) -> bool:
+        """Check a login attempt; ``False`` on mismatch."""
+        self._validate_points(points)
+        return verify_password(self.scheme, stored, points)
+
+    def with_salt(self, salt: bytes) -> "PassPointsSystem":
+        """A copy of the system salted for one user account."""
+        return PassPointsSystem(
+            image=self.image,
+            scheme=self.scheme,
+            hasher=self.hasher.with_salt(salt),
+            clicks=self.clicks,
+        )

@@ -1,0 +1,193 @@
+"""Persuasive Cued Click-Points (PCCP) — viewport-constrained selection.
+
+PCCP (Chiasson, Forget, Biddle, van Oorschot — cited as [7] by the paper)
+is CCP plus a *persuasion* mechanism at password-creation time: the system
+darkens the image except for a small randomly positioned **viewport**; the
+user must click inside it (or press "shuffle" for a new random viewport).
+Login is unchanged.  The effect is to flatten hotspot concentration — the
+paper (§2.1) notes such systems "reduce the likelihood that users select
+click-points that fall within hotspots", directly weakening human-seeded
+dictionaries.
+
+Two pieces live here:
+
+* :class:`ViewportSelectionModel` — the creation-time behaviour, usable
+  anywhere a :class:`~repro.study.clickmodel.SelectionModel` is (it changes
+  the *distribution* of chosen points; the hotspot-flattening ablation in
+  ``benchmarks/`` quantifies the attack impact);
+* :class:`PCCPSystem` — a thin composition: CCP verification plus
+  viewport-driven selection for simulated users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.geometry.point import Point
+from repro.passwords.ccp import CCPSystem
+from repro.study.clickmodel import SelectionModel
+from repro.study.image import StudyImage
+
+__all__ = ["ViewportSelectionModel", "PCCPSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class ViewportSelectionModel:
+    """Creation-time click selection constrained to a random viewport.
+
+    Attributes
+    ----------
+    viewport_size:
+        Side of the square viewport in pixels (PCCP's prototype used 75).
+    shuffle_rate:
+        Probability that a simulated user presses "shuffle" at least once,
+        re-rolling the viewport toward a more salient area (users shuffling
+        to reach hotspots is the behaviour PCCP tries to discourage; a low
+        rate models compliant users).
+    max_shuffles:
+        Upper bound on shuffles for a shuffling user.
+    """
+
+    viewport_size: int = 75
+    shuffle_rate: float = 0.2
+    max_shuffles: int = 3
+
+    def __post_init__(self) -> None:
+        if self.viewport_size < 3:
+            raise ParameterError(
+                f"viewport_size must be >= 3, got {self.viewport_size}"
+            )
+        if not 0 <= self.shuffle_rate <= 1:
+            raise ParameterError(
+                f"shuffle_rate must be in [0, 1], got {self.shuffle_rate}"
+            )
+        if self.max_shuffles < 0:
+            raise ParameterError(
+                f"max_shuffles must be >= 0, got {self.max_shuffles}"
+            )
+
+    def _random_viewport(
+        self, image: StudyImage, rng: np.random.Generator
+    ) -> Tuple[int, int]:
+        """Top-left corner of a uniformly random viewport inside the image."""
+        size = min(self.viewport_size, image.width, image.height)
+        x0 = int(rng.integers(0, image.width - size + 1))
+        y0 = int(rng.integers(0, image.height - size + 1))
+        return x0, y0
+
+    def _viewport_salience(
+        self, image: StudyImage, corner: Tuple[int, int]
+    ) -> float:
+        """Total hotspot weight reachable inside a viewport (cheap proxy)."""
+        size = min(self.viewport_size, image.width, image.height)
+        x0, y0 = corner
+        total = 0.0
+        for spot in image.hotspots:
+            if x0 <= spot.x < x0 + size and y0 <= spot.y < y0 + size:
+                total += spot.weight
+        return total
+
+    def sample_click(
+        self, image: StudyImage, rng: np.random.Generator
+    ) -> Point:
+        """One creation-time click under the viewport mechanism.
+
+        A compliant user clicks near the most salient feature inside the
+        viewport (or roughly centrally when the viewport is featureless);
+        a shuffling user re-rolls up to ``max_shuffles`` times and keeps the
+        most salient viewport seen.
+        """
+        size = min(self.viewport_size, image.width, image.height)
+        corner = self._random_viewport(image, rng)
+        if rng.random() < self.shuffle_rate:
+            for _ in range(self.max_shuffles):
+                candidate = self._random_viewport(image, rng)
+                if self._viewport_salience(image, candidate) > self._viewport_salience(
+                    image, corner
+                ):
+                    corner = candidate
+        x0, y0 = corner
+        inside = [
+            spot
+            for spot in image.hotspots
+            if x0 <= spot.x < x0 + size and y0 <= spot.y < y0 + size
+        ]
+        if inside:
+            weights = np.array([s.weight for s in inside], dtype=float)
+            weights /= weights.sum()
+            spot = inside[int(rng.choice(len(inside), p=weights))]
+            x, y = image.clamp(
+                rng.normal(spot.x, spot.spread), rng.normal(spot.y, spot.spread)
+            )
+            # The click must stay inside the viewport.
+            x = min(max(x, x0), x0 + size - 1)
+            y = min(max(y, y0), y0 + size - 1)
+        else:
+            x = int(rng.integers(x0, x0 + size))
+            y = int(rng.integers(y0, y0 + size))
+        return Point.xy(x, y)
+
+    def sample_password(
+        self,
+        images: Sequence[StudyImage],
+        rng: np.random.Generator,
+    ) -> Tuple[Point, ...]:
+        """One click per image, each under a fresh random viewport."""
+        return tuple(self.sample_click(image, rng) for image in images)
+
+    def as_selection_model(self) -> SelectionModel:
+        """A plain :class:`SelectionModel` for APIs that expect one.
+
+        Viewport placement already spreads points; the wrapper only carries
+        the minimum-separation convention for single-image use.
+        """
+        return SelectionModel(min_separation=0)
+
+
+@dataclass(frozen=True)
+class PCCPSystem:
+    """Persuasive Cued Click-Points: CCP verification + viewport creation.
+
+    Login-time behaviour is identical to :class:`~repro.passwords.ccp.CCPSystem`
+    (the persuasion only exists during password creation), so this class
+    wraps one and adds the simulated-user creation flow.
+    """
+
+    ccp: CCPSystem
+    viewport: ViewportSelectionModel = ViewportSelectionModel()
+
+    def create_password(
+        self, rng: np.random.Generator
+    ) -> Tuple[Tuple[Point, ...], "object"]:
+        """Simulate a user creating a PCCP password.
+
+        Returns ``(points, stored)``: the creation-time clicks (needed by
+        study simulations to model later re-entry) and the stored record.
+        The image sequence is path-dependent, so each round's click is
+        sampled on the image the previous click leads to.
+        """
+        points: list[Point] = []
+        image_index = self.ccp.start_index
+        from repro.passwords.ccp import next_image_index
+
+        for round_index in range(self.ccp.rounds):
+            image = self.ccp.images[image_index]
+            point = self.viewport.sample_click(image, rng)
+            points.append(point)
+            enrollment = self.ccp.scheme.enroll(point)
+            image_index = next_image_index(
+                round_index,
+                enrollment.secret,
+                enrollment.public,
+                len(self.ccp.images),
+            )
+        stored = self.ccp.enroll(points)
+        return tuple(points), stored
+
+    def verify(self, stored: "object", points: Sequence[Point]) -> bool:
+        """Login-time check; identical to CCP."""
+        return self.ccp.verify(stored, points)  # type: ignore[arg-type]

@@ -1,0 +1,111 @@
+"""Login throttling policies for online-attack resistance.
+
+The paper's online-attack discussion (§5.1) notes "the system may limit the
+number of incorrect login attempts for individual accounts, slowing or
+stopping the attack".  :class:`LockoutPolicy` models the standard
+mechanisms: a hard failure cap and/or exponentially growing delays.  The
+online attack (:mod:`repro.attacks.online`) runs against these policies to
+measure how many guesses an attacker actually gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import LockoutError, ParameterError
+
+__all__ = ["LockoutPolicy", "AccountThrottle"]
+
+
+@dataclass(frozen=True, slots=True)
+class LockoutPolicy:
+    """Parameters of a per-account throttling policy.
+
+    Attributes
+    ----------
+    max_failures:
+        Consecutive failures after which the account locks permanently
+        (``None`` disables hard lockout).
+    delay_base_seconds:
+        First-retry delay for exponential backoff (0 disables delays).
+    delay_growth:
+        Multiplicative delay growth per failure.
+    """
+
+    max_failures: Optional[int] = 3
+    delay_base_seconds: float = 0.0
+    delay_growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ParameterError(
+                f"max_failures must be >= 1 or None, got {self.max_failures}"
+            )
+        if self.delay_base_seconds < 0:
+            raise ParameterError(
+                f"delay_base_seconds must be >= 0, got {self.delay_base_seconds}"
+            )
+        if self.delay_growth < 1:
+            raise ParameterError(
+                f"delay_growth must be >= 1, got {self.delay_growth}"
+            )
+
+    def delay_after(self, failures: int) -> float:
+        """Enforced delay (seconds) after the given failure count."""
+        if failures < 0:
+            raise ParameterError(f"failures must be >= 0, got {failures}")
+        if failures == 0 or self.delay_base_seconds == 0:
+            return 0.0
+        return self.delay_base_seconds * self.delay_growth ** (failures - 1)
+
+    def guesses_allowed(self) -> Optional[int]:
+        """Total guesses an attacker gets before hard lockout (None = ∞)."""
+        return self.max_failures
+
+
+@dataclass
+class AccountThrottle:
+    """Mutable per-account throttle state driven by a policy.
+
+    The live system calls :meth:`check` before each attempt and
+    :meth:`record` after; the online attack simulation uses the same object,
+    so the attacker faces exactly the defender's rules.
+    """
+
+    policy: LockoutPolicy
+    failures: int = 0
+    locked: bool = False
+    accumulated_delay: float = 0.0
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.LockoutError` when locked."""
+        if self.locked:
+            raise LockoutError(
+                f"account locked after {self.failures} consecutive failures"
+            )
+
+    def record(self, success: bool) -> None:
+        """Update state after an attempt."""
+        self.check()
+        if success:
+            self.failures = 0
+            return
+        self.failures += 1
+        self.accumulated_delay += self.policy.delay_after(self.failures)
+        cap = self.policy.max_failures
+        if cap is not None and self.failures >= cap:
+            self.locked = True
+
+
+@dataclass
+class _Registry:
+    """Internal: maps account names to throttle state (used by the store)."""
+
+    policy: LockoutPolicy
+    accounts: Dict[str, AccountThrottle] = field(default_factory=dict)
+
+    def for_account(self, name: str) -> AccountThrottle:
+        if name not in self.accounts:
+            self.accounts[name] = AccountThrottle(self.policy)
+        return self.accounts[name]

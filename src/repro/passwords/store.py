@@ -1,0 +1,139 @@
+"""Server-side password store: accounts, salted records, throttled login.
+
+Binds together everything the paper says about deployment:
+
+* each account stores clear public material + one salted hash
+  (§2.2, §3.1–3.2) — the store is exactly what an offline attacker steals;
+* per-user salts ("a user identifier could be added to the hash … stored in
+  clear-text, essentially serving as a salt", §3.2);
+* online login throttling (§5.1).
+
+The store is scheme-agnostic: it is constructed around a
+:class:`~repro.passwords.passpoints.PassPointsSystem` (or any object with
+``enroll``/``verify`` and ``with_salt``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.errors import StoreError
+from repro.geometry.point import Point
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import AccountThrottle, LockoutPolicy
+from repro.passwords.system import StoredPassword
+
+__all__ = ["PasswordStore"]
+
+
+@dataclass
+class PasswordStore:
+    """A multi-account graphical-password service.
+
+    Parameters
+    ----------
+    system:
+        The (unsalted) deployment; each account gets a per-user salted copy.
+    policy:
+        Online throttling policy applied to every account.
+    """
+
+    system: PassPointsSystem
+    policy: LockoutPolicy = LockoutPolicy()
+    _records: Dict[str, StoredPassword] = field(default_factory=dict)
+    _throttles: Dict[str, AccountThrottle] = field(default_factory=dict)
+
+    # -- accounts -----------------------------------------------------------
+
+    @staticmethod
+    def salt_for(username: str) -> bytes:
+        """The per-user salt: the user identifier itself (paper §3.2)."""
+        return username.encode("utf-8")
+
+    def _salted_system(self, username: str) -> PassPointsSystem:
+        return self.system.with_salt(self.salt_for(username))
+
+    def create_account(self, username: str, points: Sequence[Point]) -> None:
+        """Register an account with a graphical password."""
+        if username in self._records:
+            raise StoreError(f"account {username!r} already exists")
+        stored = self._salted_system(username).enroll(points)
+        self._records[username] = stored
+        self._throttles[username] = AccountThrottle(self.policy)
+
+    def delete_account(self, username: str) -> None:
+        """Remove an account."""
+        if username not in self._records:
+            raise StoreError(f"unknown account {username!r}")
+        del self._records[username]
+        del self._throttles[username]
+
+    @property
+    def usernames(self) -> tuple:
+        """All registered account names (sorted for determinism)."""
+        return tuple(sorted(self._records))
+
+    def record_for(self, username: str) -> StoredPassword:
+        """The stored record — what an offline attacker exfiltrates."""
+        try:
+            return self._records[username]
+        except KeyError:
+            raise StoreError(f"unknown account {username!r}") from None
+
+    def throttle_for(self, username: str) -> AccountThrottle:
+        """The account's throttle state (for inspection and attacks)."""
+        try:
+            return self._throttles[username]
+        except KeyError:
+            raise StoreError(f"unknown account {username!r}") from None
+
+    # -- login ---------------------------------------------------------------
+
+    def login(self, username: str, points: Sequence[Point]) -> bool:
+        """One throttled login attempt.
+
+        Raises :class:`~repro.errors.LockoutError` when the account is
+        locked; otherwise records the outcome with the throttle and returns
+        the verification result.
+        """
+        stored = self.record_for(username)
+        throttle = self.throttle_for(username)
+        throttle.check()
+        ok = self._salted_system(username).verify(stored, points)
+        throttle.record(ok)
+        return ok
+
+    def is_locked(self, username: str) -> bool:
+        """Whether the account is currently locked out."""
+        return self.throttle_for(username).locked
+
+    # -- serialization ----------------------------------------------------------
+
+    def dump_records(self) -> str:
+        """Serialize the *password file* (records only) to JSON.
+
+        This is the artifact offline attacks assume stolen: public
+        material, digests, salts and hashing parameters — but no throttle
+        state and, of course, no click-points.
+        """
+        payload = {
+            username: stored.to_json()
+            for username, stored in self._records.items()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def load_records(self, payload: str) -> None:
+        """Load a password file dumped by :meth:`dump_records`.
+
+        Existing accounts are replaced; throttle states reset.
+        """
+        data = json.loads(payload)
+        self._records = {
+            username: StoredPassword.from_json(stored)
+            for username, stored in data.items()
+        }
+        self._throttles = {
+            username: AccountThrottle(self.policy) for username in self._records
+        }

@@ -1,0 +1,165 @@
+"""Scheme-agnostic machinery for multi-click hashed graphical passwords.
+
+This module glues a :class:`~repro.core.scheme.DiscretizationScheme` to the
+crypto layer, implementing the storage flow of the paper (§3.1–3.2):
+
+* enrollment discretizes every click-point, keeps the per-point **public**
+  material (grid identifiers / offsets) in the clear, and stores a single
+  hash over the concatenation of all public material and all secret
+  indices — "all segment indices and their offsets are concatenated and
+  hashed together as one", preventing per-point divide-and-conquer;
+* verification re-discretizes the attempted click-points under the stored
+  public material and compares hashes.
+
+:class:`StoredPassword` is the unit the password store persists and the
+offline attacks target (they see exactly: public material + hash + hashing
+parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.scheme import Discretization, DiscretizationScheme
+from repro.crypto.encoding import Encodable
+from repro.crypto.hashing import Hasher
+from repro.crypto.records import VerificationRecord, make_record
+from repro.errors import VerificationError
+from repro.geometry.point import Point
+
+__all__ = ["StoredPassword", "enroll_password", "verify_password", "locate_secrets"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoredPassword:
+    """Everything the server stores for one graphical password.
+
+    Attributes
+    ----------
+    scheme_name:
+        Name of the discretization scheme (for record-keeping; the verifier
+        is constructed with the scheme object itself).
+    publics:
+        Per-click-point public material, in click order — Robust: one grid
+        identifier per point; Centered: ``dim`` offsets per point.
+    record:
+        The hash record; its ``public`` field is the flattened ``publics``
+        and its digest covers publics + all secret indices.
+    """
+
+    scheme_name: str
+    publics: Tuple[Tuple[Encodable, ...], ...]
+    record: VerificationRecord
+
+    @property
+    def clicks(self) -> int:
+        """Number of click-points in the password."""
+        return len(self.publics)
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation."""
+        from fractions import Fraction
+
+        def scalar_json(value: Encodable):
+            if isinstance(value, Fraction):
+                return {"q": [value.numerator, value.denominator]}
+            return value
+
+        return {
+            "scheme_name": self.scheme_name,
+            "publics": [[scalar_json(v) for v in per_point] for per_point in self.publics],
+            "record": self.record.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StoredPassword":
+        """Inverse of :meth:`to_json`."""
+        from fractions import Fraction
+
+        def scalar_from_json(value):
+            if isinstance(value, dict) and "q" in value:
+                num, den = value["q"]
+                return Fraction(int(num), int(den))
+            return value
+
+        return cls(
+            scheme_name=str(data["scheme_name"]),
+            publics=tuple(
+                tuple(scalar_from_json(v) for v in per_point)
+                for per_point in data["publics"]
+            ),
+            record=VerificationRecord.from_json(data["record"]),
+        )
+
+
+def _flatten(parts: Sequence[Tuple[Encodable, ...]]) -> Tuple[Encodable, ...]:
+    """Flatten per-point tuples into the canonical hash order."""
+    flat: list[Encodable] = []
+    for part in parts:
+        flat.extend(part)
+    return tuple(flat)
+
+
+def enroll_password(
+    scheme: DiscretizationScheme,
+    points: Sequence[Point],
+    hasher: Hasher | None = None,
+) -> StoredPassword:
+    """Enroll a multi-click password under *scheme*.
+
+    Returns the server-side :class:`StoredPassword`; nothing about the
+    original points is retained beyond the public material and the hash.
+
+    >>> from repro.core.centered import CenteredDiscretization
+    >>> scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+    >>> stored = enroll_password(scheme, [Point.xy(10, 20), Point.xy(100, 50)])
+    >>> verify_password(scheme, stored, [Point.xy(12, 25), Point.xy(95, 41)])
+    True
+    """
+    if not points:
+        raise VerificationError("a password needs at least one click-point")
+    enrollments: Tuple[Discretization, ...] = scheme.enroll_many(points)
+    publics = tuple(e.public for e in enrollments)
+    secrets = tuple(tuple(int(i) for i in e.secret) for e in enrollments)
+    record = make_record(_flatten(publics), _flatten(secrets), hasher)
+    return StoredPassword(
+        scheme_name=scheme.name, publics=publics, record=record
+    )
+
+
+def locate_secrets(
+    scheme: DiscretizationScheme,
+    stored: StoredPassword,
+    points: Sequence[Point],
+) -> Tuple[Tuple[int, ...], ...]:
+    """Discretize candidate *points* under the stored public material.
+
+    This is the verification-side computation shared by the live system and
+    the offline attacks (an attacker with the password file has the same
+    public material the verifier has).
+    """
+    if len(points) != stored.clicks:
+        raise VerificationError(
+            f"expected {stored.clicks} click-points, got {len(points)}"
+        )
+    return tuple(
+        scheme.locate(point, public)
+        for point, public in zip(points, stored.publics)
+    )
+
+
+def verify_password(
+    scheme: DiscretizationScheme,
+    stored: StoredPassword,
+    points: Sequence[Point],
+) -> bool:
+    """Check a login attempt against a stored password.
+
+    Exactly the deployed flow: discretize under stored public material,
+    hash, compare digests.  Returns ``False`` for any well-formed mismatch;
+    raises :class:`~repro.errors.VerificationError` only for structural
+    problems (wrong click count).
+    """
+    secrets = locate_secrets(scheme, stored, points)
+    return stored.record.matches(_flatten(secrets))

@@ -1,0 +1,59 @@
+"""Simulated user-study substrate.
+
+Stand-in for the paper's empirical data (§4): synthetic salience-map images
+(*Cars*/*Pool*), hotspot-seeking click selection, accurate-but-noisy click
+re-entry, a field-study generator matching the paper's dataset shape
+(191 participants / 481 passwords / 3339 logins), and a lab-study generator
+for attack-dictionary seeding (30 passwords per image).
+"""
+
+from repro.study.clickmodel import (
+    DEFAULT_ERROR_MODEL,
+    DEFAULT_SELECTION_MODEL,
+    ClickErrorModel,
+    SelectionModel,
+)
+from repro.study.dataset import LoginSample, PasswordSample, StudyDataset
+from repro.study.fieldstudy import (
+    PAPER_STUDY,
+    FieldStudyConfig,
+    generate_field_study,
+)
+from repro.study.image import (
+    PAPER_IMAGE_HEIGHT,
+    PAPER_IMAGE_WIDTH,
+    Hotspot,
+    StudyImage,
+    canonical_images,
+    cars_image,
+    pool_image,
+    random_image,
+)
+from repro.study.labstudy import LabStudyConfig, generate_lab_study, lab_click_points
+from repro.study.users import Participant, generate_participants
+
+__all__ = [
+    "DEFAULT_ERROR_MODEL",
+    "DEFAULT_SELECTION_MODEL",
+    "ClickErrorModel",
+    "FieldStudyConfig",
+    "Hotspot",
+    "LabStudyConfig",
+    "LoginSample",
+    "PAPER_IMAGE_HEIGHT",
+    "PAPER_IMAGE_WIDTH",
+    "PAPER_STUDY",
+    "Participant",
+    "PasswordSample",
+    "SelectionModel",
+    "StudyDataset",
+    "StudyImage",
+    "canonical_images",
+    "cars_image",
+    "generate_field_study",
+    "generate_lab_study",
+    "generate_participants",
+    "lab_click_points",
+    "pool_image",
+    "random_image",
+]

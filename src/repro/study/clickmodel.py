@@ -1,0 +1,231 @@
+"""User click behaviour: selection of click-points and re-entry error.
+
+Two behaviours matter to the paper's measurements:
+
+* **Selection** — where users put their original click-points.  We sample
+  from the image's hotspot mixture (popularity-weighted Gaussian around a
+  feature, or uniform background), enforcing the PassPoints-style minimum
+  separation between the points of one password.  Cross-user concentration
+  of selections is what human-seeded dictionaries exploit (Figures 7–8).
+* **Re-entry error** — how far a login click lands from the original point.
+  The paper emphasizes participants were "very accurate in targeting their
+  click-points" (footnote 3), so the model is a small discretized Gaussian
+  plus a rare gross-error component (targeting the wrong feature entirely),
+  with a per-user skill multiplier.  The error distribution drives the
+  false-accept/false-reject rates of Tables 1–2.
+
+All sampling flows through an explicit :class:`numpy.random.Generator`, so
+every simulated study is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.geometry.point import Point
+from repro.study.image import StudyImage
+
+__all__ = ["ClickErrorModel", "SelectionModel", "DEFAULT_ERROR_MODEL", "DEFAULT_SELECTION_MODEL"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClickErrorModel:
+    """Distribution of re-entry click error around the original point.
+
+    The error is a three-component mixture, per click:
+
+    1. with probability ``1 − tail_rate − gross_rate``: an *accurate* click,
+       Gaussian with per-axis std ``sigma`` (1–2 px; the paper stresses
+       participants were "very accurate");
+    2. with probability ``tail_rate``: a *sloppy* click, Gaussian with std
+       ``tail_sigma`` (a hurried or less-careful re-entry, still aimed at
+       the right feature).  Real click data is heavier-tailed than a single
+       Gaussian; this component reproduces the paper's pattern of false
+       rejects staying high from 9×9 to 13×13 squares (Table 1);
+    3. with probability ``gross_rate``: a *gross* error — the user
+       misremembers and clicks somewhere unrelated (wide Gaussian).  Gross
+       errors produce true rejects under every scheme, keeping overall
+       success rates realistic.
+
+    ``skill_spread`` is the log-normal σ of a per-user multiplier applied to
+    the accurate/sloppy stds: some users click more precisely than others.
+    """
+
+    sigma: float = 1.6
+    tail_rate: float = 0.35
+    tail_sigma: float = 2.8
+    gross_rate: float = 0.02
+    gross_sigma: float = 35.0
+    skill_spread: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ParameterError(f"sigma must be > 0, got {self.sigma}")
+        if not 0 <= self.tail_rate < 1:
+            raise ParameterError(f"tail_rate must be in [0, 1), got {self.tail_rate}")
+        if self.tail_sigma <= 0:
+            raise ParameterError(f"tail_sigma must be > 0, got {self.tail_sigma}")
+        if not 0 <= self.gross_rate < 1:
+            raise ParameterError(f"gross_rate must be in [0, 1), got {self.gross_rate}")
+        if self.tail_rate + self.gross_rate >= 1:
+            raise ParameterError(
+                "tail_rate + gross_rate must be < 1, got "
+                f"{self.tail_rate} + {self.gross_rate}"
+            )
+        if self.gross_sigma <= 0:
+            raise ParameterError(f"gross_sigma must be > 0, got {self.gross_sigma}")
+        if self.skill_spread < 0:
+            raise ParameterError(
+                f"skill_spread must be >= 0, got {self.skill_spread}"
+            )
+
+    def user_skill(self, rng: np.random.Generator) -> float:
+        """Draw one user's accuracy multiplier (1.0 when spread is 0)."""
+        if self.skill_spread == 0:
+            return 1.0
+        return float(np.exp(rng.normal(0.0, self.skill_spread)))
+
+    def sample_reentry(
+        self,
+        image: StudyImage,
+        original: Point,
+        rng: np.random.Generator,
+        skill: float = 1.0,
+    ) -> Point:
+        """Sample one re-entry click for *original* on *image*.
+
+        Returns an integer-pixel point inside the image.  With probability
+        ``gross_rate`` the click is a gross error; otherwise it is the
+        original plus discretized Gaussian noise of per-axis std
+        ``sigma × skill``.
+        """
+        if skill <= 0:
+            raise ParameterError(f"skill must be > 0, got {skill}")
+        roll = rng.random()
+        if roll < self.gross_rate:
+            spread = self.gross_sigma
+        elif roll < self.gross_rate + self.tail_rate:
+            spread = self.tail_sigma * skill
+        else:
+            spread = self.sigma * skill
+        dx = rng.normal(0.0, spread)
+        dy = rng.normal(0.0, spread)
+        x, y = image.clamp(float(original.x) + dx, float(original.y) + dy)
+        return Point.xy(x, y)
+
+    def to_json(self) -> dict:
+        """JSON-serializable parameters."""
+        return {
+            "sigma": self.sigma,
+            "tail_rate": self.tail_rate,
+            "tail_sigma": self.tail_sigma,
+            "gross_rate": self.gross_rate,
+            "gross_sigma": self.gross_sigma,
+            "skill_spread": self.skill_spread,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ClickErrorModel":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            sigma=float(data["sigma"]),
+            tail_rate=float(data.get("tail_rate", 0.0)),
+            tail_sigma=float(data.get("tail_sigma", 4.0)),
+            gross_rate=float(data["gross_rate"]),
+            gross_sigma=float(data["gross_sigma"]),
+            skill_spread=float(data["skill_spread"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionModel:
+    """How users choose the original click-points of a password.
+
+    Attributes
+    ----------
+    min_separation:
+        Minimum Chebyshev distance (pixels) between two click-points of the
+        same password; users do not pick the same feature twice.  Resampling
+        enforces the constraint.
+    max_resamples:
+        Safety bound on constraint resampling before the constraint is
+        relaxed (prevents pathological configurations from looping).
+    """
+
+    min_separation: int = 15
+    max_resamples: int = 200
+
+    def __post_init__(self) -> None:
+        if self.min_separation < 0:
+            raise ParameterError(
+                f"min_separation must be >= 0, got {self.min_separation}"
+            )
+        if self.max_resamples < 1:
+            raise ParameterError(
+                f"max_resamples must be >= 1, got {self.max_resamples}"
+            )
+
+    def _sample_raw(self, image: StudyImage, rng: np.random.Generator) -> Point:
+        """One click-point from the image's salience mixture."""
+        if rng.random() < image.background_rate:
+            x = int(rng.integers(0, image.width))
+            y = int(rng.integers(0, image.height))
+            return Point.xy(x, y)
+        weights = np.array([h.weight for h in image.hotspots], dtype=float)
+        weights /= weights.sum()
+        spot = image.hotspots[int(rng.choice(len(weights), p=weights))]
+        x, y = image.clamp(
+            rng.normal(spot.x, spot.spread), rng.normal(spot.y, spot.spread)
+        )
+        return Point.xy(x, y)
+
+    def sample_password(
+        self,
+        image: StudyImage,
+        rng: np.random.Generator,
+        clicks: int = 5,
+    ) -> Tuple[Point, ...]:
+        """Sample an ordered password of *clicks* click-points.
+
+        PassPoints passwords are ordered sequences of 5 points (paper §4).
+        """
+        if clicks < 1:
+            raise ParameterError(f"clicks must be >= 1, got {clicks}")
+        chosen: list[Point] = []
+        for _ in range(clicks):
+            for attempt in range(self.max_resamples):
+                candidate = self._sample_raw(image, rng)
+                far_enough = all(
+                    max(abs(int(candidate.x) - int(p.x)), abs(int(candidate.y) - int(p.y)))
+                    >= self.min_separation
+                    for p in chosen
+                )
+                if far_enough:
+                    break
+            chosen.append(candidate)
+        return tuple(chosen)
+
+    def to_json(self) -> dict:
+        """JSON-serializable parameters."""
+        return {
+            "min_separation": self.min_separation,
+            "max_resamples": self.max_resamples,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SelectionModel":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            min_separation=int(data["min_separation"]),
+            max_resamples=int(data["max_resamples"]),
+        )
+
+
+#: Defaults calibrated so the simulated field study lands in the paper's
+#: regime (see EXPERIMENTS.md for the calibration notes).
+DEFAULT_ERROR_MODEL = ClickErrorModel()
+DEFAULT_SELECTION_MODEL = SelectionModel()

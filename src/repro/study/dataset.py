@@ -1,0 +1,246 @@
+"""Dataset containers for simulated user studies.
+
+Mirrors the structure of the paper's field-study data (§4): a set of
+passwords (ordered click-point sequences created by users on a named image)
+and a set of login attempts, each tied to the password it tries to re-enter.
+The paper's dataset had 481 passwords and 3339 login attempts from 191
+participants over two images; the containers here carry any scale.
+
+Everything is immutable and JSON-serializable so generated studies can be
+saved, shared and re-analyzed without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.study.image import StudyImage
+
+__all__ = ["PasswordSample", "LoginSample", "StudyDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class PasswordSample:
+    """One user-created password: an ordered click-point sequence.
+
+    ``password_id`` is unique within a dataset; ``user_id`` identifies the
+    simulated participant (a user may own several passwords, as in the
+    paper's multi-week field study).
+    """
+
+    password_id: int
+    user_id: int
+    image_name: str
+    points: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DatasetError("a password needs at least one click-point")
+        for point in self.points:
+            if point.dim != 2:
+                raise DatasetError("click-points must be 2-D")
+
+    @property
+    def clicks(self) -> int:
+        """Number of click-points (5 for classic PassPoints)."""
+        return len(self.points)
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "password_id": self.password_id,
+            "user_id": self.user_id,
+            "image_name": self.image_name,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PasswordSample":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            password_id=int(data["password_id"]),
+            user_id=int(data["user_id"]),
+            image_name=str(data["image_name"]),
+            points=tuple(Point.from_json(p) for p in data["points"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LoginSample:
+    """One login attempt against a password.
+
+    ``points`` are the re-entered click-points, in order; they are compared
+    against the password's original points by the analysis code under
+    whichever discretization scheme is being evaluated.
+    """
+
+    login_id: int
+    password_id: int
+    points: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DatasetError("a login attempt needs at least one click-point")
+        for point in self.points:
+            if point.dim != 2:
+                raise DatasetError("click-points must be 2-D")
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "login_id": self.login_id,
+            "password_id": self.password_id,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LoginSample":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            login_id=int(data["login_id"]),
+            password_id=int(data["password_id"]),
+            points=tuple(Point.from_json(p) for p in data["points"]),
+        )
+
+
+@dataclass(frozen=True)
+class StudyDataset:
+    """A complete simulated study: images, passwords and login attempts.
+
+    Invariants (checked at construction):
+
+    * password ids are unique; login ids are unique;
+    * every login references an existing password and has the same number
+      of click-points as it;
+    * every password's image exists in ``images`` and all its points lie
+      inside that image.
+    """
+
+    images: Mapping[str, StudyImage]
+    passwords: Tuple[PasswordSample, ...]
+    logins: Tuple[LoginSample, ...]
+
+    def __post_init__(self) -> None:
+        by_id: Dict[int, PasswordSample] = {}
+        for password in self.passwords:
+            if password.password_id in by_id:
+                raise DatasetError(
+                    f"duplicate password_id {password.password_id}"
+                )
+            if password.image_name not in self.images:
+                raise DatasetError(
+                    f"password {password.password_id} references unknown image "
+                    f"{password.image_name!r}"
+                )
+            image = self.images[password.image_name]
+            for point in password.points:
+                if not image.contains(point):
+                    raise DatasetError(
+                        f"password {password.password_id} has point {point!r} "
+                        f"outside image {password.image_name!r}"
+                    )
+            by_id[password.password_id] = password
+        seen_logins = set()
+        for login in self.logins:
+            if login.login_id in seen_logins:
+                raise DatasetError(f"duplicate login_id {login.login_id}")
+            seen_logins.add(login.login_id)
+            target = by_id.get(login.password_id)
+            if target is None:
+                raise DatasetError(
+                    f"login {login.login_id} references unknown password "
+                    f"{login.password_id}"
+                )
+            if len(login.points) != len(target.points):
+                raise DatasetError(
+                    f"login {login.login_id} has {len(login.points)} points, "
+                    f"password {login.password_id} has {len(target.points)}"
+                )
+        object.__setattr__(self, "_password_index", by_id)
+
+    # -- access ---------------------------------------------------------------
+
+    def password(self, password_id: int) -> PasswordSample:
+        """The password with the given id."""
+        try:
+            return self._password_index[password_id]  # type: ignore[attr-defined]
+        except KeyError:
+            raise DatasetError(f"unknown password_id {password_id}") from None
+
+    def logins_for(self, password_id: int) -> Tuple[LoginSample, ...]:
+        """All login attempts against one password, in dataset order."""
+        self.password(password_id)  # raises for unknown ids
+        return tuple(l for l in self.logins if l.password_id == password_id)
+
+    def passwords_on(self, image_name: str) -> Tuple[PasswordSample, ...]:
+        """All passwords created on one image."""
+        if image_name not in self.images:
+            raise DatasetError(f"unknown image {image_name!r}")
+        return tuple(p for p in self.passwords if p.image_name == image_name)
+
+    def logins_on(self, image_name: str) -> Tuple[LoginSample, ...]:
+        """All login attempts against passwords on one image."""
+        wanted = {p.password_id for p in self.passwords_on(image_name)}
+        return tuple(l for l in self.logins if l.password_id in wanted)
+
+    def iter_login_pairs(self) -> Iterator[Tuple[PasswordSample, LoginSample]]:
+        """Yield (password, login) pairs for every login attempt."""
+        for login in self.logins:
+            yield self.password(login.password_id), login
+
+    @property
+    def user_count(self) -> int:
+        """Number of distinct simulated participants."""
+        return len({p.user_id for p in self.passwords})
+
+    def summary(self) -> dict:
+        """Headline counts, shaped like the paper's §4 description."""
+        return {
+            "participants": self.user_count,
+            "passwords": len(self.passwords),
+            "logins": len(self.logins),
+            "images": {
+                name: {
+                    "passwords": len(self.passwords_on(name)),
+                    "logins": len(self.logins_on(name)),
+                }
+                for name in self.images
+            },
+        }
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation of the full dataset."""
+        return {
+            "images": {name: img.to_json() for name, img in self.images.items()},
+            "passwords": [p.to_json() for p in self.passwords],
+            "logins": [l.to_json() for l in self.logins],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StudyDataset":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            images={
+                name: StudyImage.from_json(img)
+                for name, img in data["images"].items()
+            },
+            passwords=tuple(PasswordSample.from_json(p) for p in data["passwords"]),
+            logins=tuple(LoginSample.from_json(l) for l in data["logins"]),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the dataset to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "StudyDataset":
+        """Read a dataset from a JSON file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))

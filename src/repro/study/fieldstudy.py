@@ -1,0 +1,178 @@
+"""Field-study simulation: the stand-in for the paper's empirical dataset.
+
+The paper's usability analysis (§4) replays a field study of PassPoints
+(Chiasson et al., SOUPS 2007): **191 participants**, **481 passwords**
+created and **3339 login attempts** recorded on two 451×331 images (*Cars*
+and *Pool*), roughly half the participants per image.  The study system
+used centered tolerance without hashing, so the raw click coordinates of
+both passwords and login attempts were available for post-hoc analysis —
+which is exactly what a :class:`~repro.study.dataset.StudyDataset` holds.
+
+:func:`generate_field_study` reproduces that shape: participants are
+assigned images round-robin, passwords are distributed among participants
+as evenly as possible (participants created several passwords over the
+multi-week study), and login attempts are multinomially distributed over
+passwords.  Click selection and re-entry error come from
+:mod:`repro.study.clickmodel`.
+
+Everything derives deterministically from ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.study.clickmodel import (
+    DEFAULT_ERROR_MODEL,
+    DEFAULT_SELECTION_MODEL,
+    ClickErrorModel,
+    SelectionModel,
+)
+from repro.study.dataset import LoginSample, PasswordSample, StudyDataset
+from repro.study.image import StudyImage, canonical_images
+from repro.study.users import Participant, generate_participants
+
+__all__ = ["FieldStudyConfig", "generate_field_study", "PAPER_STUDY"]
+
+
+@dataclass(frozen=True)
+class FieldStudyConfig:
+    """Parameters of a simulated field study.
+
+    The defaults replicate the paper's dataset shape: 191 participants,
+    481 passwords, 3339 login attempts, 5 clicks per password, the Cars and
+    Pool images.
+    """
+
+    participants: int = 191
+    passwords_total: int = 481
+    logins_total: int = 3339
+    clicks_per_password: int = 5
+    seed: int = 2008
+    images: Tuple[StudyImage, ...] = field(default_factory=canonical_images)
+    error_model: ClickErrorModel = DEFAULT_ERROR_MODEL
+    selection_model: SelectionModel = DEFAULT_SELECTION_MODEL
+
+    def __post_init__(self) -> None:
+        if self.participants < 1:
+            raise ParameterError("participants must be >= 1")
+        if self.passwords_total < self.participants:
+            raise ParameterError(
+                "passwords_total must be >= participants "
+                f"({self.passwords_total} < {self.participants}); every "
+                "participant created at least one password"
+            )
+        if self.logins_total < 0:
+            raise ParameterError("logins_total must be >= 0")
+        if self.clicks_per_password < 1:
+            raise ParameterError("clicks_per_password must be >= 1")
+        if not self.images:
+            raise ParameterError("at least one image is required")
+        names = [img.name for img in self.images]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate image names: {names}")
+
+    def with_seed(self, seed: int) -> "FieldStudyConfig":
+        """A copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+
+#: The paper's dataset shape with calibrated default behaviour models.
+PAPER_STUDY = FieldStudyConfig()
+
+
+def _spread_counts(total: int, bins: int, rng: np.random.Generator) -> np.ndarray:
+    """Distribute *total* items over *bins*: one each, remainder multinomial.
+
+    Guarantees every bin gets at least one item when ``total >= bins`` —
+    every participant created at least one password, and (separately) every
+    password received at least one login attempt whenever logins permit.
+    """
+    counts = np.ones(bins, dtype=int)
+    remainder = total - bins
+    if remainder > 0:
+        extra = rng.multinomial(remainder, np.full(bins, 1.0 / bins))
+        counts += extra
+    return counts
+
+
+def generate_field_study(config: FieldStudyConfig = PAPER_STUDY) -> StudyDataset:
+    """Simulate a complete field study.
+
+    Pipeline (all driven by ``config.seed``):
+
+    1. generate participants with per-user skill, round-robin image
+       assignment (paper: about half per image);
+    2. distribute ``passwords_total`` among participants (≥ 1 each) and
+       sample each password's click-points from the image's hotspot
+       mixture with the minimum-separation rule;
+    3. distribute ``logins_total`` among passwords (≥ 1 each when possible)
+       and sample each login's click-points as original + re-entry error.
+
+    Returns a validated :class:`~repro.study.dataset.StudyDataset`.
+    """
+    rng = np.random.default_rng(config.seed)
+    images: Dict[str, StudyImage] = {img.name: img for img in config.images}
+    participants = generate_participants(
+        config.participants, config.images, config.error_model, rng
+    )
+
+    # -- passwords -------------------------------------------------------------
+    per_user = _spread_counts(config.passwords_total, len(participants), rng)
+    passwords: list[PasswordSample] = []
+    owners: list[Participant] = []
+    password_id = 0
+    for participant, count in zip(participants, per_user):
+        image = images[participant.image_name]
+        for _ in range(int(count)):
+            points = config.selection_model.sample_password(
+                image, rng, clicks=config.clicks_per_password
+            )
+            passwords.append(
+                PasswordSample(
+                    password_id=password_id,
+                    user_id=participant.user_id,
+                    image_name=image.name,
+                    points=points,
+                )
+            )
+            owners.append(participant)
+            password_id += 1
+
+    # -- logins -----------------------------------------------------------------
+    logins: list[LoginSample] = []
+    if config.logins_total > 0:
+        if config.logins_total >= len(passwords):
+            per_password = _spread_counts(
+                config.logins_total, len(passwords), rng
+            )
+        else:
+            per_password = np.zeros(len(passwords), dtype=int)
+            chosen = rng.choice(
+                len(passwords), size=config.logins_total, replace=False
+            )
+            per_password[chosen] = 1
+        login_id = 0
+        for password, owner, count in zip(passwords, owners, per_password):
+            image = images[password.image_name]
+            for _ in range(int(count)):
+                attempt_points = tuple(
+                    config.error_model.sample_reentry(
+                        image, original, rng, skill=owner.skill
+                    )
+                    for original in password.points
+                )
+                logins.append(
+                    LoginSample(
+                        login_id=login_id,
+                        password_id=password.password_id,
+                        points=attempt_points,
+                    )
+                )
+                login_id += 1
+
+    return StudyDataset(images=images, passwords=tuple(passwords), logins=tuple(logins))

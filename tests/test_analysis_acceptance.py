@@ -1,0 +1,147 @@
+"""Tests for the analytic acceptance-probability module."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.acceptance import (
+    acceptance_curve,
+    centered_accept_probability,
+    interval_stay_probability,
+    robust_accept_probability,
+    scheme_accept_probability,
+    static_accept_probability,
+)
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import GridSelection, RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.errors import ParameterError
+from repro.geometry.point import Point
+
+
+class TestIntervalStayProbability:
+    def test_zero_sigma_is_indicator(self):
+        assert interval_stay_probability(-1, 1, 0) == 1.0
+        assert interval_stay_probability(0.5, 1, 0) == 0.0
+        assert interval_stay_probability(-1, 0, 0) == 0.0  # half-open at 0
+
+    def test_symmetric_interval(self):
+        p = interval_stay_probability(-2, 2, 1)
+        # P(|Z| < 2) ≈ 0.9545
+        assert abs(p - 0.9545) < 0.001
+
+    def test_monotone_in_width(self):
+        assert interval_stay_probability(-1, 1, 2) < interval_stay_probability(
+            -3, 3, 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            interval_stay_probability(-1, 1, -0.5)
+
+
+class TestCenteredClosedForm:
+    def test_matches_normal_cdf(self):
+        r, sigma = 4.5, 2.0
+        per_axis = math.erf(r / sigma / math.sqrt(2))
+        expected = per_axis**10  # 5 clicks x 2 axes
+        assert abs(centered_accept_probability(r, sigma) - expected) < 1e-12
+
+    def test_sigma_zero_always_accepts(self):
+        assert centered_accept_probability(4.5, 0.0) == 1.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=20.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40)
+    def test_monotone_in_r(self, r, sigma):
+        assert centered_accept_probability(
+            r + 1, sigma
+        ) >= centered_accept_probability(r, sigma)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            centered_accept_probability(0, 1)
+        with pytest.raises(ParameterError):
+            centered_accept_probability(1, 1, clicks=0)
+
+
+class TestSchemeOrdering:
+    def test_robust_above_centered_above_static_at_equal_r(self):
+        """6r cells accept more noise than 2r cells than an uncentered grid."""
+        sigma, r = 3.0, 4
+        robust = robust_accept_probability(r, sigma)
+        centered = centered_accept_probability(r + 0.5, sigma)
+        static = static_accept_probability(2 * r + 1, sigma)
+        assert robust > centered > static
+
+    def test_robust_policy_matters(self):
+        sigma, r = 4.0, 4
+        best = robust_accept_probability(
+            r, sigma, selection=GridSelection.MOST_CENTERED
+        )
+        first = robust_accept_probability(
+            r, sigma, selection=GridSelection.FIRST_SAFE
+        )
+        assert best >= first
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            CenteredDiscretization.for_pixel_tolerance(2, 4),
+            RobustDiscretization(2, 4),
+            StaticGridScheme(2, 9),
+        ],
+        ids=["centered", "robust", "static"],
+    )
+    def test_agreement_within_noise(self, scheme):
+        sigma = 3.0
+        analytic = scheme_accept_probability(scheme, sigma, clicks=2)
+        rng = np.random.default_rng(1234)
+        trials = 3000
+        hits = 0
+        for _ in range(trials):
+            ok = True
+            for _ in range(2):
+                x = float(rng.uniform(50, 400))
+                y = float(rng.uniform(50, 280))
+                enrollment = scheme.enroll(Point.xy(x, y))
+                candidate = Point.xy(
+                    x + float(rng.normal(0, sigma)),
+                    y + float(rng.normal(0, sigma)),
+                )
+                if not scheme.accepts(enrollment, candidate):
+                    ok = False
+                    break
+            if ok:
+                hits += 1
+        simulated = hits / trials
+        # 3σ binomial tolerance.
+        margin = 3 * math.sqrt(max(analytic * (1 - analytic), 0.01) / trials)
+        assert abs(analytic - simulated) < margin + 0.01
+
+
+class TestAcceptanceCurve:
+    def test_curve_decreasing_in_sigma(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 6)
+        curve = acceptance_curve(scheme, sigmas=(0.5, 1.0, 2.0, 4.0), clicks=5)
+        probs = list(curve.probabilities)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_interpolation(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 6)
+        curve = acceptance_curve(scheme, sigmas=(1.0, 2.0), clicks=5)
+        mid = curve.at(1.5)
+        assert curve.probabilities[1] <= mid <= curve.probabilities[0]
+
+    def test_unsupported_scheme(self):
+        with pytest.raises(ParameterError):
+            scheme_accept_probability(RobustDiscretization(3, 4), 1.0)

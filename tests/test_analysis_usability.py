@@ -1,0 +1,108 @@
+"""Tests for the usability-statistics module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.usability import (
+    click_accuracy,
+    first_attempt_success,
+    login_success,
+    per_user_accuracy,
+)
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.errors import ParameterError
+
+
+class TestLoginSuccess:
+    def test_counts_and_rate(self, small_study):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        report = login_success(scheme, small_study)
+        assert report.attempts == len(small_study.logins)
+        assert 0 < report.rate <= 1
+        low, high = report.interval
+        assert low <= report.rate <= high
+
+    def test_larger_tolerance_more_success(self, small_study):
+        tight = login_success(
+            CenteredDiscretization.for_pixel_tolerance(2, 2), small_study
+        )
+        loose = login_success(
+            CenteredDiscretization.for_pixel_tolerance(2, 9), small_study
+        )
+        assert loose.successes >= tight.successes
+
+    def test_robust_equal_r_at_least_centered(self, small_study):
+        """Robust's 6r cells accept a superset of the centered r-box."""
+        centered = login_success(
+            CenteredDiscretization.for_pixel_tolerance(2, 6), small_study
+        )
+        robust = login_success(RobustDiscretization(2, 6), small_study)
+        assert robust.successes >= centered.successes
+
+    def test_image_filter(self, small_study):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        cars = login_success(scheme, small_study, image_name="cars")
+        pool = login_success(scheme, small_study, image_name="pool")
+        assert cars.attempts + pool.attempts == len(small_study.logins)
+        with pytest.raises(ParameterError):
+            login_success(scheme, small_study, image_name="nope")
+
+
+class TestFirstAttemptSuccess:
+    def test_one_attempt_per_password(self, small_study):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        report = first_attempt_success(scheme, small_study)
+        passwords_with_logins = {l.password_id for l in small_study.logins}
+        assert report.attempts == len(passwords_with_logins)
+
+    def test_bounded_by_overall(self, small_study):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        first = first_attempt_success(scheme, small_study)
+        assert 0 <= first.rate <= 1
+
+
+class TestClickAccuracy:
+    def test_report_shape(self, small_study):
+        report = click_accuracy(small_study)
+        assert report.clicks == len(small_study.logins) * 5
+        assert report.mean_chebyshev <= report.mean_euclidean
+        percentile_values = [v for _, v in report.percentiles]
+        assert percentile_values == sorted(percentile_values)
+
+    def test_within_fractions_monotone(self, small_study):
+        report = click_accuracy(small_study)
+        fractions = [f for _, f in report.within]
+        assert fractions == sorted(fractions)
+        assert report.fraction_within(9) >= report.fraction_within(4)
+
+    def test_users_are_accurate(self, paper_dataset):
+        """The calibration target: most clicks land within a few pixels."""
+        report = click_accuracy(paper_dataset)
+        assert report.fraction_within(4) > 0.85
+        assert report.fraction_within(13) > 0.93
+
+    def test_unknown_tolerance(self, small_study):
+        report = click_accuracy(small_study)
+        with pytest.raises(ParameterError):
+            report.fraction_within(3)
+
+    def test_filter_validation(self, small_study):
+        with pytest.raises(ParameterError):
+            click_accuracy(small_study, image_name="nope")
+
+
+class TestPerUserAccuracy:
+    def test_every_active_user_reported(self, small_study):
+        accuracy = per_user_accuracy(small_study)
+        users_with_logins = {
+            small_study.password(l.password_id).user_id
+            for l in small_study.logins
+        }
+        assert set(accuracy) == users_with_logins
+
+    def test_skill_variation_visible(self, paper_dataset):
+        accuracy = per_user_accuracy(paper_dataset)
+        values = sorted(accuracy.values())
+        assert values[-1] > 2 * values[0]  # clear spread across users

@@ -1,0 +1,213 @@
+"""Tests for the human-seeded dictionary machinery.
+
+The crucial correctness property: the closed-form crack decision and the
+exact matching-entry count must agree with brute-force enumeration of all
+ordered distinct-point tuples on small seed pools (hypothesis-driven).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.dictionary import (
+    HumanSeededDictionary,
+    partition_moebius_weight,
+    set_partitions,
+)
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.study.dataset import PasswordSample
+from repro.study.image import cars_image
+from repro.study.labstudy import generate_lab_study
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            assert len(list(set_partitions(range(n)))) == bell
+
+    def test_blocks_partition_the_set(self):
+        for partition in set_partitions(range(4)):
+            elements = sorted(x for block in partition for x in block)
+            assert elements == [0, 1, 2, 3]
+
+    def test_moebius_weight(self):
+        assert partition_moebius_weight(((0,), (1,))) == 1
+        assert partition_moebius_weight(((0, 1),)) == -1
+        assert partition_moebius_weight(((0, 1, 2),)) == 2
+
+
+class TestDictionaryBasics:
+    def test_from_lab_passwords(self):
+        lab = generate_lab_study(cars_image())
+        dictionary = HumanSeededDictionary.from_lab_passwords(lab)
+        assert len(dictionary.seed_points) == 150
+        assert dictionary.tuple_length == 5
+        assert dictionary.image_name == "cars"
+
+    def test_paper_dictionary_size(self):
+        """30 passwords x 5 clicks -> P(150, 5) ≈ 2^36 entries."""
+        lab = generate_lab_study(cars_image())
+        dictionary = HumanSeededDictionary.from_lab_passwords(lab)
+        assert dictionary.entry_count == math.perm(150, 5)
+        assert 36.0 <= dictionary.bits <= 36.1
+
+    def test_mixed_images_rejected(self):
+        a = PasswordSample(0, 0, "cars", (Point.xy(1, 1),))
+        b = PasswordSample(1, 1, "pool", (Point.xy(2, 2),))
+        with pytest.raises(AttackError):
+            HumanSeededDictionary.from_lab_passwords([a, b], tuple_length=1)
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            HumanSeededDictionary(seed_points=(Point.xy(1, 1),), tuple_length=2)
+        with pytest.raises(AttackError):
+            HumanSeededDictionary(seed_points=(), tuple_length=1)
+        with pytest.raises(AttackError):
+            HumanSeededDictionary.from_lab_passwords([])
+
+
+def brute_force(match_sets, n_seeds, k):
+    """Reference implementation: enumerate all ordered distinct tuples."""
+    sets = [set(m) for m in match_sets]
+    crack_count = 0
+    for combo in itertools.permutations(range(n_seeds), k):
+        if all(index in sets[pos] for pos, index in enumerate(combo)):
+            crack_count += 1
+    return crack_count
+
+
+match_set_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), max_size=8, unique=True),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestClosedFormAgainstBruteForce:
+    @given(match_set_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_enumeration(self, match_sets):
+        n_seeds, k = 8, len(match_sets)
+        expected = brute_force(match_sets, n_seeds, k)
+        assert (
+            HumanSeededDictionary.count_injective_assignments(match_sets)
+            == expected
+        )
+
+    @given(match_set_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_decision_matches_enumeration(self, match_sets):
+        n_seeds, k = 8, len(match_sets)
+        expected = brute_force(match_sets, n_seeds, k) > 0
+        assert (
+            HumanSeededDictionary.has_injective_assignment(match_sets) == expected
+        )
+
+    def test_hall_violation(self):
+        """Two positions sharing one single candidate cannot both be filled."""
+        match_sets = [[3], [3]]
+        assert not HumanSeededDictionary.has_injective_assignment(match_sets)
+        assert HumanSeededDictionary.count_injective_assignments(match_sets) == 0
+
+    def test_disjoint_candidates(self):
+        match_sets = [[0, 1], [2]]
+        assert HumanSeededDictionary.has_injective_assignment(match_sets)
+        assert HumanSeededDictionary.count_injective_assignments(match_sets) == 2
+
+
+class TestOracleInterface:
+    def test_cracks_and_count_via_oracle(self):
+        points = tuple(Point.xy(10 * i, 0) for i in range(6))
+        dictionary = HumanSeededDictionary(
+            seed_points=points, tuple_length=2, image_name="x"
+        )
+
+        def accepts(position, point):
+            # Position 0 accepts x < 30, position 1 accepts x >= 30.
+            return (point.x < 30) == (position == 0)
+
+        assert dictionary.cracks(accepts)
+        assert dictionary.matching_entry_count(accepts) == 9  # 3 x 3
+
+    def test_match_sets(self):
+        points = (Point.xy(0, 0), Point.xy(10, 0))
+        dictionary = HumanSeededDictionary(
+            seed_points=points, tuple_length=1, image_name="x"
+        )
+        sets = dictionary.match_sets(lambda position, point: point.x == 10)
+        assert sets == ((1,),)
+
+
+class TestPrioritizedEnumeration:
+    def _dictionary(self):
+        # Three popular points clustered together, three loners.
+        points = (
+            Point.xy(100, 100),
+            Point.xy(102, 101),
+            Point.xy(99, 103),
+            Point.xy(10, 10),
+            Point.xy(200, 50),
+            Point.xy(300, 300),
+        )
+        return HumanSeededDictionary(
+            seed_points=points, tuple_length=2, image_name="x"
+        )
+
+    def test_yields_requested_count(self):
+        dictionary = self._dictionary()
+        entries = list(dictionary.prioritized_entries(10))
+        assert len(entries) == 10
+
+    def test_entries_are_distinct_point_tuples(self):
+        dictionary = self._dictionary()
+        for entry in dictionary.prioritized_entries(20):
+            assert len(entry) == 2
+            assert entry[0] != entry[1]
+
+    def test_scores_non_increasing(self):
+        dictionary = self._dictionary()
+        scores = dictionary.popularity_scores()
+        by_point = {p: s for p, s in zip(dictionary.seed_points, scores)}
+        products = [
+            by_point[a] * by_point[b]
+            for a, b in dictionary.prioritized_entries(15)
+        ]
+        assert products == sorted(products, reverse=True)
+
+    def test_popular_cluster_comes_first(self):
+        dictionary = self._dictionary()
+        first = next(iter(dictionary.prioritized_entries(1)))
+        cluster = {Point.xy(100, 100), Point.xy(102, 101), Point.xy(99, 103)}
+        assert set(first) <= cluster
+
+    def test_limit_validation(self):
+        with pytest.raises(AttackError):
+            list(self._dictionary().prioritized_entries(-1))
+
+    def test_no_duplicates_across_stream(self):
+        dictionary = self._dictionary()
+        entries = list(dictionary.prioritized_entries(25))
+        assert len(entries) == len(set(entries))
+
+
+class TestEnumerateAll:
+    def test_small_pool(self):
+        points = (Point.xy(0, 0), Point.xy(1, 1), Point.xy(2, 2))
+        dictionary = HumanSeededDictionary(
+            seed_points=points, tuple_length=2, image_name="x"
+        )
+        entries = list(dictionary.enumerate_all())
+        assert len(entries) == 6  # P(3, 2)
+        assert dictionary.entry_count == 6
+
+    def test_refuses_huge_pools(self):
+        lab = generate_lab_study(cars_image())
+        dictionary = HumanSeededDictionary.from_lab_passwords(lab)
+        with pytest.raises(AttackError):
+            next(dictionary.enumerate_all())

@@ -1,0 +1,136 @@
+"""Tests for the divide-and-conquer demonstration (paper §3.1 rationale)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attacks.divide_conquer import (
+    attack_cost_comparison,
+    divide_and_conquer_attack,
+    enroll_per_point,
+    verify_per_point,
+)
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.errors import AttackError, VerificationError
+from repro.geometry.point import Point
+
+POINTS = [
+    Point.xy(42, 61),
+    Point.xy(130, 88),
+    Point.xy(227, 154),
+    Point.xy(318, 222),
+    Point.xy(401, 290),
+]
+
+
+@pytest.fixture(params=["centered", "robust"])
+def scheme(request):
+    if request.param == "centered":
+        return CenteredDiscretization.for_pixel_tolerance(2, 9)
+    return RobustDiscretization.for_pixel_tolerance(2, 9)
+
+
+class TestPerPointRecords:
+    def test_verify_roundtrip(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        assert verify_per_point(scheme, stored, POINTS)
+        shifted = [Point.xy(int(p.x) + 4, int(p.y) - 4) for p in POINTS]
+        assert verify_per_point(scheme, stored, shifted)
+
+    def test_wrong_point_rejected(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        attempt = list(POINTS)
+        # Shift beyond both schemes' guaranteed-rejection radius: robust at
+        # r = 9.5 accepts up to r_max = 5r = 47.5 px in the worst case.
+        attempt[3] = Point.xy(int(POINTS[3].x) + 60, int(POINTS[3].y))
+        assert not verify_per_point(scheme, stored, attempt)
+
+    def test_structural_validation(self, scheme):
+        with pytest.raises(VerificationError):
+            enroll_per_point(scheme, [])
+        stored = enroll_per_point(scheme, POINTS)
+        with pytest.raises(VerificationError):
+            verify_per_point(scheme, stored, POINTS[:2])
+
+
+class TestDivideAndConquer:
+    def test_recovers_each_position_independently(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        # Seeds: a near-duplicate of each true point plus decoys.
+        seeds = [Point.xy(int(p.x) + 2, int(p.y) - 1) for p in POINTS]
+        seeds += [Point.xy(13 * i % 451, 17 * i % 331) for i in range(20)]
+        result = divide_and_conquer_attack(scheme, stored, seeds)
+        assert result.cracked
+        # The matching seed for position j must actually verify there.
+        for j, matches in enumerate(result.per_position_matches):
+            assert matches, f"position {j} unmatched"
+            located = scheme.locate(matches[0], stored.records[j].public)
+            assert stored.records[j].matches(tuple(int(i) for i in located))
+
+    def test_cost_is_linear_not_exponential(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        seeds = [Point.xy(7 * i % 451, 11 * i % 331) for i in range(30)]
+        result = divide_and_conquer_attack(scheme, stored, seeds)
+        assert result.hash_trials == len(seeds) * len(POINTS)
+
+    def test_fails_when_a_position_is_uncovered(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        # Seeds near only 4 of the 5 points.
+        seeds = [Point.xy(int(p.x) + 1, int(p.y)) for p in POINTS[:4]]
+        result = divide_and_conquer_attack(scheme, stored, seeds)
+        assert not result.cracked
+        assert result.per_position_matches[4] == ()
+
+    def test_candidate_count_is_product(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        seeds = []
+        for p in POINTS:
+            seeds.append(Point.xy(int(p.x) + 1, int(p.y)))
+            seeds.append(Point.xy(int(p.x) - 1, int(p.y)))
+        result = divide_and_conquer_attack(scheme, stored, seeds)
+        assert result.cracked
+        expected = 1
+        for matches in result.per_position_matches:
+            expected *= len(matches)
+        assert result.recovered_candidates == expected
+        assert result.recovered_candidates >= 2**5
+
+    def test_empty_seed_validation(self, scheme):
+        stored = enroll_per_point(scheme, POINTS)
+        with pytest.raises(AttackError):
+            divide_and_conquer_attack(scheme, stored, [])
+
+
+class TestCostComparison:
+    def test_paper_parameters(self):
+        costs = attack_cost_comparison(150, 5)
+        assert costs["combined_trials"] == math.perm(150, 5)
+        assert costs["per_point_trials"] == 750
+        assert 26 <= costs["speedup_bits"] <= 27
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            attack_cost_comparison(3, 5)
+
+
+class TestExtensionExperiment:
+    def test_driver_runs_and_quantifies_speedup(self):
+        from repro.experiments.extensions import divide_and_conquer
+
+        result = divide_and_conquer(targets=10)
+        by_label = {row[0]: row[1] for row in result.rows}
+        assert by_label["hash trials per password (per-point)"] == 750
+        assert float(result.comparisons[0]["measured"]) > 25
+
+    def test_usability_profile_driver(self):
+        from repro.experiments.extensions import usability_profile
+
+        result = usability_profile()
+        names = [row[0] for row in result.rows]
+        assert names == ["centered", "robust", "static"]
+        success = {row[0]: row[1] for row in result.rows}
+        # Static grid collapses; robust >= centered at equal r.
+        assert success["static"] < success["centered"] <= success["robust"]

@@ -1,0 +1,287 @@
+"""Tests for the offline and online attacks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.offline import (
+    hash_only_work_factor,
+    offline_attack_known_identifiers,
+)
+from repro.attacks.online import online_attack
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.store import PasswordStore
+from repro.study.dataset import PasswordSample
+from repro.study.image import cars_image
+
+
+def password_at(pid, points):
+    return PasswordSample(
+        password_id=pid, user_id=pid, image_name="cars", points=tuple(points)
+    )
+
+
+class TestOfflineKnownIdentifiers:
+    def test_seed_equals_target_always_cracks(self):
+        """If the seed pool contains the exact click-points, crack is sure."""
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        target = password_at(0, points)
+        # Seeds include the exact points plus noise points.
+        seeds = tuple(points) + tuple(Point.xy(5 + i, 300) for i in range(10))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        for scheme in (
+            CenteredDiscretization.for_pixel_tolerance(2, 4),
+            RobustDiscretization(2, 4),
+        ):
+            result = offline_attack_known_identifiers(scheme, [target], dictionary)
+            assert result.cracked == 1
+            assert result.outcomes[0].matching_entries >= 1
+
+    def test_far_seeds_never_crack(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        target = password_at(0, points)
+        seeds = tuple(Point.xy(400 + i, 10) for i in range(10))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        result = offline_attack_known_identifiers(
+            CenteredDiscretization.for_pixel_tolerance(2, 9), [target], dictionary
+        )
+        assert result.cracked == 0
+        assert result.cracked_fraction == 0.0
+
+    def test_matching_entry_count_exact(self):
+        """Cross-check the reported entry count on a constructed case."""
+        points = [Point.xy(50, 50), Point.xy(150, 150)]
+        target = PasswordSample(0, 0, "cars", tuple(points))
+        # Two seeds near the first point, three near the second, one stray.
+        seeds = (
+            Point.xy(51, 50),
+            Point.xy(49, 52),
+            Point.xy(150, 151),
+            Point.xy(149, 149),
+            Point.xy(152, 150),
+            Point.xy(300, 20),
+        )
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=2, image_name="cars"
+        )
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        result = offline_attack_known_identifiers(scheme, [target], dictionary)
+        assert result.outcomes[0].cracked
+        assert result.outcomes[0].matching_entries == 2 * 3
+
+    def test_agrees_with_true_hash_verification(self):
+        """The closed-form decision equals actually hashing entries."""
+        points = [Point.xy(60, 60), Point.xy(200, 200)]
+        target = PasswordSample(0, 0, "cars", tuple(points))
+        seeds = (
+            Point.xy(62, 58),
+            Point.xy(205, 196),
+            Point.xy(110, 110),
+            Point.xy(10, 320),
+        )
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=2, image_name="cars"
+        )
+        scheme = RobustDiscretization(2, 6)
+        result = offline_attack_known_identifiers(scheme, [target], dictionary)
+
+        # Brute-force: enroll the password for real, hash every entry.
+        from repro.passwords.system import enroll_password, verify_password
+
+        stored = enroll_password(scheme, points)
+        hash_hits = sum(
+            1
+            for entry in dictionary.enumerate_all()
+            if verify_password(scheme, stored, list(entry))
+        )
+        assert result.outcomes[0].cracked == (hash_hits > 0)
+        assert result.outcomes[0].matching_entries == hash_hits
+
+    def test_equal_size_schemes_similar(self, paper_dataset):
+        """Figure 7's claim on the real workload at one grid size."""
+        from repro.experiments.common import default_dictionary
+
+        passwords = paper_dataset.passwords_on("cars")
+        dictionary = default_dictionary("cars")
+        centered = offline_attack_known_identifiers(
+            CenteredDiscretization.for_grid_size(2, 19),
+            passwords,
+            dictionary,
+            count_entries=False,
+        )
+        robust = offline_attack_known_identifiers(
+            RobustDiscretization.for_grid_size(2, 19),
+            passwords,
+            dictionary,
+            count_entries=False,
+        )
+        assert abs(centered.cracked_fraction - robust.cracked_fraction) < 0.10
+
+    def test_equal_r_robust_much_weaker(self, paper_dataset):
+        """Figure 8's claim on the real workload at r = 9."""
+        from repro.experiments.common import default_dictionary
+
+        passwords = paper_dataset.passwords_on("cars")
+        dictionary = default_dictionary("cars")
+        centered = offline_attack_known_identifiers(
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            passwords,
+            dictionary,
+            count_entries=False,
+        )
+        robust = offline_attack_known_identifiers(
+            RobustDiscretization(2, 9),
+            passwords,
+            dictionary,
+            count_entries=False,
+        )
+        assert robust.cracked_fraction > 2 * centered.cracked_fraction
+
+    def test_validation(self):
+        dictionary = HumanSeededDictionary(
+            seed_points=(Point.xy(1, 1),) * 5, tuple_length=5, image_name="cars"
+        )
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        with pytest.raises(AttackError):
+            offline_attack_known_identifiers(scheme, [], dictionary)
+        pool_password = PasswordSample(0, 0, "pool", (Point.xy(1, 1),) * 5)
+        with pytest.raises(AttackError):
+            offline_attack_known_identifiers(scheme, [pool_password], dictionary)
+        with pytest.raises(AttackError):
+            offline_attack_known_identifiers(
+                CenteredDiscretization(3, 5),
+                [password_at(0, [Point.xy(1, 1)] * 5)],
+                dictionary,
+            )
+
+    def test_click_count_mismatch(self):
+        dictionary = HumanSeededDictionary(
+            seed_points=(Point.xy(1, 1),) * 5, tuple_length=5, image_name="cars"
+        )
+        short = PasswordSample(0, 0, "cars", (Point.xy(1, 1),) * 3)
+        with pytest.raises(AttackError):
+            offline_attack_known_identifiers(
+                CenteredDiscretization.for_pixel_tolerance(2, 9),
+                [short],
+                dictionary,
+            )
+
+    def test_hash_cost_model(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        seeds = tuple(Point.xy(3 * i, 200) for i in range(12))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        result = offline_attack_known_identifiers(
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            [password_at(0, points)],
+            dictionary,
+            count_entries=False,
+        )
+        assert result.hash_operations_modeled == dictionary.entry_count
+
+
+class TestHashOnlyWorkFactor:
+    def test_robust_three_grids(self):
+        factor = hash_only_work_factor(RobustDiscretization(2, 6), clicks=5)
+        assert factor["per_click_identifiers"] == 3
+        assert factor["multiplier"] == 3**5
+        assert abs(factor["extra_bits"] - 5 * math.log2(3)) < 1e-9
+
+    def test_centered_offsets(self):
+        # 13x13 squares -> 169 offsets per click (paper's example).
+        scheme = CenteredDiscretization.for_grid_size(2, 13)
+        factor = hash_only_work_factor(scheme, clicks=5)
+        assert factor["per_click_identifiers"] == 169
+        assert factor["multiplier"] == 169**5
+
+    def test_centered_far_exceeds_robust(self):
+        centered = hash_only_work_factor(
+            CenteredDiscretization.for_grid_size(2, 13), clicks=5
+        )
+        robust = hash_only_work_factor(RobustDiscretization(2, 6), clicks=5)
+        assert centered["extra_bits"] > robust["extra_bits"] + 25
+
+    def test_static_has_no_identifiers(self):
+        factor = hash_only_work_factor(StaticGridScheme(2, 10), clicks=5)
+        assert factor["multiplier"] == 1
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            hash_only_work_factor(RobustDiscretization(2, 6), clicks=0)
+
+
+class TestOnlineAttack:
+    def _seed_cluster(self):
+        """Five tight clusters; popular points repeated across passwords."""
+        base = [Point.xy(40, 60), Point.xy(130, 90), Point.xy(230, 150),
+                Point.xy(320, 220), Point.xy(400, 290)]
+        seeds = []
+        for password_index in range(4):
+            for point in base:
+                seeds.append(
+                    Point.xy(int(point.x) + password_index, int(point.y))
+                )
+        return base, HumanSeededDictionary(
+            seed_points=tuple(seeds), tuple_length=5, image_name="cars"
+        )
+
+    def _store(self, scheme, points):
+        system = PassPointsSystem(image=cars_image(), scheme=scheme)
+        store = PasswordStore(system=system, policy=LockoutPolicy(max_failures=3))
+        store.create_account("victim", points)
+        return store
+
+    def test_popular_password_compromised_within_lockout(self):
+        base, dictionary = self._seed_cluster()
+        store = self._store(RobustDiscretization(2, 9), base)
+        result = online_attack(store, dictionary, guess_budget=3)
+        assert result.compromised == 1
+        assert result.outcomes[0].guesses_used <= 3
+
+    def test_lockout_stops_attack(self):
+        base, dictionary = self._seed_cluster()
+        # Password far away from every seed: attacker locks the account.
+        far = [Point.xy(20, 300), Point.xy(60, 310), Point.xy(100, 320),
+               Point.xy(140, 300), Point.xy(180, 310)]
+        store = self._store(CenteredDiscretization.for_pixel_tolerance(2, 4), far)
+        result = online_attack(store, dictionary, guess_budget=50)
+        assert result.compromised == 0
+        assert result.outcomes[0].locked_out
+        assert result.outcomes[0].guesses_used <= 3  # lockout cap, not budget
+        assert result.locked_fraction == 1.0
+
+    def test_budget_respected_without_lockout(self):
+        base, dictionary = self._seed_cluster()
+        far = [Point.xy(20, 300), Point.xy(60, 310), Point.xy(100, 320),
+               Point.xy(140, 300), Point.xy(180, 310)]
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 4),
+        )
+        store = PasswordStore(system=system, policy=LockoutPolicy(max_failures=None))
+        store.create_account("victim", far)
+        result = online_attack(store, dictionary, guess_budget=7)
+        assert result.total_guesses == 7
+        assert not result.outcomes[0].locked_out
+
+    def test_validation(self):
+        base, dictionary = self._seed_cluster()
+        store = self._store(RobustDiscretization(2, 9), base)
+        with pytest.raises(AttackError):
+            online_attack(store, dictionary, guess_budget=0)
+        with pytest.raises(AttackError):
+            online_attack(store, dictionary, usernames=(), guess_budget=5)

@@ -1,0 +1,206 @@
+"""Tests for hotspot harvesting, shoulder-surfing, and leakage analyses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attacks.hotspot import (
+    dictionary_from_hotspots,
+    harvest_hotspots,
+    hotspot_seed_points,
+    salience_hotspots,
+)
+from repro.attacks.leakage import cell_salience_ranking, identifier_bits
+from repro.attacks.shoulder import shoulder_surf_attack
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.study.dataset import PasswordSample
+from repro.study.image import cars_image
+
+
+class TestHarvestHotspots:
+    def _observed(self):
+        # Two strong clusters plus scattered singles.
+        cluster_a = [Point.xy(100 + d, 100) for d in range(5)]
+        cluster_b = [Point.xy(300, 200 + d) for d in range(4)]
+        strays = [Point.xy(10, 10), Point.xy(440, 320), Point.xy(225, 30)]
+        points = cluster_a + cluster_b + strays
+        return [
+            PasswordSample(i, i, "cars", (p,)) for i, p in enumerate(points)
+        ]
+
+    def test_clusters_found_in_support_order(self):
+        hotspots = harvest_hotspots(self._observed(), radius=9)
+        assert hotspots[0].support == 5
+        assert hotspots[1].support == 4
+        assert abs(hotspots[0].x - 102) <= 4 and abs(hotspots[0].y - 100) <= 4
+
+    def test_deterministic(self):
+        assert harvest_hotspots(self._observed()) == harvest_hotspots(
+            self._observed()
+        )
+
+    def test_seed_points_support_filter(self):
+        hotspots = harvest_hotspots(self._observed(), radius=9)
+        seeds = hotspot_seed_points(hotspots, minimum_support=2)
+        assert len(seeds) == 2
+        with pytest.raises(AttackError):
+            hotspot_seed_points(hotspots, minimum_support=99)
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            harvest_hotspots([])
+        with pytest.raises(AttackError):
+            harvest_hotspots(self._observed(), radius=-1)
+        with pytest.raises(AttackError):
+            harvest_hotspots(self._observed(), max_hotspots=0)
+
+    def test_dictionary_wrapper(self):
+        seeds = (Point.xy(1, 1), Point.xy(2, 2), Point.xy(3, 3))
+        dictionary = dictionary_from_hotspots(seeds, "cars", tuple_length=2)
+        assert dictionary.entry_count == 6
+
+
+class TestSalienceHotspots:
+    def test_peaks_inside_image_and_distinct(self):
+        image = cars_image()
+        peaks = salience_hotspots(image, top_n=15)
+        assert len(peaks) == 15
+        assert len(set(peaks)) == 15
+        for peak in peaks:
+            assert image.contains(peak)
+
+    def test_top_peak_near_a_hotspot(self):
+        image = cars_image()
+        top = salience_hotspots(image, top_n=1)[0]
+        nearest = min(
+            max(abs(float(top.x) - h.x), abs(float(top.y) - h.y))
+            for h in image.hotspots
+        )
+        assert nearest <= 6
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            salience_hotspots(cars_image(), top_n=0)
+
+
+class TestShoulderSurfing:
+    def _passwords(self):
+        return [
+            PasswordSample(
+                0, 0, "cars",
+                (Point.xy(60, 60), Point.xy(200, 120), Point.xy(350, 250)),
+            )
+        ]
+
+    def test_perfect_observation_always_succeeds(self):
+        result = shoulder_surf_attack(
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            cars_image(),
+            self._passwords(),
+            observation_sigma=0,
+        )
+        assert result.success_rate == 1.0
+
+    def test_noise_decreases_success(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        low = shoulder_surf_attack(
+            scheme, cars_image(), self._passwords(),
+            observation_sigma=1.0, replays_per_password=200,
+        )
+        high = shoulder_surf_attack(
+            scheme, cars_image(), self._passwords(),
+            observation_sigma=12.0, replays_per_password=200,
+        )
+        assert low.success_rate > high.success_rate
+
+    def test_equal_r_robust_more_replayable(self):
+        """Paper §2.1: larger cells tolerate sloppier observation."""
+        passwords = self._passwords()
+        sigma = 6.0
+        centered = shoulder_surf_attack(
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            cars_image(), passwords,
+            observation_sigma=sigma, replays_per_password=300,
+        )
+        robust = shoulder_surf_attack(
+            RobustDiscretization(2, 9),
+            cars_image(), passwords,
+            observation_sigma=sigma, replays_per_password=300,
+        )
+        assert robust.success_rate > centered.success_rate
+
+    def test_validation(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        with pytest.raises(AttackError):
+            shoulder_surf_attack(
+                scheme, cars_image(), self._passwords(), observation_sigma=-1
+            )
+        with pytest.raises(AttackError):
+            shoulder_surf_attack(
+                scheme, cars_image(), [], observation_sigma=1
+            )
+        with pytest.raises(AttackError):
+            shoulder_surf_attack(
+                scheme, cars_image(), self._passwords(),
+                observation_sigma=1, replays_per_password=0,
+            )
+
+
+class TestIdentifierBits:
+    def test_robust_paper_values(self):
+        bits = identifier_bits(RobustDiscretization(2, 8))
+        assert bits["choices"] == 3
+        assert bits["storage_bits"] == 2  # paper: "2 bits"
+        assert abs(bits["entropy_bits"] - math.log2(3)) < 1e-9
+
+    def test_centered_paper_value_r8(self):
+        # Paper §5.2: log2(2r x 2r) = 8 bits for r = 8.
+        bits = identifier_bits(CenteredDiscretization(2, 8))
+        assert bits["entropy_bits"] == 8.0
+        assert bits["storage_bits"] == 8
+
+    def test_static_no_identifier(self):
+        bits = identifier_bits(StaticGridScheme(2, 10))
+        assert bits["storage_bits"] == 0
+
+
+class TestCellSalienceRanking:
+    def test_rank_within_bounds(self):
+        image = cars_image()
+        point = Point.xy(120, 140)
+        for scheme in (
+            CenteredDiscretization(2, 8),
+            RobustDiscretization(2, 8),
+        ):
+            ranking = cell_salience_ranking(scheme, image, point)
+            assert 1 <= ranking.true_cell_rank <= ranking.cells_considered
+            assert 0 < ranking.rank_fraction <= 1
+
+    def test_hotspot_click_ranks_high(self):
+        """A click on the strongest hotspot should rank early."""
+        image = cars_image()
+        top = max(image.hotspots, key=lambda h: h.weight)
+        point = Point.xy(int(top.x), int(top.y))
+        ranking = cell_salience_ranking(
+            CenteredDiscretization(2, 8), image, point, center_window=2
+        )
+        assert ranking.rank_fraction < 0.2
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            cell_salience_ranking(
+                CenteredDiscretization(2, 8), cars_image(), Point.xy(9999, 0)
+            )
+        with pytest.raises(AttackError):
+            cell_salience_ranking(
+                CenteredDiscretization(2, 8),
+                cars_image(),
+                Point.xy(10, 10),
+                center_window=-1,
+            )

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure8" in out
+        assert "ablation_ndim" in out
+
+
+class TestRun:
+    def test_run_single_fast_experiment(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "paper vs measured" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "figure1", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "worked example" in out or "walkthrough" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestStudy:
+    def test_generates_json(self, tmp_path, capsys):
+        out_path = tmp_path / "study.json"
+        assert main(["study", "--out", str(out_path), "--seed", "7"]) == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload["passwords"]) == 481
+        assert "191 participants" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_output(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "centered" in out
+        assert "robust" in out
+        # The demo's 14-px-off login must split the schemes: centered (r=9)
+        # rejects it, robust (r=9, 57-px cells) accepts it.
+        centered_line = next(l for l in out.splitlines() if "centered" in l)
+        robust_line = next(l for l in out.splitlines() if "robust" in l)
+        assert "14px-off login: False" in centered_line
+        assert "14px-off login: True" in robust_line

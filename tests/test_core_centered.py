@@ -1,0 +1,207 @@
+"""Tests for Centered Discretization — the paper's §3 contribution.
+
+The load-bearing properties, each property-tested:
+
+* the enrolled point is *exactly centered* in its segment;
+* acceptance ⟺ the candidate lies in ``[x − r, x + r)`` per axis
+  (zero false accepts / false rejects by construction);
+* offsets are always in ``[0, 2r)`` and indices ≥ −1 for points ≥ 0;
+* the pixel convention gives a perfectly symmetric integer tolerance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.centered import CenteredDiscretization, discretize_1d, locate_1d
+from repro.errors import DimensionMismatchError, ParameterError, VerificationError
+from repro.geometry.point import Point
+
+radii = st.one_of(
+    st.integers(min_value=1, max_value=50),
+    st.fractions(min_value=Fraction(1, 2), max_value=50, max_denominator=6),
+)
+coords = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.fractions(min_value=-10**4, max_value=10**4, max_denominator=100),
+)
+
+
+class TestWorkedExample:
+    """The paper's §3.1 worked example, verbatim."""
+
+    def test_enrollment(self):
+        index, offset = discretize_1d(13, 5.5)
+        assert index == 0
+        assert offset == 7.5
+
+    def test_login_accepted(self):
+        assert locate_1d(10, 7.5, 5.5) == 0
+
+    def test_exact_arithmetic_variant(self):
+        r = Fraction(11, 2)
+        index, offset = discretize_1d(13, r)
+        assert index == 0
+        assert offset == Fraction(15, 2)
+
+    def test_scheme_object(self):
+        scheme = CenteredDiscretization(dim=1, r=Fraction(11, 2))
+        enrolled = scheme.enroll(Point.of(13))
+        assert enrolled.secret == (0,)
+        assert enrolled.public == (Fraction(15, 2),)
+        assert scheme.accepts(enrolled, Point.of(10))
+
+
+class TestFormulas:
+    @given(coords, radii)
+    def test_offset_in_range(self, x, r):
+        _, offset = discretize_1d(x, r)
+        assert 0 <= offset < 2 * r
+
+    @given(coords, radii)
+    def test_reconstruction_identity(self, x, r):
+        index, offset = discretize_1d(x, r)
+        # x - r = index * 2r + offset  (the div/mod identity)
+        assert index * (2 * r) + offset == x - r
+
+    @given(coords, radii)
+    def test_point_exactly_centered(self, x, r):
+        index, offset = discretize_1d(x, r)
+        left_edge = offset + index * (2 * r)
+        assert left_edge == x - r  # segment is [x - r, x + r)
+
+    @given(st.integers(min_value=0, max_value=10**6), radii)
+    def test_index_at_least_minus_one_for_nonnegative_x(self, x, r):
+        """Paper: i >= -1, with i = -1 iff x within r of the origin."""
+        index, _ = discretize_1d(x, r)
+        assert index >= -1
+        if index == -1:
+            assert x < r
+
+    def test_rejects_nonpositive_r(self):
+        with pytest.raises(ParameterError):
+            discretize_1d(5, 0)
+        with pytest.raises(ParameterError):
+            locate_1d(5, 0, -1)
+
+
+class TestAcceptanceIffWithinTolerance:
+    """The zero-false-accept/zero-false-reject theorem, property-tested."""
+
+    @given(coords, coords, radii)
+    def test_1d(self, x, x_prime, r):
+        index, offset = discretize_1d(x, r)
+        accepted = locate_1d(x_prime, offset, r) == index
+        within = (x - r) <= x_prime < (x + r)
+        assert accepted == within
+
+    @given(
+        st.tuples(coords, coords),
+        st.tuples(coords, coords),
+        radii,
+    )
+    @settings(max_examples=60)
+    def test_2d(self, original, candidate, r):
+        scheme = CenteredDiscretization(dim=2, r=r)
+        enrolled = scheme.enroll(Point(original))
+        accepted = scheme.accepts(enrolled, Point(candidate))
+        within = all(
+            (o - r) <= c < (o + r) for o, c in zip(original, candidate)
+        )
+        assert accepted == within
+
+    @given(st.tuples(coords, coords, coords), radii)
+    @settings(max_examples=30)
+    def test_3d_acceptance_region_contains_original(self, original, r):
+        scheme = CenteredDiscretization(dim=3, r=r)
+        enrolled = scheme.enroll(Point(original))
+        region = scheme.acceptance_region(enrolled)
+        assert region.contains(Point(original))
+        assert region.center() == Point(original).exact() or region.center() == Point(original)
+
+
+class TestPixelConvention:
+    def test_symmetric_integer_tolerance(self):
+        """t = 9: every integer click within Chebyshev 9 accepted, 10 rejected."""
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        enrolled = scheme.enroll(Point.xy(100, 200))
+        for dx in (-9, 0, 9):
+            for dy in (-9, 0, 9):
+                assert scheme.accepts(enrolled, Point.xy(100 + dx, 200 + dy))
+        assert not scheme.accepts(enrolled, Point.xy(110, 200))
+        assert not scheme.accepts(enrolled, Point.xy(100, 190))
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    )
+    @settings(max_examples=80)
+    def test_acceptance_is_chebyshev_ball(self, x, y, tolerance, dx, dy):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, tolerance)
+        enrolled = scheme.enroll(Point.xy(x, y))
+        accepted = scheme.accepts(enrolled, Point.xy(x + dx, y + dy))
+        assert accepted == (max(abs(dx), abs(dy)) <= tolerance)
+
+    def test_cell_size_odd(self):
+        assert CenteredDiscretization.for_pixel_tolerance(2, 9).cell_size == 19
+        assert CenteredDiscretization.for_pixel_tolerance(2, 0).cell_size == 1
+
+    def test_for_grid_size(self):
+        scheme = CenteredDiscretization.for_grid_size(2, 13)
+        assert scheme.cell_size == 13
+        assert scheme.r == Fraction(13, 2)
+
+
+class TestSchemeInterface:
+    def test_dim_checked(self):
+        scheme = CenteredDiscretization(dim=2, r=5)
+        with pytest.raises(DimensionMismatchError):
+            scheme.enroll(Point.of(1))
+        with pytest.raises(DimensionMismatchError):
+            scheme.locate(Point.of(1), (0, 0))
+
+    def test_locate_public_arity_checked(self):
+        scheme = CenteredDiscretization(dim=2, r=5)
+        with pytest.raises(VerificationError):
+            scheme.locate(Point.xy(1, 2), (0,))
+
+    def test_original_point_recovered(self):
+        scheme = CenteredDiscretization(dim=2, r=Fraction(19, 2))
+        original = Point.xy(127, 83)
+        enrolled = scheme.enroll(original)
+        assert scheme.original_point(enrolled) == original.exact()
+
+    def test_offset_space_size(self):
+        # Paper §5.2: r = 8 -> 2r = 16 -> 16x16 = 256 offsets (8 bits).
+        scheme = CenteredDiscretization(dim=2, r=8)
+        assert scheme.offset_space_size() == 256
+
+    def test_enroll_many(self):
+        scheme = CenteredDiscretization(dim=2, r=5)
+        points = [Point.xy(1, 2), Point.xy(30, 40)]
+        enrollments = scheme.enroll_many(points)
+        assert len(enrollments) == 2
+        for enrollment, point in zip(enrollments, points):
+            assert scheme.accepts(enrollment, point)
+
+    def test_guaranteed_tolerance_and_max_accepted(self):
+        scheme = CenteredDiscretization(dim=2, r=7)
+        enrolled = scheme.enroll(Point.xy(50, 50))
+        assert scheme.guaranteed_tolerance == 7
+        assert scheme.max_accepted_distance(enrolled) == 7
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            CenteredDiscretization(dim=2, r=0)
+        with pytest.raises(DimensionMismatchError):
+            CenteredDiscretization(dim=0, r=5)
+
+    def test_name(self):
+        assert CenteredDiscretization(2, 5).name == "centered"

@@ -1,0 +1,203 @@
+"""Tests for Robust Discretization (Birget et al.) — the paper's baseline.
+
+Property-tests the scheme's defining guarantees across dimensions:
+
+* for every point, at least one of the dim+1 grids is r-safe (the
+  "three grids are necessary and sufficient" theorem in 2-D);
+* enrollment always yields a cell with margin ≥ r, so everything within
+  the half-open r-box is accepted;
+* nothing beyond r_max = (2(dim+1) − 1)·r is ever accepted;
+* false accepts/rejects relative to centered tolerance *do* occur — the
+  paper's §2.2.1 defect, demonstrated constructively.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.robust import GridSelection, RobustDiscretization
+from repro.errors import ParameterError, VerificationError
+from repro.geometry.metrics import chebyshev
+from repro.geometry.point import Point
+
+radii = st.one_of(
+    st.integers(min_value=1, max_value=30),
+    st.fractions(min_value=Fraction(1, 2), max_value=30, max_denominator=6),
+)
+coords = st.one_of(
+    st.integers(min_value=-10**5, max_value=10**5),
+    st.fractions(min_value=-10**4, max_value=10**4, max_denominator=50),
+)
+
+
+class TestGeometry:
+    def test_2d_constants(self):
+        scheme = RobustDiscretization(dim=2, r=3)
+        assert scheme.grid_count == 3
+        assert scheme.cell_size == 18  # 6r
+        assert scheme.r_max == 15  # 5r
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_nd_constants(self, dim):
+        scheme = RobustDiscretization(dim=dim, r=2)
+        assert scheme.grid_count == dim + 1
+        assert scheme.cell_size == 2 * (dim + 1) * 2
+        assert scheme.r_max == (2 * (dim + 1) - 1) * 2
+
+    def test_for_grid_size_2d(self):
+        scheme = RobustDiscretization.for_grid_size(2, 13)
+        assert scheme.r == Fraction(13, 6)
+        assert scheme.cell_size == 13
+
+    def test_for_grid_size_3d(self):
+        scheme = RobustDiscretization.for_grid_size(3, 16)
+        assert scheme.cell_size == 16
+        assert scheme.r == 2
+
+    def test_for_pixel_tolerance(self):
+        scheme = RobustDiscretization.for_pixel_tolerance(2, 9)
+        assert scheme.r == Fraction(19, 2)
+        assert scheme.cell_size == 57
+
+    def test_grids_diagonally_offset(self):
+        scheme = RobustDiscretization(dim=2, r=5)
+        offsets = [scheme.grid(g).offsets for g in range(3)]
+        assert offsets == [(0, 0), (10, 10), (20, 20)]
+
+
+class TestSafetyGuarantee:
+    @given(st.lists(coords, min_size=1, max_size=4), radii)
+    @settings(max_examples=120)
+    def test_at_least_one_safe_grid_any_dim(self, point_coords, r):
+        """The Birget et al. theorem: dim+1 offset grids always suffice."""
+        dim = len(point_coords)
+        scheme = RobustDiscretization(dim=dim, r=r)
+        point = Point(tuple(point_coords))
+        assert scheme.safe_grids(point), (point, r)
+
+    @given(st.tuples(coords, coords), radii)
+    @settings(max_examples=80)
+    def test_enrolled_margin_at_least_r(self, point_coords, r):
+        scheme = RobustDiscretization(dim=2, r=r)
+        point = Point(point_coords)
+        enrolled = scheme.enroll(point)
+        region = scheme.acceptance_region(enrolled)
+        assert region.margin(point) >= r
+
+    @given(st.tuples(coords, coords), radii)
+    @settings(max_examples=80)
+    def test_accepts_within_r_box(self, point_coords, r):
+        """Everything in the half-open r-box around the original verifies."""
+        scheme = RobustDiscretization(dim=2, r=r)
+        point = Point(point_coords)
+        enrolled = scheme.enroll(point)
+        probes = [
+            Point((point.x - r, point.y)),          # low edge: included
+            Point((point.x, point.y - r)),
+            Point((point.x + r - Fraction(1, 7), point.y)),  # just inside
+            Point((point.x, point.y + r - Fraction(1, 7))),
+        ]
+        for probe in probes:
+            assert scheme.accepts(enrolled, probe), probe
+
+    @given(st.tuples(coords, coords), radii, st.tuples(coords, coords))
+    @settings(max_examples=80)
+    def test_never_accepts_beyond_r_max(self, point_coords, r, candidate_coords):
+        scheme = RobustDiscretization(dim=2, r=r)
+        point = Point(point_coords)
+        candidate = Point(candidate_coords)
+        enrolled = scheme.enroll(point)
+        if chebyshev(point, candidate) > scheme.r_max:
+            assert not scheme.accepts(enrolled, candidate)
+
+
+class TestFalseAcceptRejectExist:
+    """Constructive demonstrations of the paper's §2.2.1 defect."""
+
+    def test_false_accept_up_to_5r(self):
+        # Pick a point exactly r above a cell's low edge in both axes: the
+        # far corner of its cell is 5r - epsilon away yet accepted.
+        r = 3
+        scheme = RobustDiscretization(dim=2, r=r, selection=GridSelection.FIRST_SAFE)
+        point = Point.xy(r, r)  # r-safe in grid 0 at the cell's low corner
+        enrolled = scheme.enroll(point)
+        assert enrolled.public == (0,)
+        far = Point.xy(6 * r - 1, 6 * r - 1)  # distance 5r - 1 > r
+        assert chebyshev(point, far) == 5 * r - 1
+        assert scheme.accepts(enrolled, far)
+
+    def test_false_reject_just_beyond_r(self):
+        r = 3
+        scheme = RobustDiscretization(dim=2, r=r, selection=GridSelection.FIRST_SAFE)
+        point = Point.xy(r, r)
+        enrolled = scheme.enroll(point)
+        # r+1 away toward the low edge leaves the cell: rejected, although
+        # within the centered tolerance 3r of an equal-size centered square.
+        near = Point.xy(r - (r + 1), r)
+        assert chebyshev(point, near) == r + 1 < 3 * r
+        assert not scheme.accepts(enrolled, near)
+
+
+class TestGridSelection:
+    def test_most_centered_maximizes_margin(self):
+        scheme_first = RobustDiscretization(2, 4, selection=GridSelection.FIRST_SAFE)
+        scheme_best = RobustDiscretization(2, 4, selection=GridSelection.MOST_CENTERED)
+        # Scan points; best margin must be >= first-safe margin everywhere.
+        for x in range(0, 48, 5):
+            for y in range(0, 48, 7):
+                point = Point.xy(x, y)
+                first = scheme_first.enroll(point)
+                best = scheme_best.enroll(point)
+                margin_first = scheme_first.acceptance_region(first).margin(point)
+                margin_best = scheme_best.acceptance_region(best).margin(point)
+                assert margin_best >= margin_first
+
+    def test_random_safe_requires_rng(self):
+        with pytest.raises(ParameterError):
+            RobustDiscretization(2, 3, selection=GridSelection.RANDOM_SAFE)
+
+    def test_random_safe_choice_is_safe(self, rng):
+        scheme = RobustDiscretization(
+            2, 3, selection=GridSelection.RANDOM_SAFE, rng=rng.random
+        )
+        for x in range(0, 40, 3):
+            point = Point.xy(x, x // 2)
+            enrolled = scheme.enroll(point)
+            assert scheme.acceptance_region(enrolled).margin(point) >= 3
+
+    def test_selection_validated(self):
+        with pytest.raises(ParameterError):
+            RobustDiscretization(2, 3, selection="optimal")  # type: ignore[arg-type]
+
+
+class TestVerificationSide:
+    def test_locate_uses_stored_grid(self):
+        scheme = RobustDiscretization(2, 3)
+        point = Point.xy(50, 50)
+        enrolled = scheme.enroll(point)
+        located = scheme.locate(point, enrolled.public)
+        assert located == enrolled.secret
+
+    def test_locate_validates_public(self):
+        scheme = RobustDiscretization(2, 3)
+        with pytest.raises(VerificationError):
+            scheme.locate(Point.xy(1, 2), ())
+        with pytest.raises(VerificationError):
+            scheme.locate(Point.xy(1, 2), (1.5,))
+        with pytest.raises(VerificationError):
+            scheme.locate(Point.xy(1, 2), (7,))  # out-of-range grid id
+
+    def test_acceptance_region_validates_identifier(self):
+        from repro.core.scheme import Discretization
+
+        scheme = RobustDiscretization(2, 3)
+        with pytest.raises(VerificationError):
+            scheme.acceptance_region(Discretization(public=("g0",), secret=(0, 0)))
+
+    def test_invalid_r(self):
+        with pytest.raises(ParameterError):
+            RobustDiscretization(2, 0)

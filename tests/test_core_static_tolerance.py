@@ -1,0 +1,177 @@
+"""Tests for the static-grid baseline and the tolerance/classification layer."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.core.tolerance import (
+    Outcome,
+    centered_tolerance_region,
+    classify,
+    classify_attempt,
+    classify_point,
+    within_centered_tolerance,
+    worst_case_geometry,
+)
+from repro.errors import DimensionMismatchError, ParameterError, VerificationError
+from repro.geometry.point import Point
+
+coords = st.integers(min_value=-10**4, max_value=10**4)
+
+
+class TestStaticGrid:
+    def test_edge_problem(self):
+        scheme = StaticGridScheme(dim=2, cell_size=10)
+        enrolled = scheme.enroll(Point.xy(19, 5))
+        assert not scheme.accepts(enrolled, Point.xy(20, 5))  # 1 px away
+        assert scheme.accepts(enrolled, Point.xy(10, 5))  # 9 px away
+
+    def test_zero_guaranteed_tolerance(self):
+        assert StaticGridScheme(2, 10).guaranteed_tolerance == 0
+
+    def test_no_public_material(self):
+        scheme = StaticGridScheme(2, 10)
+        enrolled = scheme.enroll(Point.xy(3, 3))
+        assert enrolled.public == ()
+        with pytest.raises(VerificationError):
+            scheme.locate(Point.xy(3, 3), (1,))
+
+    def test_offset_grid(self):
+        scheme = StaticGridScheme(2, 10, offset=5)
+        enrolled = scheme.enroll(Point.xy(5, 5))
+        assert enrolled.secret == (0, 0)
+
+    @given(coords, coords)
+    def test_worst_case_margin_bounds(self, x, y):
+        scheme = StaticGridScheme(2, 10)
+        margin = scheme.worst_case_margin(Point.xy(x, y))
+        assert 0 <= margin <= 5
+
+    def test_acceptance_region_is_cell(self):
+        scheme = StaticGridScheme(2, 10)
+        enrolled = scheme.enroll(Point.xy(13, 27))
+        region = scheme.acceptance_region(enrolled)
+        assert region.lo == Point.xy(10, 20)
+        assert region.hi == Point.xy(20, 30)
+
+
+class TestClassification:
+    def test_classify_matrix(self):
+        assert classify(True, True) is Outcome.TRUE_ACCEPT
+        assert classify(True, False) is Outcome.FALSE_ACCEPT
+        assert classify(False, True) is Outcome.FALSE_REJECT
+        assert classify(False, False) is Outcome.TRUE_REJECT
+
+    def test_outcome_flags(self):
+        assert Outcome.TRUE_ACCEPT.accepted and not Outcome.TRUE_ACCEPT.erroneous
+        assert Outcome.FALSE_ACCEPT.accepted and Outcome.FALSE_ACCEPT.erroneous
+        assert not Outcome.FALSE_REJECT.accepted and Outcome.FALSE_REJECT.erroneous
+        assert not Outcome.TRUE_REJECT.accepted and not Outcome.TRUE_REJECT.erroneous
+
+    def test_within_centered_tolerance_half_open(self):
+        original = Point.xy(10, 10)
+        assert within_centered_tolerance(original, Point.xy(5, 10), 5)  # low edge in
+        assert not within_centered_tolerance(original, Point.xy(15, 10), 5)  # high out
+
+    def test_region_validates(self):
+        with pytest.raises(ParameterError):
+            centered_tolerance_region(Point.xy(0, 0), 0)
+
+    def test_classify_point_centered_never_errs(self):
+        scheme = CenteredDiscretization(2, Fraction(13, 2))
+        original = Point.xy(100, 100)
+        enrolled = scheme.enroll(original)
+        for dx in range(-10, 11, 2):
+            for dy in range(-10, 11, 5):
+                outcome = classify_point(
+                    scheme, enrolled, original, Point.xy(100 + dx, 100 + dy),
+                    Fraction(13, 2),
+                )
+                assert not outcome.erroneous
+
+    def test_classify_point_robust_false_reject(self):
+        from repro.core.robust import GridSelection
+
+        r = 3
+        scheme = RobustDiscretization(2, r, selection=GridSelection.FIRST_SAFE)
+        original = Point.xy(r, r)
+        enrolled = scheme.enroll(original)
+        # Equal-size framing: rho = 3r.  A click r+1 low is within rho but
+        # outside the cell -> FALSE_REJECT.
+        outcome = classify_point(
+            scheme, enrolled, original, Point.xy(-1, r), 3 * r
+        )
+        assert outcome is Outcome.FALSE_REJECT
+
+
+class TestClassifyAttempt:
+    def test_all_points_must_verify(self):
+        scheme = CenteredDiscretization(2, Fraction(19, 2))
+        originals = [Point.xy(50, 50), Point.xy(150, 150)]
+        enrollments = scheme.enroll_many(originals)
+        good = [Point.xy(52, 48), Point.xy(150, 150)]
+        bad_one = [Point.xy(52, 48), Point.xy(170, 150)]
+        rho = Fraction(19, 2)
+        assert (
+            classify_attempt(scheme, enrollments, originals, good, rho)
+            is Outcome.TRUE_ACCEPT
+        )
+        assert (
+            classify_attempt(scheme, enrollments, originals, bad_one, rho)
+            is Outcome.TRUE_REJECT
+        )
+
+    def test_length_mismatch(self):
+        scheme = CenteredDiscretization(2, 5)
+        originals = [Point.xy(1, 1)]
+        enrollments = scheme.enroll_many(originals)
+        with pytest.raises(DimensionMismatchError):
+            classify_attempt(scheme, enrollments, originals, [], 5)
+
+    def test_empty_attempt(self):
+        scheme = CenteredDiscretization(2, 5)
+        with pytest.raises(ParameterError):
+            classify_attempt(scheme, [], [], [], 5)
+
+
+class TestWorstCaseGeometry:
+    def test_2d_unit(self):
+        geometry = worst_case_geometry(1, dim=2)
+        assert geometry.cell_volume == 36
+        assert geometry.centered_volume == 36
+        assert geometry.overlap_volume == 16
+        assert geometry.false_accept_volume == 20
+        assert geometry.false_reject_volume == 20
+        assert geometry.r_max == 5
+
+    def test_scaling(self):
+        geometry = worst_case_geometry(3, dim=2)
+        assert geometry.cell_volume == 36 * 9
+        assert geometry.overlap_volume == 16 * 9
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30)
+    def test_overlap_fraction_formula(self, r, dim):
+        # Per axis the overlap is side/2 + r out of side = 2(dim+1)r, i.e.
+        # (dim+2) / (2(dim+1)); independent axes multiply.
+        geometry = worst_case_geometry(r, dim=dim)
+        expected = ((dim + 2) / (2 * (dim + 1))) ** dim
+        assert abs(geometry.overlap_fraction - expected) < 1e-9
+
+    def test_1d(self):
+        geometry = worst_case_geometry(2, dim=1)
+        assert geometry.cell_volume == 8  # 4r
+        assert geometry.r_max == 6  # 3r
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            worst_case_geometry(0)
+        with pytest.raises(DimensionMismatchError):
+            worst_case_geometry(1, dim=0)

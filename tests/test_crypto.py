@@ -1,0 +1,163 @@
+"""Tests for the crypto substrate: encoding, hashing, records."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import encode_scalar, encode_scalars
+from repro.crypto.hashing import Hasher, added_security_bits
+from repro.crypto.records import VerificationRecord, combine_material, make_record
+from repro.errors import ParameterError, VerificationError
+
+scalars = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.fractions(min_value=-10**4, max_value=10**4, max_denominator=10**4),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6),
+    st.text(max_size=20),
+)
+scalar_lists = st.lists(scalars, max_size=8)
+
+
+class TestEncoding:
+    def test_tagged_length_prefixed(self):
+        assert encode_scalar(7) == b"i:1:7"
+        assert encode_scalar(Fraction(19, 2)) == b"q:4:19/2"
+        assert encode_scalar("ab") == b"s:2:ab"
+
+    def test_numeric_canonicalization(self):
+        # Same mathematical value -> same bytes, regardless of carrier type.
+        assert encode_scalar(2) == encode_scalar(Fraction(2, 1))
+        assert encode_scalar(2) == encode_scalar(2.0)
+        assert encode_scalar(Fraction(1, 2)) == encode_scalar(0.5)
+
+    def test_rejects_bool_and_nonfinite(self):
+        with pytest.raises(ParameterError):
+            encode_scalar(True)
+        with pytest.raises(ParameterError):
+            encode_scalar(float("nan"))
+        with pytest.raises(ParameterError):
+            encode_scalar(float("inf"))
+        with pytest.raises(ParameterError):
+            encode_scalar(None)  # type: ignore[arg-type]
+
+    def test_concatenation_ambiguity_resolved(self):
+        assert encode_scalars(["ab", "c"]) != encode_scalars(["a", "bc"])
+        assert encode_scalars([1, 2]) != encode_scalars([12])
+        assert encode_scalars([]) != encode_scalars([0])
+
+    @given(scalar_lists, scalar_lists)
+    def test_injectivity(self, a, b):
+        def canon(value):
+            if isinstance(value, str):
+                return ("s", value)
+            return ("n", Fraction(value))
+
+        if list(map(canon, a)) == list(map(canon, b)):
+            assert encode_scalars(a) == encode_scalars(b)
+        else:
+            assert encode_scalars(a) != encode_scalars(b)
+
+
+class TestHasher:
+    def test_deterministic(self):
+        assert Hasher().hash_scalars([1, 2.5]) == Hasher().hash_scalars([1, 2.5])
+
+    def test_salt_changes_digest(self):
+        material = [0, Fraction(15, 2)]
+        assert (
+            Hasher(salt=b"alice").hash_scalars(material)
+            != Hasher(salt=b"bob").hash_scalars(material)
+        )
+
+    def test_iterations_change_digest(self):
+        material = [1]
+        assert (
+            Hasher(iterations=1).hash_scalars(material)
+            != Hasher(iterations=2).hash_scalars(material)
+        )
+
+    def test_verify_scalars(self):
+        hasher = Hasher(salt=b"u")
+        digest = hasher.hash_scalars([3, 4])
+        assert hasher.verify_scalars([3, 4], digest)
+        assert not hasher.verify_scalars([3, 5], digest)
+
+    def test_added_bits(self):
+        assert Hasher(iterations=1024).added_bits == 10.0
+        assert abs(added_security_bits(1000) - 9.97) < 0.01
+
+    def test_added_bits_validation(self):
+        with pytest.raises(ParameterError):
+            added_security_bits(0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Hasher(iterations=0)
+        with pytest.raises(ParameterError):
+            Hasher(algorithm="not-a-hash")
+        with pytest.raises(ParameterError):
+            Hasher(salt="string")  # type: ignore[arg-type]
+        with pytest.raises(ParameterError):
+            Hasher().digest("not-bytes")  # type: ignore[arg-type]
+
+    def test_with_salt(self):
+        hasher = Hasher(iterations=7).with_salt(b"x")
+        assert hasher.salt == b"x"
+        assert hasher.iterations == 7
+
+    def test_json_roundtrip(self):
+        hasher = Hasher(algorithm="sha512", iterations=3, salt=b"\x01\x02")
+        assert Hasher.from_json(hasher.to_json()) == hasher
+
+    def test_iterated_hash_is_chained(self):
+        # h^2(x) must equal h(h(x)) for the raw digest chain.
+        import hashlib
+
+        hasher = Hasher(iterations=2)
+        once = hashlib.sha256(b"payload").digest()
+        twice = hashlib.sha256(once).digest()
+        assert hasher.digest(b"payload") == twice
+
+
+class TestRecords:
+    def test_combine_material_order(self):
+        assert combine_material([1, 2], [3]) == (1, 2, 3)
+
+    def test_make_and_match(self):
+        record = make_record([Fraction(15, 2)], [0])
+        assert record.matches([0])
+        assert not record.matches([1])
+        assert not record.matches([0, 0])
+
+    def test_digest_commits_to_public(self):
+        a = make_record([1], [0])
+        b = make_record([2], [0])
+        assert a.digest != b.digest
+
+    def test_custom_hasher_used(self):
+        record = make_record([1], [0], Hasher(salt=b"account"))
+        assert record.hasher.salt == b"account"
+        assert record.matches([0])
+
+    @given(st.lists(st.integers(-100, 100), max_size=5),
+           st.lists(st.integers(-100, 100), min_size=1, max_size=5))
+    def test_roundtrip_and_match_property(self, public, secret):
+        record = make_record(public, secret)
+        assert record.matches(secret)
+        restored = VerificationRecord.from_json(record.to_json())
+        assert restored == record
+        assert restored.matches(secret)
+
+    def test_json_fraction_public(self):
+        record = make_record([Fraction(1, 3)], [5])
+        restored = VerificationRecord.from_json(record.to_json())
+        assert restored.public == (Fraction(1, 3),)
+        assert restored.matches([5])
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(VerificationError):
+            VerificationRecord.from_json({"public": []})

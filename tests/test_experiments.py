@@ -1,0 +1,191 @@
+"""Tests for the experiment drivers: every table/figure reproduction runs
+and satisfies the paper's qualitative claims (the quantitative targets are
+recorded in EXPERIMENTS.md and spot-checked here where exact)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import figure7, figure8, illustrations, leakage_exp
+from repro.experiments import table1, table2, table3
+from repro.experiments.common import ExperimentResult, default_dataset
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        for required in (
+            "table1", "table2", "table3", "figure7", "figure8",
+            "figure1", "figure2", "figures_3_4", "figures_5_6", "leakage",
+        ):
+            assert required in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="table1"):
+            run_experiment("not_an_experiment")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return table1.run()
+
+    def test_structure(self, result):
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 3
+        assert len(result.comparisons) == 6
+
+    def test_centered_columns_zero(self, result):
+        for row in result.rows:
+            assert row[4] == 0.0  # centered FA
+            assert row[5] == 0.0  # centered FR
+
+    def test_robust_errors_positive_and_ordered(self, result):
+        fa = [row[2] for row in result.rows]
+        fr = [row[3] for row in result.rows]
+        assert all(value > 0 for value in fa)
+        assert all(value > 0 for value in fr)
+        assert fa[0] >= fa[-1]
+        assert fr[0] >= fr[-1]
+
+    def test_fr_magnitude_matches_paper_regime(self, result):
+        """Paper: 9x9 FR 21.8%, 13x13 21.1% — double-digit false rejects."""
+        fr_9 = result.rows[0][3]
+        assert 10.0 <= fr_9 <= 35.0
+
+    def test_rendered_contains_comparisons(self, result):
+        text = result.rendered()
+        assert "paper vs measured" in text
+        assert "false-reject" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_robust_fr_exactly_zero(self, result):
+        for row in result.rows:
+            assert row[3] == 0.0
+
+    def test_robust_fa_positive_decreasing(self, result):
+        fa = [row[2] for row in result.rows]
+        assert fa[0] > fa[1] > fa[2] > 0
+
+    def test_fa_magnitude_matches_paper_regime(self, result):
+        """Paper: r=4 -> 32.1% FA; ours must be the same double-digit scale."""
+        assert 20.0 <= result.rows[0][2] <= 45.0
+        assert result.rows[2][2] <= 12.0
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run()
+
+    def test_every_paper_value_exact(self, result):
+        for comparison in result.comparisons:
+            if comparison["paper"] is None:
+                continue
+            label = comparison["label"]
+            delta = abs(float(comparison["measured"]) - float(comparison["paper"]))
+            if "text password" in label:
+                assert delta <= 0.11, label  # paper rounded 52.56 to 52.5
+            else:
+                assert delta < 0.05, label
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 12
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7.run()
+
+    def test_schemes_similar_at_equal_size(self, result):
+        for row in result.rows:
+            _, _, centered_pct, robust_pct, _ = row
+            assert abs(centered_pct - robust_pct) <= 12.0
+
+    def test_crack_rate_monotone_in_size(self, result):
+        by_image = {}
+        for image_name, size, centered_pct, robust_pct, _ in result.rows:
+            by_image.setdefault(image_name, []).append(centered_pct)
+        for series in by_image.values():
+            assert series == sorted(series)
+
+    def test_dictionary_is_36_bits(self, result):
+        for row in result.rows:
+            assert 35.5 <= row[4] <= 36.5
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run()
+
+    def test_robust_dominates_centered(self, result):
+        for image_name, r, centered_pct, robust_pct in result.rows:
+            assert robust_pct > centered_pct, (image_name, r)
+
+    def test_gap_grows_with_r_on_cars(self, result):
+        cars = [row for row in result.rows if row[0] == "cars"]
+        gaps = [robust - centered for _, _, centered, robust in cars]
+        assert gaps[0] < gaps[-1] or max(gaps) == gaps[1]
+
+    def test_cars_r9_in_paper_regime(self, result):
+        row = next(r for r in result.rows if r[0] == "cars" and r[1] == 9)
+        _, _, centered_pct, robust_pct = row
+        assert 15.0 <= centered_pct <= 40.0  # paper: 26
+        assert 60.0 <= robust_pct <= 90.0  # paper: 79
+
+    def test_comparisons_cover_paper_quotes(self, result):
+        labels = {c["label"] for c in result.comparisons}
+        assert "cars r=9 robust cracked %" in labels
+        assert "cars r=6 centered cracked %" in labels
+
+
+class TestIllustrations:
+    def test_figure1_exact_ratios(self):
+        result = illustrations.figure1(r=9)
+        for comparison in result.comparisons:
+            assert abs(
+                float(comparison["measured"]) - float(comparison["paper"])
+            ) < 1e-6
+
+    def test_figure2_worked_example(self):
+        result = illustrations.figure2()
+        by_label = {c["label"]: c for c in result.comparisons}
+        assert by_label["worked example i"]["measured"] == 0
+        assert by_label["worked example d"]["measured"] == 7.5
+
+    def test_figures_3_4_render(self):
+        result = illustrations.figures_3_4(columns=30)
+        assert "cars" in result.notes
+        assert len(result.rows) == 2
+
+    def test_figures_5_6(self):
+        result = illustrations.figures_5_6(r=6)
+        assert len(result.rows) == 2
+        assert "13x13" in str(result.rows[1])
+
+
+class TestLeakage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return leakage_exp.run(sample_passwords=15)
+
+    def test_paper_bit_values(self, result):
+        by_label = {c["label"]: c for c in result.comparisons}
+        assert by_label["centered identifier bits (r=8)"]["measured"] == 8.0
+        assert by_label["robust identifier storage bits"]["measured"] == 2
+
+    def test_rank_fractions_in_range(self, result):
+        for row in result.rows:
+            assert 0 < row[4] <= 1
+
+
+class TestDatasetSharing:
+    def test_default_dataset_cached(self):
+        assert default_dataset() is default_dataset()

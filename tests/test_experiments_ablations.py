@@ -1,0 +1,128 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestGridSelection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.grid_selection()
+
+    def test_three_policies(self, result):
+        assert {row[0] for row in result.rows} == {
+            "first_safe",
+            "most_centered",
+            "random_safe",
+        }
+
+    def test_most_centered_fewest_false_rejects(self, result):
+        by_policy = {row[0]: row for row in result.rows}
+        most_centered_fr = by_policy["most_centered"][2]
+        for policy in ("first_safe", "random_safe"):
+            assert by_policy[policy][2] >= most_centered_fr
+
+
+class TestClickAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.click_accuracy(multipliers=(0.5, 1.0, 2.0))
+
+    def test_accurate_users_see_fewer_false_rejects(self, result):
+        # FR is non-monotone in noise overall (very sloppy attempts leave
+        # centered tolerance entirely, becoming TRUE rejects), but precise
+        # users must see fewer false rejects than baseline users.
+        t1_fr = [row[1] for row in result.rows]
+        assert t1_fr[0] < t1_fr[1]
+
+    def test_accept_rate_falls_with_sloppiness(self, result):
+        accept = [row[4] for row in result.rows]
+        assert accept[0] >= accept[-1]
+
+
+class TestDictionarySize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.dictionary_size(lab_counts=(5, 15, 30))
+
+    def test_crack_rate_grows_with_seeds(self, result):
+        robust = [row[3] for row in result.rows]
+        assert robust[0] <= robust[-1]
+
+    def test_robust_dominates_at_every_size(self, result):
+        for row in result.rows:
+            assert row[3] >= row[2]
+
+
+class TestShoulderSurfing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.shoulder_surfing(
+            sigmas=(1.0, 6.0, 12.0), sample_passwords=20
+        )
+
+    def test_success_decreases_with_noise(self, result):
+        centered = [row[1] for row in result.rows]
+        assert centered[0] >= centered[-1]
+
+    def test_robust_easier_to_replay(self, result):
+        for row in result.rows:
+            assert row[2] >= row[1] - 1e-9
+
+
+class TestHotspotSources:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.hotspot_sources()
+
+    def test_three_sources(self, result):
+        assert len(result.rows) == 3
+
+    def test_all_sources_threaten_robust(self, result):
+        for row in result.rows:
+            assert row[3] >= row[2]  # robust >= centered cracked
+
+
+class TestPCCPFlattening:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.pccp_flattening(population=80)
+
+    def test_viewport_reduces_centered_cracking(self, result):
+        by_label = {row[0]: row for row in result.rows}
+        free = by_label["free selection (PassPoints/CCP)"]
+        constrained = by_label["viewport selection (PCCP)"]
+        # Viewport persuasion collapses the attack against Centered (2r
+        # cells); Robust's 6r cells are wider than the viewport spreading
+        # scale, so it barely benefits.
+        assert constrained[1] < free[1]
+
+
+class TestEdgeProblem:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.edge_problem()
+
+    def test_margins_reveal_edge_problem(self, result):
+        by_label = {row[0]: row[1] for row in result.rows}
+        assert by_label["min click margin (px)"] < 1
+        assert by_label["false-reject %"] > 0
+
+
+class TestNdimAdvantage:
+    def test_advantage_grows_with_dim(self):
+        result = ablations.ndim_advantage(dims=(1, 2, 3))
+        advantages = [row[4] for row in result.rows]
+        assert advantages == sorted(advantages)
+        assert advantages[0] == 1.0  # 1 * log2(2)
+        assert abs(advantages[1] - 3.17) < 0.01
+
+    def test_cell_geometry(self):
+        result = ablations.ndim_advantage(dims=(2,))
+        _, centered_side, robust_side, grids, _ = result.rows[0]
+        assert centered_side == 10  # 2r, r=5
+        assert robust_side == 30  # 6r
+        assert grids == 3

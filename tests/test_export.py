@@ -1,0 +1,68 @@
+"""Tests for the experiment-result export layer and the report CLI."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.experiments import illustrations, table3
+from repro.experiments.export import result_to_json, write_reports, write_result
+
+
+class TestResultToJson:
+    def test_shape(self):
+        result = illustrations.figure1(r=9)
+        data = result_to_json(result)
+        assert data["experiment_id"] == "figure1"
+        assert len(data["rows"]) == len(result.rows)
+        assert data["library_version"]
+        # Everything must actually be JSON-serializable.
+        json.dumps(data)
+
+    def test_fractions_become_floats(self):
+        result = table3.run()
+        data = result_to_json(result)
+        json.dumps(data)  # would raise on a raw Fraction
+
+
+class TestWriteResult:
+    def test_files_written(self, tmp_path):
+        result = illustrations.figure2()
+        paths = write_result(result, str(tmp_path))
+        loaded = json.loads((tmp_path / "figure2.json").read_text())
+        assert loaded["experiment_id"] == "figure2"
+        with open(paths["csv"], newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(result.headers)
+        assert len(rows) == len(result.rows) + 1
+
+
+class TestWriteReports:
+    def test_summary_flattens_comparisons(self, tmp_path):
+        results = [illustrations.figure1(), illustrations.figure2()]
+        summary_path = write_reports(results, str(tmp_path))
+        summary = json.loads(open(summary_path).read())
+        assert summary["experiments"] == ["figure1", "figure2"]
+        experiment_ids = {c["experiment_id"] for c in summary["comparisons"]}
+        assert experiment_ids == {"figure1", "figure2"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_reports([], str(tmp_path))
+
+
+class TestReportCommand:
+    def test_report_selected(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        assert main(["report", "--out", str(out_dir), "figure1", "figure2"]) == 0
+        assert (out_dir / "summary.json").exists()
+        assert (out_dir / "figure1.csv").exists()
+        assert "2 experiment artifacts" in capsys.readouterr().out
+
+    def test_report_unknown(self, tmp_path, capsys):
+        assert main(["report", "--out", str(tmp_path), "bogus"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err

@@ -1,0 +1,213 @@
+"""Tests for attack economics, the 3-D system, and extension experiments."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.economics import (
+    expected_guesses_to_crack,
+    offline_cracking_cost,
+    summarize_attack_economics,
+)
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.offline import offline_attack_known_identifiers
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.crypto.hashing import Hasher
+from repro.errors import AttackError, DomainError, ParameterError, VerificationError
+from repro.experiments import extensions
+from repro.geometry.point import Point
+from repro.passwords.space3d import ClickSpace3D, Space3DSystem, space3d_password_bits
+from repro.study.dataset import PasswordSample
+
+
+class TestExpectedGuesses:
+    def test_formula(self):
+        assert expected_guesses_to_crack(1, 99) == 50.0
+        assert expected_guesses_to_crack(99, 99) == 1.0
+
+    def test_none_when_uncrackable(self):
+        assert expected_guesses_to_crack(0, 100) is None
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            expected_guesses_to_crack(5, 0)
+        with pytest.raises(AttackError):
+            expected_guesses_to_crack(10, 5)
+
+
+class TestCrackingCost:
+    def _dictionary(self):
+        points = tuple(Point.xy(7 * i, 11 * i % 300) for i in range(10))
+        return HumanSeededDictionary(
+            seed_points=points, tuple_length=5, image_name="cars"
+        )
+
+    def test_known_identifiers_cost(self):
+        dictionary = self._dictionary()
+        estimate = offline_cracking_cost(
+            RobustDiscretization(2, 9), dictionary, hash_rate=1e6
+        )
+        assert estimate.hashes_per_password == dictionary.entry_count
+        assert estimate.seconds_per_password == dictionary.entry_count / 1e6
+
+    def test_hidden_identifiers_multiplier(self):
+        dictionary = self._dictionary()
+        robust = offline_cracking_cost(
+            RobustDiscretization(2, 9),
+            dictionary,
+            identifiers_known=False,
+        )
+        assert robust.identifier_multiplier == 3**5
+        centered = offline_cracking_cost(
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            dictionary,
+            identifiers_known=False,
+        )
+        assert centered.identifier_multiplier == float(19**2) ** 5
+
+    def test_iterated_hashing_scales_cost(self):
+        dictionary = self._dictionary()
+        base = offline_cracking_cost(
+            RobustDiscretization(2, 9), dictionary, Hasher(iterations=1)
+        )
+        hard = offline_cracking_cost(
+            RobustDiscretization(2, 9), dictionary, Hasher(iterations=1000)
+        )
+        assert hard.hashes_per_password == 1000 * base.hashes_per_password
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            offline_cracking_cost(
+                RobustDiscretization(2, 9), self._dictionary(), hash_rate=0
+            )
+
+    def test_summary_integration(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        target = PasswordSample(0, 0, "cars", tuple(points))
+        seeds = tuple(points) + tuple(Point.xy(5 + i, 300) for i in range(5))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        scheme = RobustDiscretization(2, 9)
+        result = offline_attack_known_identifiers(scheme, [target], dictionary)
+        estimate = offline_cracking_cost(scheme, dictionary)
+        summary = summarize_attack_economics(result, estimate)
+        assert summary["cracked"] == 1
+        assert summary["mean_expected_guesses"] is not None
+        assert summary["hours_total"] >= summary["hours_per_password"]
+
+
+class TestClickSpace3D:
+    def _space(self):
+        return ClickSpace3D(
+            name="room",
+            width=100,
+            height=80,
+            depth=60,
+            objects=((50.0, 40.0, 30.0, 4.0, 1.0),),
+        )
+
+    def test_contains(self):
+        space = self._space()
+        assert space.contains(Point.of(0, 0, 0))
+        assert space.contains(Point.of(99, 79, 59))
+        assert not space.contains(Point.of(100, 0, 0))
+        with pytest.raises(DomainError):
+            space.contains(Point.xy(1, 2))
+
+    def test_clamp_and_voxels(self):
+        space = self._space()
+        assert space.clamp(-5, 200, 30.4) == (0, 79, 30)
+        assert space.voxel_count == 100 * 80 * 60
+
+    def test_sample_click_inside(self, rng):
+        space = self._space()
+        for _ in range(100):
+            assert space.contains(space.sample_click(rng))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ClickSpace3D(name="x", width=0, height=10, depth=10)
+        with pytest.raises(ParameterError):
+            ClickSpace3D(
+                name="x", width=10, height=10, depth=10,
+                objects=((1.0, 1.0, 1.0, 0.0, 1.0),),
+            )
+
+
+class TestSpace3DSystem:
+    def _system(self, r=6):
+        space = ClickSpace3D(name="room", width=200, height=150, depth=100)
+        scheme = CenteredDiscretization.for_pixel_tolerance(3, r)
+        return Space3DSystem(space=space, scheme=scheme)
+
+    def test_enroll_verify_roundtrip(self):
+        system = self._system()
+        points = [
+            Point.of(20, 30, 40),
+            Point.of(100, 75, 50),
+            Point.of(150, 140, 90),
+            Point.of(60, 10, 10),
+            Point.of(190, 100, 30),
+        ]
+        stored = system.enroll(points)
+        assert system.verify(stored, points)
+        shifted = [Point.of(int(p.x) + 3, int(p.y) - 3, int(p.z) + 3) for p in points]
+        assert system.verify(stored, shifted)
+        far = [Point.of(int(p.x), int(p.y), (int(p.z) + 30) % 100) for p in points]
+        assert not system.verify(stored, far)
+
+    def test_requires_3d_scheme(self):
+        space = ClickSpace3D(name="room", width=10, height=10, depth=10)
+        with pytest.raises(ParameterError):
+            Space3DSystem(space=space, scheme=CenteredDiscretization(2, 5))
+
+    def test_domain_and_count_enforced(self):
+        system = self._system()
+        with pytest.raises(VerificationError):
+            system.enroll([Point.of(1, 1, 1)])
+        bad = [Point.of(1, 1, 1)] * 4 + [Point.of(999, 1, 1)]
+        with pytest.raises(DomainError):
+            system.enroll(bad)
+
+    def test_password_space_advantage_is_6_bits_per_click(self):
+        space = ClickSpace3D(name="room", width=400, height=300, depth=250)
+        r = 5
+        centered_bits = space3d_password_bits(space, 2 * r)
+        robust_bits = space3d_password_bits(space, 8 * r)
+        # Ignoring ceil effects, the gap is 5 clicks x 3 log2(4) = 30 bits.
+        assert 25 <= centered_bits - robust_bits <= 32
+
+    def test_bits_validation(self):
+        space = ClickSpace3D(name="room", width=10, height=10, depth=10)
+        with pytest.raises(ParameterError):
+            space3d_password_bits(space, 0)
+        with pytest.raises(ParameterError):
+            space3d_password_bits(space, 5, clicks=0)
+
+
+class TestExtensionExperiments:
+    def test_analytic_acceptance_agrees(self):
+        result = extensions.analytic_acceptance(trials=1500)
+        for comparison in result.comparisons:
+            assert float(comparison["measured"]) < 0.04
+
+    def test_space3d_experiment(self):
+        result = extensions.space3d()
+        for row in result.rows:
+            assert row[1] > row[2]  # centered bits > robust bits
+            assert row[4] == "ok"
+
+    def test_attack_economics_orderings(self):
+        result = extensions.attack_economics()
+        rows = {row[0]: float(row[1]) for row in result.rows}
+        assert rows["robust, ids hidden"] > rows["robust, ids known"]
+        assert rows["centered, ids hidden"] > rows["robust, ids hidden"]
+        assert (
+            rows["centered, ids known, h^1000"]
+            == 1000 * rows["centered, ids known"]
+        )

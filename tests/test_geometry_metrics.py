@@ -1,0 +1,73 @@
+"""Tests for repro.geometry.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.metrics import (
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    squared_euclidean,
+)
+from repro.geometry.point import Point
+
+coords = st.integers(min_value=-10**4, max_value=10**4)
+points_2d = st.builds(Point.xy, coords, coords)
+
+
+class TestMetricValues:
+    def test_chebyshev(self):
+        assert chebyshev(Point.xy(0, 0), Point.xy(3, -7)) == 7
+
+    def test_manhattan(self):
+        assert manhattan(Point.xy(0, 0), Point.xy(3, -7)) == 10
+
+    def test_euclidean(self):
+        assert euclidean(Point.xy(0, 0), Point.xy(3, 4)) == 5.0
+
+    def test_squared_euclidean_exact(self):
+        assert squared_euclidean(Point.xy(0, 0), Point.xy(3, 4)) == 25
+
+
+class TestMetricProperties:
+    @given(points_2d, points_2d)
+    def test_symmetry(self, a, b):
+        assert chebyshev(a, b) == chebyshev(b, a)
+        assert manhattan(a, b) == manhattan(b, a)
+        assert euclidean(a, b) == euclidean(b, a)
+
+    @given(points_2d)
+    def test_identity(self, a):
+        assert chebyshev(a, a) == 0
+        assert manhattan(a, a) == 0
+        assert euclidean(a, a) == 0.0
+
+    @given(points_2d, points_2d)
+    def test_metric_ordering(self, a, b):
+        """chebyshev <= euclidean <= manhattan for any pair."""
+        c = float(chebyshev(a, b))
+        e = euclidean(a, b)
+        m = float(manhattan(a, b))
+        assert c <= e + 1e-9
+        assert e <= m + 1e-9
+
+    @given(points_2d, points_2d, points_2d)
+    def test_triangle_inequality_chebyshev(self, a, b, c):
+        assert chebyshev(a, c) <= chebyshev(a, b) + chebyshev(b, c)
+
+
+class TestLookup:
+    def test_get_metric(self):
+        assert get_metric("chebyshev") is chebyshev
+        assert get_metric("Euclidean") is euclidean
+        assert get_metric("MANHATTAN") is manhattan
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="chebyshev"):
+            get_metric("minkowski")

@@ -1,0 +1,194 @@
+"""Tests for repro.geometry.numbers: numeric helpers and pixel conventions."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.geometry.numbers import (
+    as_exact,
+    centered_pixel_tolerance_for_grid_size,
+    centered_r_for_grid_size,
+    floor_div,
+    floor_mod,
+    grid_size_for_pixel_tolerance,
+    is_real,
+    pixel_tolerance_for_r,
+    r_for_pixel_tolerance,
+    robust_r_for_grid_size,
+    to_float,
+    validate_positive,
+    validate_real,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+reals = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    finite_floats,
+    st.fractions(
+        min_value=-10**6, max_value=10**6, max_denominator=10**4
+    ),
+)
+
+
+class TestValidation:
+    def test_is_real_accepts_int_float_fraction(self):
+        assert is_real(3)
+        assert is_real(-2.5)
+        assert is_real(Fraction(1, 3))
+
+    def test_is_real_rejects_bool(self):
+        assert not is_real(True)
+        assert not is_real(False)
+
+    def test_is_real_rejects_nan_and_inf(self):
+        assert not is_real(float("nan"))
+        assert not is_real(float("inf"))
+        assert not is_real(float("-inf"))
+
+    def test_is_real_rejects_strings_and_none(self):
+        assert not is_real("3")
+        assert not is_real(None)
+
+    def test_validate_real_returns_value(self):
+        assert validate_real(7) == 7
+
+    def test_validate_real_raises_with_name(self):
+        with pytest.raises(ParameterError, match="myparam"):
+            validate_real("x", "myparam")
+
+    def test_validate_positive_rejects_zero_and_negative(self):
+        with pytest.raises(ParameterError):
+            validate_positive(0)
+        with pytest.raises(ParameterError):
+            validate_positive(-1)
+
+    def test_validate_positive_accepts_fraction(self):
+        assert validate_positive(Fraction(1, 2)) == Fraction(1, 2)
+
+
+class TestAsExact:
+    def test_float_becomes_fraction(self):
+        assert as_exact(0.5) == Fraction(1, 2)
+
+    def test_integral_fraction_becomes_int(self):
+        result = as_exact(Fraction(6, 3))
+        assert result == 2
+        assert isinstance(result, int)
+
+    def test_int_passthrough(self):
+        assert as_exact(7) == 7
+
+    @given(reals)
+    def test_as_exact_preserves_value_closely(self, value):
+        exact = as_exact(value)
+        assert math.isclose(float(exact), float(value), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestFloorOps:
+    def test_floor_div_matches_paper_example(self):
+        # i = floor((13 - 5.5) / 11) = 0
+        assert floor_div(13 - 5.5, 11) == 0
+
+    def test_floor_mod_matches_paper_example(self):
+        # d = (13 - 5.5) mod 11 = 7.5
+        assert floor_mod(13 - 5.5, 11) == 7.5
+
+    def test_negative_numerator(self):
+        assert floor_div(-1, 10) == -1
+        assert floor_mod(-1, 10) == 9
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ParameterError):
+            floor_div(1, 0)
+        with pytest.raises(ParameterError):
+            floor_mod(1, -2)
+
+    @given(
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.fractions(min_value=Fraction(1, 100), max_value=100, max_denominator=100),
+    )
+    def test_div_mod_identity(self, numerator, denominator):
+        quotient = floor_div(numerator, denominator)
+        remainder = floor_mod(numerator, denominator)
+        assert 0 <= remainder < denominator
+        assert quotient * denominator + remainder == numerator
+
+
+class TestPixelConventions:
+    def test_r_for_pixel_tolerance(self):
+        # Paper footnote 2: tolerance 9 -> r = 9.5 -> 19-px squares.
+        assert r_for_pixel_tolerance(9) == Fraction(19, 2)
+
+    def test_grid_size_for_pixel_tolerance(self):
+        assert grid_size_for_pixel_tolerance(9) == 19
+        assert grid_size_for_pixel_tolerance(0) == 1
+
+    def test_pixel_tolerance_roundtrip(self):
+        for tolerance in range(0, 30):
+            assert pixel_tolerance_for_r(r_for_pixel_tolerance(tolerance)) == tolerance
+
+    def test_pixel_tolerance_for_r_rejects_non_half_integer(self):
+        with pytest.raises(ParameterError):
+            pixel_tolerance_for_r(Fraction(1, 3))
+        with pytest.raises(ParameterError):
+            pixel_tolerance_for_r(5)
+
+    def test_r_for_pixel_tolerance_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            r_for_pixel_tolerance(-1)
+        with pytest.raises(ParameterError):
+            r_for_pixel_tolerance(2.5)
+        with pytest.raises(ParameterError):
+            r_for_pixel_tolerance(True)
+
+
+class TestTableThreeColumns:
+    """The r columns of the paper's Table 3 follow from the grid size."""
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(9, 4), (13, 6), (19, 9), (24, 11.5), (36, 17.5), (54, 26.5)],
+    )
+    def test_centered_pixel_tolerance(self, size, expected):
+        assert centered_pixel_tolerance_for_grid_size(size) == Fraction(expected)
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(9, Fraction(3, 2)), (13, Fraction(13, 6)), (19, Fraction(19, 6)),
+         (24, 4), (36, 6), (54, 9)],
+    )
+    def test_robust_r(self, size, expected):
+        assert robust_r_for_grid_size(size) == expected
+
+    def test_centered_r_is_half_grid(self):
+        assert centered_r_for_grid_size(13) == Fraction(13, 2)
+
+    def test_rejects_bad_grid_sizes(self):
+        for func in (
+            centered_r_for_grid_size,
+            centered_pixel_tolerance_for_grid_size,
+            robust_r_for_grid_size,
+        ):
+            with pytest.raises(ParameterError):
+                func(0)
+            with pytest.raises(ParameterError):
+                func(-9)
+            with pytest.raises(ParameterError):
+                func(9.0)
+
+
+class TestToFloat:
+    def test_fraction(self):
+        assert to_float(Fraction(1, 4)) == 0.25
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ParameterError):
+            to_float("1.5")

@@ -1,0 +1,123 @@
+"""Tests for repro.geometry.point."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.point import Point
+
+coords = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.fractions(min_value=-10**4, max_value=10**4, max_denominator=1000),
+)
+points_2d = st.builds(Point.xy, coords, coords)
+
+
+class TestConstruction:
+    def test_of_and_xy(self):
+        assert Point.of(1, 2, 3).coords == (1, 2, 3)
+        assert Point.xy(4, 5) == Point((4, 5))
+
+    def test_from_sequence(self):
+        assert Point.from_sequence([1, 2]) == Point.xy(1, 2)
+        assert Point.from_sequence(iter([3])) == Point.of(3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            Point(())
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ParameterError):
+            Point.xy(1, float("nan"))
+        with pytest.raises(ParameterError):
+            Point.xy(True, 2)
+        with pytest.raises(ParameterError):
+            Point.of("3")
+
+    def test_list_coords_normalized_to_tuple(self):
+        point = Point([1, 2])  # type: ignore[arg-type]
+        assert point.coords == (1, 2)
+
+    def test_hashable_and_equal(self):
+        assert hash(Point.xy(1, 2)) == hash(Point.xy(1, 2))
+        assert Point.xy(1, 2) == Point.xy(1, 2)
+        assert Point.xy(1, 2) != Point.xy(2, 1)
+
+
+class TestAccessors:
+    def test_xyz(self):
+        point = Point.of(1, 2, 3)
+        assert (point.x, point.y, point.z) == (1, 2, 3)
+
+    def test_y_requires_2d(self):
+        with pytest.raises(DimensionMismatchError):
+            _ = Point.of(1).y
+
+    def test_z_requires_3d(self):
+        with pytest.raises(DimensionMismatchError):
+            _ = Point.xy(1, 2).z
+
+    def test_iteration_len_indexing(self):
+        point = Point.of(5, 6, 7)
+        assert list(point) == [5, 6, 7]
+        assert len(point) == 3
+        assert point[1] == 6
+        assert point.dim == 3
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = Point.xy(1, 2), Point.xy(10, 20)
+        assert a + b == Point.xy(11, 22)
+        assert b - a == Point.xy(9, 18)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Point.xy(1, 2) + Point.of(1)
+
+    def test_scale(self):
+        assert Point.xy(2, 3).scale(Fraction(1, 2)) == Point.xy(1, Fraction(3, 2))
+
+    def test_scale_validates(self):
+        with pytest.raises(ParameterError):
+            Point.xy(1, 2).scale("2")
+
+    def test_translate(self):
+        assert Point.xy(1, 2).translate(5, -1) == Point.xy(6, 1)
+
+    def test_translate_wrong_arity(self):
+        with pytest.raises(DimensionMismatchError):
+            Point.xy(1, 2).translate(5)
+
+    @given(points_2d, points_2d)
+    def test_add_sub_inverse(self, a, b):
+        assert (a + b) - b == a
+
+
+class TestConversions:
+    def test_exact(self):
+        point = Point.xy(0.5, 1).exact()
+        assert point.coords == (Fraction(1, 2), 1)
+
+    def test_as_floats(self):
+        assert Point.xy(Fraction(1, 2), 3).as_floats() == (0.5, 3.0)
+
+    def test_rounded(self):
+        assert Point.xy(1.4, 2.6).rounded() == Point.xy(1, 3)
+
+    @given(points_2d)
+    def test_json_roundtrip(self, point):
+        assert Point.from_json(point.to_json()) == point
+
+    def test_json_fraction_encoding(self):
+        data = Point.xy(Fraction(1, 3), 2).to_json()
+        assert data == [[1, 3], 2]
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(ParameterError):
+            Point.from_json([[1, 2, 3]])

@@ -1,0 +1,183 @@
+"""Tests for repro.geometry.region (Box) and repro.geometry.grid (Grid)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError, ParameterError
+from repro.geometry.grid import Grid
+from repro.geometry.point import Point
+from repro.geometry.region import Box, centered_box
+
+coords = st.integers(min_value=-1000, max_value=1000)
+sizes = st.integers(min_value=1, max_value=60)
+points_2d = st.builds(Point.xy, coords, coords)
+
+
+class TestBoxBasics:
+    def test_half_open_membership(self):
+        box = Box(Point.xy(0, 0), Point.xy(10, 5))
+        assert box.contains(Point.xy(0, 0))
+        assert box.contains(Point.xy(9, 4))
+        assert not box.contains(Point.xy(10, 0))
+        assert not box.contains(Point.xy(0, 5))
+
+    def test_rejects_empty_box(self):
+        with pytest.raises(ParameterError):
+            Box(Point.xy(0, 0), Point.xy(0, 5))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Box(Point.xy(0, 0), Point.of(5))
+
+    def test_sides_and_volume(self):
+        box = Box(Point.xy(0, 0), Point.xy(4, 3))
+        assert box.sides == (4, 3)
+        assert box.volume() == 12
+
+    def test_center(self):
+        box = Box(Point.xy(0, 0), Point.xy(10, 4))
+        assert box.center() == Point.xy(5, 2)
+
+    def test_margin_interior_and_exterior(self):
+        box = Box(Point.xy(0, 0), Point.xy(10, 10))
+        assert box.margin(Point.xy(5, 5)) == 5
+        assert box.margin(Point.xy(1, 5)) == 1
+        assert box.margin(Point.xy(-2, 5)) == -2
+
+    def test_contains_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Box(Point.xy(0, 0), Point.xy(1, 1)).contains(Point.of(0))
+
+
+class TestBoxIntersection:
+    def test_disjoint(self):
+        a = Box(Point.xy(0, 0), Point.xy(5, 5))
+        b = Box(Point.xy(5, 0), Point.xy(10, 5))  # touching edge: half-open
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+        assert a.overlap_volume(b) == 0
+
+    def test_overlap(self):
+        a = Box(Point.xy(0, 0), Point.xy(6, 6))
+        b = Box(Point.xy(4, 4), Point.xy(10, 10))
+        overlap = a.intersection(b)
+        assert overlap == Box(Point.xy(4, 4), Point.xy(6, 6))
+        assert a.overlap_volume(b) == 4
+
+    @given(points_2d, sizes, points_2d, sizes)
+    def test_overlap_commutative(self, lo_a, size_a, lo_b, size_b):
+        a = Box(lo_a, lo_a.translate(size_a, size_a))
+        b = Box(lo_b, lo_b.translate(size_b, size_b))
+        assert a.overlap_volume(b) == b.overlap_volume(a)
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(points_2d, sizes)
+    def test_self_overlap_is_volume(self, lo, size):
+        box = Box(lo, lo.translate(size, size))
+        assert box.overlap_volume(box) == box.volume()
+
+
+class TestIntegerPoints:
+    def test_count_matches_enumeration(self):
+        box = Box(Point.xy(Fraction(1, 2), -1), Point.xy(4, Fraction(5, 2)))
+        enumerated = list(box.integer_points())
+        assert box.count_integer_points() == len(enumerated)
+        for point in enumerated:
+            assert box.contains(point)
+
+    @given(points_2d, sizes)
+    def test_count_for_integer_boxes(self, lo, size):
+        box = Box(lo, lo.translate(size, size))
+        assert box.count_integer_points() == size * size
+
+    def test_centered_box_integer_tolerance(self):
+        # r = t + 1/2 around an integer point: exactly (2t+1)^2 pixels.
+        box = centered_box(Point.xy(10, 10), Fraction(19, 2))
+        assert box.count_integer_points() == 19 * 19
+
+    def test_centered_box_validates_radius(self):
+        with pytest.raises(ParameterError):
+            centered_box(Point.xy(0, 0), 0)
+
+
+class TestGrid:
+    def test_cell_of_basics(self):
+        grid = Grid((10, 10), (0, 0))
+        assert grid.cell_of(Point.xy(0, 0)) == (0, 0)
+        assert grid.cell_of(Point.xy(9, 9)) == (0, 0)
+        assert grid.cell_of(Point.xy(10, 9)) == (1, 0)
+        assert grid.cell_of(Point.xy(-1, 0)) == (-1, 0)
+
+    def test_offset_grid(self):
+        grid = Grid((10, 10), (3, 7))
+        assert grid.cell_of(Point.xy(3, 7)) == (0, 0)
+        assert grid.cell_of(Point.xy(2, 7)) == (-1, 0)
+
+    def test_square_constructor(self):
+        grid = Grid.square(3, 5, offset=1)
+        assert grid.dim == 3
+        assert grid.cell_sizes == (5, 5, 5)
+        assert grid.offsets == (1, 1, 1)
+
+    def test_square_rejects_bad_dim(self):
+        with pytest.raises(ParameterError):
+            Grid.square(0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Grid((0, 10), (0, 0))
+        with pytest.raises(DimensionMismatchError):
+            Grid((10, 10), (0,))
+        with pytest.raises(ParameterError):
+            Grid((), ())
+
+    @given(points_2d, sizes, coords)
+    def test_point_inside_own_cell_box(self, point, size, offset):
+        grid = Grid.square(2, size, offset=offset)
+        index = grid.cell_of(point)
+        box = grid.cell_box(index)
+        assert box.contains(point)
+        assert box.volume() == size * size
+
+    @given(points_2d, sizes, coords)
+    def test_margin_nonnegative_and_bounded(self, point, size, offset):
+        grid = Grid.square(2, size, offset=offset)
+        margin = grid.margin(point)
+        assert 0 <= margin <= Fraction(size, 2)
+
+    def test_is_safe(self):
+        grid = Grid.square(1, 10)
+        assert grid.is_safe(Point.of(5), 5)
+        assert grid.is_safe(Point.of(3), 3)
+        assert not grid.is_safe(Point.of(2), 3)
+
+    def test_translate(self):
+        grid = Grid.square(2, 10).translate(3, 4)
+        assert grid.offsets == (3, 4)
+
+    def test_cell_box_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Grid.square(2, 10).cell_box((0,))
+
+    def test_cells_covering(self):
+        grid = Grid.square(2, 10)
+        box = Box(Point.xy(5, 5), Point.xy(25, 15))
+        cells = set(grid.cells_covering(box))
+        assert cells == {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)}
+
+    def test_cells_covering_exact_boundary(self):
+        grid = Grid.square(1, 10)
+        # hi exactly on a cell edge: that cell is excluded (half-open).
+        cells = grid.cells_covering(Box(Point.of(0), Point.of(10)))
+        assert cells == ((0,),)
+
+    @given(points_2d, sizes)
+    def test_cells_covering_includes_containing_cell(self, point, size):
+        grid = Grid.square(2, size)
+        box = Box(point, point.translate(3, 3))
+        assert grid.cell_of(point) in set(grid.cells_covering(box))

@@ -1,0 +1,242 @@
+"""Tests for the password-system layer: PassPoints, storage flow, store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.crypto.hashing import Hasher
+from repro.errors import (
+    DomainError,
+    LockoutError,
+    ParameterError,
+    StoreError,
+    VerificationError,
+)
+from repro.geometry.point import Point
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import AccountThrottle, LockoutPolicy
+from repro.passwords.store import PasswordStore
+from repro.passwords.system import (
+    StoredPassword,
+    enroll_password,
+    locate_secrets,
+    verify_password,
+)
+from repro.study.image import cars_image
+
+POINTS = [
+    Point.xy(42, 61),
+    Point.xy(130, 88),
+    Point.xy(227, 154),
+    Point.xy(318, 222),
+    Point.xy(401, 290),
+]
+
+
+def shifted(points, dx, dy=0):
+    return [Point.xy(int(p.x) + dx, int(p.y) + dy) for p in points]
+
+
+@pytest.fixture(params=["centered", "robust"])
+def scheme(request):
+    if request.param == "centered":
+        return CenteredDiscretization.for_pixel_tolerance(2, 9)
+    return RobustDiscretization.for_pixel_tolerance(2, 9)
+
+
+class TestEnrollVerify:
+    def test_exact_reentry_accepted(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        assert verify_password(scheme, stored, POINTS)
+
+    def test_within_tolerance_accepted(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        assert verify_password(scheme, stored, shifted(POINTS, 5, -4))
+
+    def test_far_reentry_rejected(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        assert not verify_password(scheme, stored, shifted(POINTS, 60))
+
+    def test_single_wrong_point_rejects_whole_password(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        attempt = list(POINTS)
+        attempt[2] = Point.xy(int(POINTS[2].x) + 60, int(POINTS[2].y))
+        assert not verify_password(scheme, stored, attempt)
+
+    def test_order_matters(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        assert not verify_password(scheme, stored, list(reversed(POINTS)))
+
+    def test_wrong_click_count_raises(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        with pytest.raises(VerificationError):
+            verify_password(scheme, stored, POINTS[:3])
+
+    def test_empty_password_rejected(self, scheme):
+        with pytest.raises(VerificationError):
+            enroll_password(scheme, [])
+
+    def test_locate_secrets_matches_enrollment(self, scheme):
+        stored = enroll_password(scheme, POINTS)
+        secrets = locate_secrets(scheme, stored, POINTS)
+        assert len(secrets) == 5
+        # Re-assembling the hash material must reproduce the digest.
+        flat = tuple(i for s in secrets for i in s)
+        assert stored.record.matches(flat)
+
+    def test_stored_password_json_roundtrip(self, scheme):
+        stored = enroll_password(scheme, POINTS, Hasher(salt=b"u", iterations=3))
+        restored = StoredPassword.from_json(stored.to_json())
+        assert restored == stored
+        assert verify_password(scheme, restored, POINTS)
+
+    def test_salt_changes_digest_not_acceptance(self, scheme):
+        a = enroll_password(scheme, POINTS, Hasher(salt=b"alice"))
+        b = enroll_password(scheme, POINTS, Hasher(salt=b"bob"))
+        assert a.record.digest != b.record.digest
+        assert verify_password(scheme, a, POINTS)
+        assert verify_password(scheme, b, POINTS)
+
+
+class TestPassPointsSystem:
+    def test_domain_enforced(self):
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+        )
+        bad = list(POINTS)
+        bad[0] = Point.xy(9999, 10)
+        with pytest.raises(DomainError):
+            system.enroll(bad)
+
+    def test_click_count_enforced(self):
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+        )
+        with pytest.raises(VerificationError):
+            system.enroll(POINTS[:4])
+
+    def test_requires_2d_scheme(self):
+        with pytest.raises(ParameterError):
+            PassPointsSystem(
+                image=cars_image(), scheme=CenteredDiscretization(3, 5)
+            )
+
+    def test_enroll_sample_checks_image(self, tiny_study):
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+        )
+        sample = tiny_study.passwords[0]
+        stored = system.enroll_sample(sample)
+        assert system.verify(stored, list(sample.points))
+
+    def test_with_salt(self):
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+        )
+        salted = system.with_salt(b"alice")
+        assert salted.hasher.salt == b"alice"
+        stored = salted.enroll(POINTS)
+        assert salted.verify(stored, POINTS)
+
+
+class TestLockoutPolicy:
+    def test_delays(self):
+        policy = LockoutPolicy(max_failures=None, delay_base_seconds=1, delay_growth=2)
+        assert policy.delay_after(0) == 0
+        assert policy.delay_after(1) == 1
+        assert policy.delay_after(3) == 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LockoutPolicy(max_failures=0)
+        with pytest.raises(ParameterError):
+            LockoutPolicy(delay_base_seconds=-1)
+        with pytest.raises(ParameterError):
+            LockoutPolicy(delay_growth=0.5)
+        with pytest.raises(ParameterError):
+            LockoutPolicy().delay_after(-1)
+
+    def test_throttle_locks_after_max(self):
+        throttle = AccountThrottle(LockoutPolicy(max_failures=2))
+        throttle.record(False)
+        assert not throttle.locked
+        throttle.record(False)
+        assert throttle.locked
+        with pytest.raises(LockoutError):
+            throttle.check()
+
+    def test_success_resets_failures(self):
+        throttle = AccountThrottle(LockoutPolicy(max_failures=3))
+        throttle.record(False)
+        throttle.record(True)
+        assert throttle.failures == 0
+
+
+class TestPasswordStore:
+    def _store(self):
+        system = PassPointsSystem(
+            image=cars_image(),
+            scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+        )
+        return PasswordStore(system=system, policy=LockoutPolicy(max_failures=3))
+
+    def test_create_login(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        assert store.login("alice", POINTS)
+        assert store.login("alice", shifted(POINTS, 3))
+        assert not store.login("alice", shifted(POINTS, 40))
+
+    def test_duplicate_account_rejected(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        with pytest.raises(StoreError):
+            store.create_account("alice", POINTS)
+
+    def test_unknown_account(self):
+        store = self._store()
+        with pytest.raises(StoreError):
+            store.login("ghost", POINTS)
+        with pytest.raises(StoreError):
+            store.delete_account("ghost")
+
+    def test_lockout_flow(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        for _ in range(3):
+            assert not store.login("alice", shifted(POINTS, 30, 30))
+        assert store.is_locked("alice")
+        with pytest.raises(LockoutError):
+            store.login("alice", POINTS)
+
+    def test_per_user_salts_differ(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        store.create_account("bob", POINTS)
+        assert (
+            store.record_for("alice").record.digest
+            != store.record_for("bob").record.digest
+        )
+
+    def test_dump_load_roundtrip(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        store.create_account("bob", shifted(POINTS, 7))
+        payload = store.dump_records()
+        fresh = self._store()
+        fresh.load_records(payload)
+        assert fresh.usernames == ("alice", "bob")
+        assert fresh.login("alice", POINTS)
+        assert fresh.login("bob", shifted(POINTS, 7))
+
+    def test_delete_account(self):
+        store = self._store()
+        store.create_account("alice", POINTS)
+        store.delete_account("alice")
+        assert store.usernames == ()

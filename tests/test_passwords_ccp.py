@@ -1,0 +1,211 @@
+"""Tests for Cued Click-Points, Persuasive CCP and the Blonder baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.centered import CenteredDiscretization
+from repro.errors import DomainError, ParameterError, VerificationError
+from repro.geometry.point import Point
+from repro.geometry.region import Box
+from repro.passwords.blonder import BlonderSystem
+from repro.passwords.ccp import CCPSystem, next_image_index
+from repro.passwords.pccp import PCCPSystem, ViewportSelectionModel
+from repro.study.image import cars_image, pool_image
+
+POINTS = [
+    Point.xy(42, 61),
+    Point.xy(130, 88),
+    Point.xy(227, 154),
+    Point.xy(318, 222),
+    Point.xy(401, 290),
+]
+
+
+def shifted(points, dx, dy=0):
+    return [Point.xy(int(p.x) + dx, int(p.y) + dy) for p in points]
+
+
+@pytest.fixture()
+def ccp():
+    return CCPSystem(
+        images=(cars_image(), pool_image()),
+        scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+    )
+
+
+class TestNextImageIndex:
+    def test_deterministic(self):
+        assert next_image_index(0, (1, 2), (0.5, 0.5), 7) == next_image_index(
+            0, (1, 2), (0.5, 0.5), 7
+        )
+
+    def test_depends_on_cell(self):
+        outputs = {
+            next_image_index(0, (cell, 0), (0.5, 0.5), 1000) for cell in range(50)
+        }
+        assert len(outputs) > 10  # far from constant
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            next_image_index(0, (0, 0), (), 0)
+
+
+class TestCCP:
+    def test_enroll_verify_roundtrip(self, ccp):
+        stored = ccp.enroll(POINTS)
+        assert ccp.verify(stored, POINTS)
+
+    def test_tolerant_reentry_accepted(self, ccp):
+        stored = ccp.enroll(POINTS)
+        assert ccp.verify(stored, shifted(POINTS, 4, -4))
+
+    def test_wrong_click_rejected(self, ccp):
+        stored = ccp.enroll(POINTS)
+        assert not ccp.verify(stored, shifted(POINTS, 30))
+
+    def test_image_path_consistency(self, ccp):
+        stored = ccp.enroll(POINTS)
+        good_path = ccp.image_path(stored, POINTS)
+        tolerant_path = ccp.image_path(stored, shifted(POINTS, 4))
+        assert good_path == tolerant_path  # implicit feedback: same cells
+
+    def test_wrong_click_diverts_path(self, ccp):
+        stored = ccp.enroll(POINTS)
+        good_path = ccp.image_path(stored, POINTS)
+        # Shift only the second click far away: path may diverge from round
+        # 2 onward (depends on the hash), but rounds before it are frozen.
+        attempt = list(POINTS)
+        attempt[1] = Point.xy(int(POINTS[1].x) + 60, int(POINTS[1].y) + 60)
+        diverted_path = ccp.image_path(stored, attempt)
+        assert diverted_path[:2] == good_path[:2]
+
+    def test_click_count_enforced(self, ccp):
+        with pytest.raises(VerificationError):
+            ccp.enroll(POINTS[:3])
+        stored = ccp.enroll(POINTS)
+        with pytest.raises(VerificationError):
+            ccp.verify(stored, POINTS[:3])
+
+    def test_domain_enforced_on_path_image(self, ccp):
+        bad = list(POINTS)
+        bad[0] = Point.xy(9999, 10)
+        with pytest.raises(DomainError):
+            ccp.enroll(bad)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CCPSystem(images=(), scheme=CenteredDiscretization(2, 5))
+        with pytest.raises(ParameterError):
+            CCPSystem(
+                images=(cars_image(),),
+                scheme=CenteredDiscretization(2, 5),
+                rounds=0,
+            )
+        with pytest.raises(ParameterError):
+            CCPSystem(
+                images=(cars_image(),),
+                scheme=CenteredDiscretization(2, 5),
+                start_index=5,
+            )
+
+
+class TestPCCP:
+    def test_create_and_verify(self, ccp, rng):
+        pccp = PCCPSystem(ccp=ccp)
+        points, stored = pccp.create_password(rng)
+        assert len(points) == 5
+        assert pccp.verify(stored, list(points))
+
+    def test_viewport_click_inside_viewport_bounds(self, rng):
+        viewport = ViewportSelectionModel(viewport_size=75, shuffle_rate=0)
+        image = cars_image()
+        for _ in range(50):
+            point = viewport.sample_click(image, rng)
+            assert image.contains(point)
+
+    def test_viewport_flattens_selection(self, rng):
+        """Viewport selection must be visibly less hotspot-concentrated."""
+        image = cars_image()
+        viewport = ViewportSelectionModel()
+        free = []
+        constrained = []
+        from repro.study.clickmodel import SelectionModel
+
+        selection = SelectionModel(min_separation=0)
+        for _ in range(300):
+            free.append(selection._sample_raw(image, rng))
+            constrained.append(viewport.sample_click(image, rng))
+
+        def nearest_hotspot_distance(points):
+            total = 0.0
+            for point in points:
+                best = min(
+                    max(abs(float(point.x) - h.x), abs(float(point.y) - h.y))
+                    for h in image.hotspots
+                )
+                total += best
+            return total / len(points)
+
+        assert nearest_hotspot_distance(constrained) > nearest_hotspot_distance(free)
+
+    def test_viewport_validation(self):
+        with pytest.raises(ParameterError):
+            ViewportSelectionModel(viewport_size=2)
+        with pytest.raises(ParameterError):
+            ViewportSelectionModel(shuffle_rate=1.5)
+        with pytest.raises(ParameterError):
+            ViewportSelectionModel(max_shuffles=-1)
+
+
+class TestBlonder:
+    def _system(self):
+        return BlonderSystem.uniform_partition(cars_image(), rows=4, columns=6)
+
+    def test_enroll_verify(self):
+        system = self._system()
+        record = system.enroll(POINTS)
+        assert system.verify(record, POINTS)
+
+    def test_click_anywhere_in_region_accepted(self):
+        system = self._system()
+        record = system.enroll(POINTS)
+        # Move each click a little; with ~75x82-px regions, small shifts
+        # usually stay within the region, but build the attempt from the
+        # region geometry to be exact.
+        attempt = []
+        for point in POINTS:
+            region_index = system.region_of(point)
+            box = system.regions[region_index]
+            center = box.center()
+            attempt.append(Point.xy(int(center.x), int(center.y)))
+        assert system.verify(record, attempt)
+
+    def test_wrong_region_rejected(self):
+        system = self._system()
+        record = system.enroll(POINTS)
+        attempt = list(POINTS)
+        attempt[0] = Point.xy(
+            (int(POINTS[0].x) + 200) % 451, (int(POINTS[0].y) + 200) % 331
+        )
+        if system.region_of(attempt[0]) != system.region_of(POINTS[0]):
+            assert not system.verify(record, attempt)
+
+    def test_overlapping_regions_rejected(self):
+        box_a = Box(Point.xy(0, 0), Point.xy(10, 10))
+        box_b = Box(Point.xy(5, 5), Point.xy(15, 15))
+        with pytest.raises(ParameterError):
+            BlonderSystem(image=cars_image(), regions=(box_a, box_b))
+
+    def test_password_space_bits(self):
+        system = self._system()
+        import math
+
+        assert system.password_space_bits() == 5 * math.log2(24)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BlonderSystem(image=cars_image(), regions=())
+        with pytest.raises(ParameterError):
+            BlonderSystem.uniform_partition(cars_image(), rows=0, columns=3)

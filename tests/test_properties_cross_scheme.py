@@ -1,0 +1,144 @@
+"""Cross-scheme metamorphic properties.
+
+These properties connect the schemes to each other and to the paper's
+theorems, rather than testing any single implementation in isolation:
+
+* **Containment** (the Table-2 FR=0 theorem): at equal r, Centered's
+  acceptance region is always a subset of Robust's — anything Centered
+  accepts, Robust accepts too.
+* **Translation equivariance**: shifting a point by whole cells shifts its
+  index and leaves the offset unchanged (Centered), and shifting by the
+  full lattice period preserves Robust's safe-grid set.
+* **Attack monotonicity**: adding seed points never un-cracks a password;
+  growing the grid squares never un-cracks one either.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.geometry.point import Point
+
+radii = st.integers(min_value=1, max_value=20)
+coords = st.integers(min_value=-10**4, max_value=10**4)
+points_2d = st.builds(Point.xy, coords, coords)
+
+
+class TestContainmentAtEqualR:
+    @given(points_2d, points_2d, radii)
+    @settings(max_examples=100)
+    def test_centered_accept_implies_robust_accept(self, original, candidate, r):
+        """The FR=0 theorem, point by point."""
+        centered = CenteredDiscretization(2, r)
+        robust = RobustDiscretization(2, r)
+        centered_enrollment = centered.enroll(original)
+        robust_enrollment = robust.enroll(original)
+        if centered.accepts(centered_enrollment, candidate):
+            assert robust.accepts(robust_enrollment, candidate)
+
+    @given(points_2d, radii)
+    @settings(max_examples=60)
+    def test_centered_region_subset_of_robust_region(self, original, r):
+        centered = CenteredDiscretization(2, r)
+        robust = RobustDiscretization(2, r)
+        centered_box = centered.acceptance_region(centered.enroll(original))
+        robust_box = robust.acceptance_region(robust.enroll(original))
+        # Subset via corner containment (axis-aligned boxes).
+        assert robust_box.lo[0] <= centered_box.lo[0]
+        assert robust_box.lo[1] <= centered_box.lo[1]
+        assert robust_box.hi[0] >= centered_box.hi[0]
+        assert robust_box.hi[1] >= centered_box.hi[1]
+
+
+class TestTranslationEquivariance:
+    @given(coords, radii, st.integers(min_value=-50, max_value=50))
+    def test_centered_shift_by_cells(self, x, r, k):
+        """Shifting by k·2r bumps the index by k and fixes the offset."""
+        from repro.core.centered import discretize_1d
+
+        index, offset = discretize_1d(x, r)
+        shifted_index, shifted_offset = discretize_1d(x + k * 2 * r, r)
+        assert shifted_index == index + k
+        assert shifted_offset == offset
+
+    @given(points_2d, radii, st.integers(min_value=-5, max_value=5))
+    @settings(max_examples=60)
+    def test_robust_lattice_period(self, point, r, k):
+        """The 3-grid structure repeats with period 6r on each axis."""
+        scheme = RobustDiscretization(2, r)
+        period = 6 * r * k
+        shifted = Point.xy(point.x + period, point.y + period)
+        assert scheme.safe_grids(point) == scheme.safe_grids(shifted)
+
+
+class TestAttackMonotonicity:
+    def _cracks(self, scheme, target_points, seeds):
+        dictionary = HumanSeededDictionary(
+            seed_points=tuple(seeds),
+            tuple_length=len(target_points),
+            image_name="x",
+        )
+        enrollments = [scheme.enroll(p) for p in target_points]
+        match_sets = []
+        for enrollment in enrollments:
+            box = scheme.acceptance_region(enrollment)
+            match_sets.append(
+                tuple(
+                    i for i, s in enumerate(dictionary.seed_points)
+                    if box.contains(s)
+                )
+            )
+        return HumanSeededDictionary.has_injective_assignment(match_sets)
+
+    @given(
+        st.lists(points_2d, min_size=2, max_size=3, unique=True),
+        st.lists(points_2d, min_size=3, max_size=10),
+        st.lists(points_2d, min_size=1, max_size=5),
+        radii,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_seeds_never_uncrack(self, targets, seeds, extra, r):
+        scheme = CenteredDiscretization(2, r)
+        before = self._cracks(scheme, targets, seeds)
+        after = self._cracks(scheme, targets, seeds + extra)
+        if before:
+            assert after
+
+    @given(
+        st.lists(points_2d, min_size=2, max_size=3, unique=True),
+        st.lists(points_2d, min_size=3, max_size=10),
+        radii,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_larger_centered_cells_never_uncrack(self, targets, seeds, r):
+        """Growing r grows every acceptance region around the same center."""
+        small = CenteredDiscretization(2, r)
+        large = CenteredDiscretization(2, r + 3)
+        if self._cracks(small, targets, seeds):
+            assert self._cracks(large, targets, seeds)
+
+
+class TestSchemeDisagreementIsBounded:
+    @given(points_2d, points_2d, radii)
+    @settings(max_examples=80)
+    def test_disagreements_lie_in_the_annulus(self, original, candidate, r):
+        """Centered and Robust at equal r can only disagree between r and 5r.
+
+        Inside the open r-ball both accept; beyond r_max = 5r both reject.
+        """
+        from repro.geometry.metrics import chebyshev
+
+        centered = CenteredDiscretization(2, r)
+        robust = RobustDiscretization(2, r)
+        distance = chebyshev(original, candidate)
+        centered_ok = centered.accepts(centered.enroll(original), candidate)
+        robust_ok = robust.accepts(robust.enroll(original), candidate)
+        if centered_ok != robust_ok:
+            assert r <= distance <= 5 * r

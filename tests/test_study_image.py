@@ -1,0 +1,135 @@
+"""Tests for the synthetic image model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, ParameterError
+from repro.geometry.point import Point
+from repro.study.image import (
+    PAPER_IMAGE_HEIGHT,
+    PAPER_IMAGE_WIDTH,
+    Hotspot,
+    StudyImage,
+    canonical_images,
+    cars_image,
+    pool_image,
+    random_image,
+)
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Hotspot(x=1, y=1, spread=0, weight=1)
+        with pytest.raises(ParameterError):
+            Hotspot(x=1, y=1, spread=1, weight=0)
+
+
+class TestStudyImage:
+    def test_paper_dimensions(self):
+        cars = cars_image()
+        assert (cars.width, cars.height) == (PAPER_IMAGE_WIDTH, PAPER_IMAGE_HEIGHT)
+        assert (cars.width, cars.height) == (451, 331)
+
+    def test_contains(self):
+        image = cars_image()
+        assert image.contains(Point.xy(0, 0))
+        assert image.contains(Point.xy(450, 330))
+        assert not image.contains(Point.xy(451, 0))
+        assert not image.contains(Point.xy(0, -1))
+
+    def test_contains_rejects_non_2d(self):
+        with pytest.raises(DomainError):
+            cars_image().contains(Point.of(1))
+
+    def test_clamp(self):
+        image = cars_image()
+        assert image.clamp(-5.2, 400.9) == (0, 330)
+        assert image.clamp(10.4, 10.6) == (10, 11)
+
+    def test_pixel_count(self):
+        assert cars_image().pixel_count == 451 * 331
+
+    def test_validation(self):
+        spot = Hotspot(x=1, y=1, spread=1, weight=1)
+        with pytest.raises(ParameterError):
+            StudyImage(name="x", width=0, height=10, hotspots=(spot,))
+        with pytest.raises(ParameterError):
+            StudyImage(name="x", width=10, height=10, hotspots=())
+        with pytest.raises(ParameterError):
+            StudyImage(
+                name="x", width=10, height=10, hotspots=(spot,), background_rate=1.0
+            )
+
+
+class TestSalience:
+    def test_salience_map_normalized(self):
+        dense = cars_image().salience_map()
+        assert dense.shape == (331, 451)
+        assert abs(float(dense.sum()) - 1.0) < 1e-9
+        assert (dense >= 0).all()
+
+    def test_salience_peaks_at_hotspots(self):
+        image = cars_image()
+        top = max(image.hotspots, key=lambda h: h.weight / h.spread**2)
+        x, y = int(top.x), int(top.y)
+        near = image.salience(x, y)
+        far_x, far_y = (x + 150) % image.width, (y + 120) % image.height
+        assert near > image.salience(far_x, far_y) or near > 10 * (
+            image.background_rate / image.pixel_count
+        )
+
+    def test_render_ascii_shape(self):
+        art = cars_image().render_ascii(columns=40)
+        lines = art.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) >= 5
+
+
+class TestCanonicalImages:
+    def test_deterministic(self):
+        assert cars_image() == cars_image()
+        assert pool_image() == pool_image()
+
+    def test_images_differ(self):
+        cars, pool = canonical_images()
+        assert cars.name == "cars"
+        assert pool.name == "pool"
+        assert cars.hotspots != pool.hotspots
+
+    def test_cars_more_concentrated_than_pool(self):
+        """Cars must remain the more attackable image (paper's asymmetry)."""
+        cars, pool = canonical_images()
+        assert cars.background_rate < pool.background_rate
+        assert len(cars.hotspots) < len(pool.hotspots)
+
+    def test_json_roundtrip(self):
+        image = pool_image()
+        assert StudyImage.from_json(image.to_json()) == image
+
+
+class TestRandomImage:
+    def test_reproducible(self):
+        a = random_image("x", seed=5)
+        b = random_image("x", seed=5)
+        assert a == b
+        assert a != random_image("x", seed=6)
+
+    def test_hotspots_inside_margin(self):
+        image = random_image("x", seed=1, margin=20)
+        for spot in image.hotspots:
+            assert 20 <= spot.x <= image.width - 20
+            assert 20 <= spot.y <= image.height - 20
+
+    def test_zipf_weights_descending(self):
+        image = random_image("x", seed=2, zipf_exponent=1.0)
+        weights = [h.weight for h in image.hotspots]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            random_image("x", seed=1, hotspot_count=0)
+        with pytest.raises(ParameterError):
+            random_image("x", seed=1, width=20, height=20, margin=15)

@@ -1,0 +1,267 @@
+"""Tests for click models, participants, datasets and study generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ParameterError
+from repro.geometry.point import Point
+from repro.study.clickmodel import ClickErrorModel, SelectionModel
+from repro.study.dataset import LoginSample, PasswordSample, StudyDataset
+from repro.study.fieldstudy import PAPER_STUDY, FieldStudyConfig, generate_field_study
+from repro.study.image import cars_image, pool_image
+from repro.study.labstudy import LabStudyConfig, generate_lab_study, lab_click_points
+from repro.study.users import Participant, generate_participants
+
+
+class TestClickErrorModel:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ClickErrorModel(sigma=0)
+        with pytest.raises(ParameterError):
+            ClickErrorModel(tail_rate=1.0)
+        with pytest.raises(ParameterError):
+            ClickErrorModel(tail_rate=0.6, gross_rate=0.5)
+        with pytest.raises(ParameterError):
+            ClickErrorModel(gross_sigma=-1)
+        with pytest.raises(ParameterError):
+            ClickErrorModel(skill_spread=-0.1)
+
+    def test_reentry_stays_in_image(self, rng):
+        model = ClickErrorModel(sigma=50, gross_rate=0.3)
+        image = cars_image()
+        original = Point.xy(5, 5)
+        for _ in range(200):
+            point = model.sample_reentry(image, original, rng)
+            assert image.contains(point)
+
+    def test_reentry_is_accurate_on_average(self, rng):
+        model = ClickErrorModel(gross_rate=0.0, skill_spread=0.0)
+        image = cars_image()
+        original = Point.xy(225, 165)
+        errors = []
+        for _ in range(500):
+            point = model.sample_reentry(image, original, rng)
+            errors.append(max(abs(int(point.x) - 225), abs(int(point.y) - 165)))
+        within4 = sum(1 for e in errors if e <= 4) / len(errors)
+        assert within4 > 0.80  # "very accurate" users
+
+    def test_skill_validated(self, rng):
+        model = ClickErrorModel()
+        with pytest.raises(ParameterError):
+            model.sample_reentry(cars_image(), Point.xy(5, 5), rng, skill=0)
+
+    def test_user_skill_positive(self, rng):
+        model = ClickErrorModel()
+        for _ in range(50):
+            assert model.user_skill(rng) > 0
+
+    def test_user_skill_degenerate(self, rng):
+        assert ClickErrorModel(skill_spread=0).user_skill(rng) == 1.0
+
+    def test_json_roundtrip(self):
+        model = ClickErrorModel(sigma=2.0, tail_rate=0.1)
+        assert ClickErrorModel.from_json(model.to_json()) == model
+
+
+class TestSelectionModel:
+    def test_min_separation_enforced(self, rng):
+        model = SelectionModel(min_separation=20)
+        image = cars_image()
+        for _ in range(20):
+            points = model.sample_password(image, rng, clicks=5)
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    dx = abs(int(points[i].x) - int(points[j].x))
+                    dy = abs(int(points[i].y) - int(points[j].y))
+                    assert max(dx, dy) >= 20
+
+    def test_points_inside_image(self, rng):
+        model = SelectionModel()
+        image = pool_image()
+        for _ in range(30):
+            for point in model.sample_password(image, rng, clicks=5):
+                assert image.contains(point)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            SelectionModel(min_separation=-1)
+        with pytest.raises(ParameterError):
+            SelectionModel(max_resamples=0)
+        with pytest.raises(ParameterError):
+            SelectionModel().sample_password(cars_image(), rng, clicks=0)
+
+    def test_json_roundtrip(self):
+        model = SelectionModel(min_separation=10)
+        assert SelectionModel.from_json(model.to_json()) == model
+
+
+class TestParticipants:
+    def test_round_robin_split(self, rng):
+        participants = generate_participants(
+            10, (cars_image(), pool_image()), ClickErrorModel(), rng
+        )
+        cars_count = sum(1 for p in participants if p.image_name == "cars")
+        assert cars_count == 5
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            generate_participants(0, (cars_image(),), ClickErrorModel(), rng)
+        with pytest.raises(ParameterError):
+            generate_participants(5, (), ClickErrorModel(), rng)
+        with pytest.raises(ParameterError):
+            Participant(user_id=0, image_name="cars", skill=0)
+
+
+class TestDatasetContainers:
+    def _password(self, pid=0, image="cars"):
+        return PasswordSample(
+            password_id=pid,
+            user_id=1,
+            image_name=image,
+            points=(Point.xy(10, 10), Point.xy(50, 50)),
+        )
+
+    def test_password_validation(self):
+        with pytest.raises(DatasetError):
+            PasswordSample(password_id=0, user_id=0, image_name="cars", points=())
+        with pytest.raises(DatasetError):
+            PasswordSample(
+                password_id=0, user_id=0, image_name="cars", points=(Point.of(1),)
+            )
+
+    def test_login_validation(self):
+        with pytest.raises(DatasetError):
+            LoginSample(login_id=0, password_id=0, points=())
+
+    def test_dataset_invariants(self):
+        images = {"cars": cars_image()}
+        password = self._password()
+        login = LoginSample(
+            login_id=0, password_id=0, points=(Point.xy(11, 11), Point.xy(49, 52))
+        )
+        dataset = StudyDataset(images=images, passwords=(password,), logins=(login,))
+        assert dataset.password(0) == password
+        assert dataset.logins_for(0) == (login,)
+
+    def test_duplicate_password_id_rejected(self):
+        images = {"cars": cars_image()}
+        with pytest.raises(DatasetError):
+            StudyDataset(
+                images=images,
+                passwords=(self._password(0), self._password(0)),
+                logins=(),
+            )
+
+    def test_unknown_image_rejected(self):
+        with pytest.raises(DatasetError):
+            StudyDataset(images={}, passwords=(self._password(),), logins=())
+
+    def test_out_of_bounds_point_rejected(self):
+        images = {"cars": cars_image()}
+        bad = PasswordSample(
+            password_id=0,
+            user_id=0,
+            image_name="cars",
+            points=(Point.xy(9999, 10),),
+        )
+        with pytest.raises(DatasetError):
+            StudyDataset(images=images, passwords=(bad,), logins=())
+
+    def test_login_click_count_mismatch_rejected(self):
+        images = {"cars": cars_image()}
+        login = LoginSample(login_id=0, password_id=0, points=(Point.xy(1, 1),))
+        with pytest.raises(DatasetError):
+            StudyDataset(
+                images=images, passwords=(self._password(),), logins=(login,)
+            )
+
+    def test_login_unknown_password_rejected(self):
+        images = {"cars": cars_image()}
+        login = LoginSample(
+            login_id=0, password_id=99, points=(Point.xy(1, 1), Point.xy(2, 2))
+        )
+        with pytest.raises(DatasetError):
+            StudyDataset(
+                images=images, passwords=(self._password(),), logins=(login,)
+            )
+
+
+class TestFieldStudy:
+    def test_paper_shape(self, paper_dataset):
+        summary = paper_dataset.summary()
+        assert summary["participants"] == 191
+        assert summary["passwords"] == 481
+        assert summary["logins"] == 3339
+
+    def test_images_roughly_split(self, paper_dataset):
+        summary = paper_dataset.summary()
+        cars = summary["images"]["cars"]["passwords"]
+        pool = summary["images"]["pool"]["passwords"]
+        assert cars + pool == 481
+        assert abs(cars - pool) < 481 * 0.15
+
+    def test_every_password_has_five_clicks(self, paper_dataset):
+        for password in paper_dataset.passwords:
+            assert password.clicks == 5
+
+    def test_reproducible(self):
+        config = FieldStudyConfig(
+            participants=8, passwords_total=10, logins_total=30, seed=3
+        )
+        assert generate_field_study(config) == generate_field_study(config)
+
+    def test_different_seed_differs(self):
+        base = FieldStudyConfig(
+            participants=8, passwords_total=10, logins_total=30, seed=3
+        )
+        assert generate_field_study(base) != generate_field_study(base.with_seed(4))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FieldStudyConfig(participants=0)
+        with pytest.raises(ParameterError):
+            FieldStudyConfig(participants=10, passwords_total=5)
+        with pytest.raises(ParameterError):
+            FieldStudyConfig(clicks_per_password=0)
+        with pytest.raises(ParameterError):
+            FieldStudyConfig(images=(cars_image(), cars_image()))
+
+    def test_fewer_logins_than_passwords(self):
+        config = FieldStudyConfig(
+            participants=5, passwords_total=10, logins_total=4, seed=9
+        )
+        dataset = generate_field_study(config)
+        assert len(dataset.logins) == 4
+
+    def test_json_roundtrip(self, tiny_study, tmp_path):
+        path = tmp_path / "study.json"
+        tiny_study.save(str(path))
+        loaded = StudyDataset.load(str(path))
+        assert loaded == tiny_study
+
+
+class TestLabStudy:
+    def test_paper_shape(self):
+        lab = generate_lab_study(cars_image())
+        assert len(lab) == 30
+        assert len(lab_click_points(lab)) == 150
+
+    def test_deterministic_and_image_specific(self):
+        assert generate_lab_study(cars_image()) == generate_lab_study(cars_image())
+        cars_points = lab_click_points(generate_lab_study(cars_image()))
+        pool_points = lab_click_points(generate_lab_study(pool_image()))
+        assert cars_points != pool_points
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            LabStudyConfig(passwords=0)
+        with pytest.raises(ParameterError):
+            LabStudyConfig(clicks_per_password=0)
+
+    def test_points_inside_image(self):
+        image = pool_image()
+        for sample in generate_lab_study(image):
+            for point in sample.points:
+                assert image.contains(point)
