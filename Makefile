@@ -1,0 +1,36 @@
+# Development entry points.  Everything runs against src/ directly —
+# there is no build step.  `make test` is the tier-1 gate; `make
+# docs-check` enforces the docstring bar described in docs/architecture.md.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test unit bench examples docs-check check
+
+## Full tier-1 run: tests + benchmark reproduction gates.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only (fast inner loop; skips the benchmark suites).
+unit:
+	$(PYTHON) -m pytest tests -x -q
+
+## Benchmarks only, with timing tables and archived reports.
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Execute every example end-to-end.
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null; \
+	done; echo "all examples ok"
+
+## Fail when any public symbol lacks a docstring.
+docs-check:
+	$(PYTHON) tools/check_docstrings.py src/repro tools
+
+## Everything a PR must pass.
+check: docs-check test

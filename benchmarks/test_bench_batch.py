@@ -1,0 +1,124 @@
+"""Benchmark: batch engine vs. scalar reference on a 100k-point batch.
+
+The batch engine exists to make attack simulation and analysis sweeps run
+at array speed; this bench holds it to a hard floor: ``verify_batch`` must
+beat the scalar ``accepts`` loop by at least 20x on a 100,000-candidate
+batch, for every scheme.  (Typical measured speedups are far higher —
+see ``benchmarks/reports/batch_throughput.txt``.)
+
+Correctness on the same inputs is asserted inline: the mask produced by
+the batch engine must equal the scalar loop's decisions element-for-element
+(the randomized cross-scheme agreement suite lives in
+``tests/test_core_batch.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CenteredDiscretization,
+    RobustDiscretization,
+    StaticGridScheme,
+    discretize_batch,
+    verify_batch,
+)
+from repro.geometry.point import Point
+
+BATCH_SIZE = 100_000
+MIN_SPEEDUP = 20.0
+
+SCHEMES = [
+    CenteredDiscretization.for_pixel_tolerance(2, 9),
+    RobustDiscretization.for_pixel_tolerance(2, 9),
+    StaticGridScheme(dim=2, cell_size=19),
+]
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    rng = np.random.default_rng(2008)
+    array = rng.integers(0, 640, size=(BATCH_SIZE, 2)).astype(float)
+    points = [Point.xy(int(x), int(y)) for x, y in array]
+    return array, points
+
+
+def _measure(scheme, array, points):
+    """Time the scalar accepts loop and the batch path on the same inputs."""
+    enrollment = scheme.enroll(Point.xy(320, 240))
+    start = time.perf_counter()
+    scalar_mask = [scheme.accepts(enrollment, p) for p in points]
+    scalar_seconds = time.perf_counter() - start
+
+    batch_mask = verify_batch(scheme, enrollment, array)  # warm the kernel
+    batch_seconds = float("inf")
+    for _ in range(3):  # best-of-3 shields the ratio from scheduler noise
+        start = time.perf_counter()
+        batch_mask = verify_batch(scheme, enrollment, array)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    assert np.array_equal(np.array(scalar_mask), batch_mask)
+    return scalar_seconds, batch_seconds
+
+
+def test_verify_batch_speedup(candidates, reports_dir, capsys):
+    """verify_batch >= 20x over the scalar loop at 100k points, per scheme."""
+    array, points = candidates
+    lines = [
+        f"batch engine throughput — {BATCH_SIZE:,}-candidate verification",
+        "",
+        f"{'scheme':<10} {'scalar s':>10} {'batch s':>10} {'speedup':>9} "
+        f"{'batch pts/s':>14}",
+    ]
+    speedups = {}
+    for scheme in SCHEMES:
+        scalar_seconds, batch_seconds = _measure(scheme, array, points)
+        speedup = scalar_seconds / batch_seconds
+        speedups[scheme.name] = speedup
+        lines.append(
+            f"{scheme.name:<10} {scalar_seconds:>10.3f} {batch_seconds:>10.5f} "
+            f"{speedup:>8.0f}x {BATCH_SIZE / batch_seconds:>14,.0f}"
+        )
+
+    lines += [
+        "",
+        f"floor: {MIN_SPEEDUP:.0f}x on every scheme "
+        "(tests fail below it; see test_bench_batch.py)",
+    ]
+    text = "\n".join(lines)
+    with capsys.disabled():
+        print()
+        print(text)
+    with open(
+        os.path.join(reports_dir, "batch_throughput.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(text + "\n")
+
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name}: batch verify only {speedup:.1f}x over scalar "
+            f"(floor {MIN_SPEEDUP}x)"
+        )
+
+
+def test_discretize_batch_throughput(benchmark, candidates):
+    """Proper multi-round timing of batch enrollment at 100k points."""
+    array, _ = candidates
+    scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+    scheme.batch()  # build the kernel outside the timed region
+    result = benchmark(discretize_batch, scheme, array)
+    assert result.count == BATCH_SIZE
+
+
+def test_verify_batch_throughput(benchmark, candidates):
+    """Proper multi-round timing of batch verification at 100k points."""
+    array, _ = candidates
+    scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+    enrollment = scheme.enroll(Point.xy(320, 240))
+    verify_batch(scheme, enrollment, array)  # warm
+    mask = benchmark(verify_batch, scheme, enrollment, array)
+    assert mask.shape == (BATCH_SIZE,)

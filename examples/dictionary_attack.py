@@ -20,9 +20,9 @@ Run:  python examples/dictionary_attack.py
 from __future__ import annotations
 
 from repro.attacks import hash_only_work_factor
-from repro.core import CenteredDiscretization, RobustDiscretization
+from repro import CenteredDiscretization, RobustDiscretization
 from repro.experiments import figure7, figure8
-from repro.experiments.common import default_dictionary
+from repro.experiments import default_dictionary
 
 
 def main() -> None:

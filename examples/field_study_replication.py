@@ -13,7 +13,7 @@ Run:  python examples/field_study_replication.py
 from __future__ import annotations
 
 from repro.experiments import table1, table2
-from repro.experiments.common import default_dataset
+from repro.experiments import default_dataset
 
 
 def main() -> None:

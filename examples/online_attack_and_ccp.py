@@ -20,8 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks import online_attack
-from repro.core import CenteredDiscretization, RobustDiscretization
-from repro.experiments.common import default_dataset, default_dictionary
+from repro import CenteredDiscretization, RobustDiscretization
+from repro.experiments import default_dataset, default_dictionary
 from repro.passwords import (
     CCPSystem,
     LockoutPolicy,

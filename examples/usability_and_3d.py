@@ -25,9 +25,8 @@ from repro.analysis import (
     login_success,
     render_table,
 )
-from repro.core import CenteredDiscretization, RobustDiscretization, StaticGridScheme
-from repro.experiments.common import default_dataset
-from repro.geometry.point import Point
+from repro import CenteredDiscretization, Point, RobustDiscretization, StaticGridScheme
+from repro.experiments import default_dataset
 from repro.passwords import ClickSpace3D, Space3DSystem, space3d_password_bits
 
 

@@ -14,7 +14,10 @@ The library implements:
   191-participant field study;
 * the paper's full evaluation: false-accept/false-reject measurement
   (Tables 1–2), theoretical password space (Table 3), and human-seeded
-  offline dictionary attacks (Figures 7–8), with ablations.
+  offline dictionary attacks (Figures 7–8), with ablations;
+* a NumPy-vectorized batch engine (:mod:`repro.core.batch`) that runs the
+  discretization kernels over ``(N, dim)`` arrays of click-points for
+  attack simulation and analysis at scale.
 
 Quickstart::
 
@@ -28,6 +31,7 @@ Quickstart::
 
 from repro._version import __version__
 from repro.core import (
+    BatchDiscretization,
     CenteredDiscretization,
     Discretization,
     DiscretizationScheme,
@@ -35,6 +39,9 @@ from repro.core import (
     Outcome,
     RobustDiscretization,
     StaticGridScheme,
+    acceptance_region_batch,
+    discretize_batch,
+    verify_batch,
     worst_case_geometry,
 )
 from repro.crypto import Hasher, VerificationRecord, make_record
@@ -42,6 +49,7 @@ from repro.errors import ReproError
 from repro.geometry import Box, Grid, Point, centered_box
 
 __all__ = [
+    "BatchDiscretization",
     "Box",
     "CenteredDiscretization",
     "Discretization",
@@ -56,7 +64,10 @@ __all__ = [
     "StaticGridScheme",
     "VerificationRecord",
     "__version__",
+    "acceptance_region_batch",
     "centered_box",
+    "discretize_batch",
     "make_record",
+    "verify_batch",
     "worst_case_geometry",
 ]

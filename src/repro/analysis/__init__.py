@@ -22,6 +22,8 @@ from repro.analysis.password_space import (
     PAPER_GRID_SIZES,
     PAPER_IMAGE_SIZES,
     SpaceRow,
+    effective_space_bits,
+    empirical_cell_distribution,
     equal_r_comparison,
     password_space_bits,
     space_row,
@@ -52,6 +54,8 @@ __all__ = [
     "acceptance_curve",
     "centered_accept_probability",
     "click_accuracy",
+    "effective_space_bits",
+    "empirical_cell_distribution",
     "equal_r_comparison",
     "first_attempt_success",
     "interval_stay_probability",

@@ -13,15 +13,26 @@ enters through what s means for usability:
 Also provides the text-password comparator the paper quotes: a random
 8-character password over the standard 95-symbol printable alphabet is
 52.5 bits.
+
+Alongside the closed-form *theoretical* space, this module measures the
+*empirical* space real users exercise: :func:`empirical_cell_distribution`
+discretizes an observed click-point pool through the batch engine
+(:mod:`repro.core.batch`) and :func:`effective_space_bits` reports the
+Shannon entropy of the resulting cell distribution — the hotspot-skewed
+space an attacker actually has to search, always at most the theoretical
+value.
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
+from repro.core.batch import PointArrayLike, discretize_batch
+from repro.core.scheme import DiscretizationScheme
 from repro.errors import ParameterError
 from repro.geometry.numbers import (
     centered_pixel_tolerance_for_grid_size,
@@ -36,6 +47,8 @@ __all__ = [
     "space_row",
     "space_table",
     "equal_r_comparison",
+    "empirical_cell_distribution",
+    "effective_space_bits",
     "PAPER_GRID_SIZES",
     "PAPER_IMAGE_SIZES",
 ]
@@ -159,3 +172,48 @@ def equal_r_comparison(
             - password_space_bits(width, height, robust_size, clicks)
         ),
     }
+
+
+def empirical_cell_distribution(
+    scheme: DiscretizationScheme, points: PointArrayLike
+) -> Dict[Tuple[int, ...], int]:
+    """Occupancy counts of discretization cells over an observed pool.
+
+    Discretizes *points* in one :func:`~repro.core.batch.discretize_batch`
+    call and tallies how many land in each distinct cell.  Keys are the
+    secret index vectors, prefixed with the grid identifier for Robust
+    Discretization (cells of different grids are different cells); for
+    Centered Discretization the secret segment indices are the cells of
+    the fixed ``2r`` lattice shifted by ``r``, so counts group clicks that
+    would share a hashed secret.
+    """
+    batch = discretize_batch(scheme, points)
+    keys = batch.secret
+    if batch.public.ndim == 1:  # robust: grid identifier distinguishes cells
+        import numpy as np
+
+        keys = np.column_stack([batch.public, batch.secret])
+    return dict(Counter(tuple(int(v) for v in row) for row in keys))
+
+
+def effective_space_bits(
+    scheme: DiscretizationScheme, points: PointArrayLike, clicks: int = 5
+) -> float:
+    """Empirical password space: clicks × Shannon entropy of cell choice.
+
+    The theoretical space (:func:`password_space_bits`) assumes users pick
+    cells uniformly; real users cluster on hotspots, so the entropy of the
+    observed cell distribution — measured here from a click-point pool via
+    the batch engine — is the honest per-click exponent.  The gap between
+    the two is the security cost of hotspots (paper §2.1 and the
+    hotspot-attack literature).
+    """
+    if clicks < 1:
+        raise ParameterError(f"clicks must be >= 1, got {clicks}")
+    distribution = empirical_cell_distribution(scheme, points)
+    total = sum(distribution.values())
+    entropy = -sum(
+        (count / total) * math.log2(count / total)
+        for count in distribution.values()
+    )
+    return clicks * entropy

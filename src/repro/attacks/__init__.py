@@ -28,6 +28,7 @@ from repro.attacks.hotspot import (
     HarvestedHotspot,
     dictionary_from_hotspots,
     harvest_hotspots,
+    hotspot_coverage,
     hotspot_seed_points,
     salience_hotspots,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "verify_per_point",
     "dictionary_from_hotspots",
     "harvest_hotspots",
+    "hotspot_coverage",
     "hash_only_work_factor",
     "hotspot_seed_points",
     "identifier_bits",

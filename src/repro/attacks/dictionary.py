@@ -29,6 +29,10 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.batch import as_point_array
+from repro.core.scheme import Discretization, DiscretizationScheme
 from repro.errors import AttackError
 from repro.geometry.point import Point
 from repro.study.dataset import PasswordSample
@@ -163,6 +167,43 @@ class HumanSeededDictionary:
             for position in range(self.tuple_length)
         )
 
+    def seed_array(self) -> "np.ndarray":
+        """The seed pool as an ``(N, dim)`` float64 array for batch kernels.
+
+        Built once and cached (the dataclass is frozen, so the pool can
+        never change); the cached array is read-only.  Per-password attack
+        loops can therefore call this freely.
+        """
+        cached = self.__dict__.get("_seed_array")
+        if cached is None:
+            cached = as_point_array(self.seed_points)
+            cached.flags.writeable = False
+            self.__dict__["_seed_array"] = cached
+        return cached
+
+    def match_sets_batch(
+        self,
+        scheme: "DiscretizationScheme",
+        enrollments: Sequence["Discretization"],
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Vectorized :meth:`match_sets` against per-position enrollments.
+
+        One :meth:`~repro.core.batch.BatchKernel.accepts` call per click
+        position tests the entire seed pool against that position's stored
+        cell — the batch-engine fast path of the offline attack.
+        """
+        if len(enrollments) != self.tuple_length:
+            raise AttackError(
+                f"expected {self.tuple_length} enrollments, got "
+                f"{len(enrollments)}"
+            )
+        kernel = scheme.batch()
+        seeds = self.seed_array()
+        return tuple(
+            tuple(int(i) for i in np.nonzero(kernel.accepts(enrollment, seeds))[0])
+            for enrollment in enrollments
+        )
+
     @staticmethod
     def has_injective_assignment(match_sets: Sequence[Sequence[int]]) -> bool:
         """Whether distinct seed points can fill every position.
@@ -219,18 +260,23 @@ class HumanSeededDictionary:
 
         A point observed (near-)identically several times in the seed pool
         is more popular; we count neighbours within Chebyshev distance 5 as
-        "the same spot".
+        "the same spot".  The pairwise count is vectorized in row chunks,
+        so peak memory stays bounded (a few million matrix elements) even
+        for the 10^5-point pools the batch engine targets.
         """
-        scores = []
-        for point in self.seed_points:
-            count = sum(
-                1
-                for other in self.seed_points
-                if max(abs(int(point.x) - int(other.x)), abs(int(point.y) - int(other.y)))
-                <= 5
+        xs = np.array([int(p.x) for p in self.seed_points], dtype=np.int64)
+        ys = np.array([int(p.y) for p in self.seed_points], dtype=np.int64)
+        n = len(xs)
+        counts = np.empty(n, dtype=np.int64)
+        chunk = max(1, 4_000_000 // n)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            chebyshev = np.maximum(
+                np.abs(xs[start:stop, None] - xs[None, :]),
+                np.abs(ys[start:stop, None] - ys[None, :]),
             )
-            scores.append(float(count))
-        return tuple(scores)
+            counts[start:stop] = (chebyshev <= 5).sum(axis=1)
+        return tuple(float(c) for c in counts)
 
     def prioritized_entries(self, limit: int) -> Iterator[Tuple[Point, ...]]:
         """Yield up to *limit* entries, best-first by popularity product.

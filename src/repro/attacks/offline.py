@@ -18,10 +18,12 @@ The cracked/not-cracked decision per password is computed in closed form
 reported as a model, since actually grinding 2^36 SHA-256 calls adds
 nothing scientifically.
 
-Implementation note: per-position acceptance is vectorized with numpy over
-the seed pool.  Cell boundaries have denominators in {1, 2, 3, 6} while
-seed coordinates are integers, so float comparisons are exact-safe (the
-nearest boundary-to-integer gap, 1/6 px, dwarfs float error).
+Implementation note: per-position acceptance runs through the batch
+engine (:mod:`repro.core.batch`) — one ``verify_batch`` call answers
+"which seed points fall in this stored cell?" for the whole pool.  Cell
+boundaries have denominators in {1, 2, 3, 6} while seed coordinates are
+integers, so the engine's float comparisons are exact-safe (the nearest
+boundary-to-integer gap, 1/6 px, dwarfs float error).
 """
 
 from __future__ import annotations
@@ -32,7 +34,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.scheme import Discretization, DiscretizationScheme
+from repro.core.batch import as_point_array
+from repro.core.scheme import DiscretizationScheme
 from repro.errors import AttackError
 from repro.study.dataset import PasswordSample
 from repro.attacks.dictionary import HumanSeededDictionary
@@ -112,19 +115,6 @@ class OfflineAttackResult:
         return sum(o.matching_entries for o in self.outcomes) / self.attacked
 
 
-def _acceptance_bounds(
-    scheme: DiscretizationScheme, enrollment: Discretization
-) -> Tuple[float, float, float, float]:
-    """Float (lo_x, hi_x, lo_y, hi_y) of the acceptance region."""
-    box = scheme.acceptance_region(enrollment)
-    return (
-        float(box.lo[0]),
-        float(box.hi[0]),
-        float(box.lo[1]),
-        float(box.hi[1]),
-    )
-
-
 def offline_attack_known_identifiers(
     scheme: DiscretizationScheme,
     passwords: Sequence[PasswordSample],
@@ -159,8 +149,8 @@ def offline_attack_known_identifiers(
             f"on {image_name!r}"
         )
 
-    seeds_x = np.array([float(p.x) for p in dictionary.seed_points])
-    seeds_y = np.array([float(p.y) for p in dictionary.seed_points])
+    kernel = scheme.batch()
+    seeds = as_point_array(dictionary.seed_points, scheme.dim)
 
     outcomes: List[PasswordAttackOutcome] = []
     for password in passwords:
@@ -172,13 +162,7 @@ def offline_attack_known_identifiers(
         match_lists: List[Tuple[int, ...]] = []
         for original in password.points:
             enrollment = scheme.enroll(original)
-            lo_x, hi_x, lo_y, hi_y = _acceptance_bounds(scheme, enrollment)
-            inside = (
-                (seeds_x >= lo_x)
-                & (seeds_x < hi_x)
-                & (seeds_y >= lo_y)
-                & (seeds_y < hi_y)
-            )
+            inside = kernel.accepts(enrollment, seeds)
             match_lists.append(tuple(int(i) for i in np.nonzero(inside)[0]))
         cracked = HumanSeededDictionary.has_injective_assignment(match_lists)
         if count_entries and cracked:

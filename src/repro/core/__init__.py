@@ -11,8 +11,20 @@
   grid, exhibiting the edge problem (§2).
 * :mod:`~repro.core.tolerance` — centered-tolerance ground truth and the
   false-accept / false-reject classification (§2.2.1, Figure 1).
+* :mod:`~repro.core.batch` — NumPy-vectorized batch kernels for all three
+  schemes (``discretize_batch`` / ``verify_batch`` /
+  ``acceptance_region_batch`` over ``(N, dim)`` arrays); the scalar
+  methods above remain the exact-arithmetic reference implementation.
 """
 
+from repro.core.batch import (
+    BatchDiscretization,
+    BatchKernel,
+    acceptance_region_batch,
+    as_point_array,
+    discretize_batch,
+    verify_batch,
+)
 from repro.core.centered import CenteredDiscretization, discretize_1d, locate_1d
 from repro.core.robust import GridSelection, RobustDiscretization
 from repro.core.scheme import Discretization, DiscretizationScheme
@@ -29,6 +41,8 @@ from repro.core.tolerance import (
 )
 
 __all__ = [
+    "BatchDiscretization",
+    "BatchKernel",
     "CenteredDiscretization",
     "Discretization",
     "DiscretizationScheme",
@@ -37,12 +51,16 @@ __all__ = [
     "RobustDiscretization",
     "StaticGridScheme",
     "WorstCaseGeometry",
+    "acceptance_region_batch",
+    "as_point_array",
     "centered_tolerance_region",
     "classify",
     "classify_attempt",
     "classify_point",
     "discretize_1d",
+    "discretize_batch",
     "locate_1d",
+    "verify_batch",
     "within_centered_tolerance",
     "worst_case_geometry",
 ]

@@ -37,7 +37,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.crypto.encoding import Encodable
 from repro.errors import EnrollmentError, ParameterError, VerificationError
-from repro.geometry.grid import Grid
+from repro.geometry.grid import Grid, square_grid_family
 from repro.geometry.numbers import (
     RealLike,
     as_exact,
@@ -116,10 +116,12 @@ class RobustDiscretization(DiscretizationScheme):
         self._selection = selection
         self._rng = rng
         # dim + 1 grids of side 2(dim+1)r, diagonally offset by 2r each.
+        # The family is LRU-cached: experiment sweeps and attack loops build
+        # many schemes at the same tolerance and share one partition table.
         side = 2 * (dim + 1) * self._r
         step = 2 * self._r
-        self._grids: Tuple[Grid, ...] = tuple(
-            Grid.square(dim, side, offset=g * step) for g in range(dim + 1)
+        self._grids: Tuple[Grid, ...] = square_grid_family(
+            dim, side, step, dim + 1
         )
 
     # -- constructors ------------------------------------------------------

@@ -59,6 +59,7 @@ class DiscretizationScheme(abc.ABC):
         if dim < 1:
             raise DimensionMismatchError(f"dim must be >= 1, got {dim}")
         self._dim = dim
+        self._batch_kernel: "object | None" = None
 
     # -- abstract ----------------------------------------------------------
 
@@ -133,6 +134,22 @@ class DiscretizationScheme(abc.ABC):
     def enroll_many(self, points: Sequence[Point]) -> Tuple[Discretization, ...]:
         """Enroll several click-points (one password) at once."""
         return tuple(self.enroll(p) for p in points)
+
+    def batch(self) -> "BatchKernel":
+        """The NumPy-vectorized kernel mirroring this scheme instance.
+
+        Lazily built on first use and cached on the instance; all batch
+        entry points (:func:`repro.core.batch.discretize_batch`,
+        :func:`~repro.core.batch.verify_batch`,
+        :func:`~repro.core.batch.acceptance_region_batch`) route through
+        it.  The scalar methods remain the exact-arithmetic reference
+        implementation.
+        """
+        if self._batch_kernel is None:
+            from repro.core.batch import batch_kernel_for
+
+            self._batch_kernel = batch_kernel_for(self)
+        return self._batch_kernel  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -16,6 +16,7 @@ the index of the unique cell containing it.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -24,7 +25,7 @@ from repro.geometry.numbers import RealLike, floor_div, validate_positive, valid
 from repro.geometry.point import Point
 from repro.geometry.region import Box
 
-__all__ = ["Grid", "CellIndex"]
+__all__ = ["Grid", "CellIndex", "grid_float_table", "square_grid_family"]
 
 #: Integer index vector identifying one cell of a grid.
 CellIndex = Tuple[int, ...]
@@ -173,3 +174,49 @@ class Grid:
                 last -= 1
             axis_ranges.append(range(first, last + 1))
         return tuple(itertools.product(*axis_ranges))
+
+    def float_table(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """LRU-cached ``(cell_sizes, offsets)`` float64 arrays for this grid.
+
+        The batch kernels (:mod:`repro.core.batch`) re-verify the same
+        tolerance/grid combination millions of times; this memoizes the
+        exact-rational → float64 conversion per distinct grid so repeated
+        verifications reuse one precomputed partition table.  The returned
+        arrays are read-only.
+        """
+        return grid_float_table(self)
+
+
+@functools.lru_cache(maxsize=512)
+def grid_float_table(grid: Grid) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Cached float64 ``(cell_sizes, offsets)`` arrays of *grid*.
+
+    :class:`Grid` is a frozen, hashable dataclass, so identical grids (same
+    exact sizes and offsets) share one cached table.  Conversion goes
+    through ``float()`` on the exact rationals, i.e. each entry is the
+    correctly-rounded double of the exact value.
+    """
+    import numpy as np
+
+    sizes = np.array([float(s) for s in grid.cell_sizes], dtype=np.float64)
+    offsets = np.array([float(o) for o in grid.offsets], dtype=np.float64)
+    sizes.flags.writeable = False
+    offsets.flags.writeable = False
+    return sizes, offsets
+
+
+@functools.lru_cache(maxsize=256)
+def square_grid_family(
+    dim: int, size: RealLike, step: RealLike, count: int
+) -> Tuple[Grid, ...]:
+    """Cached tuple of *count* square grids diagonally offset by *step*.
+
+    Robust Discretization overlays ``dim + 1`` such grids (side ``6r``,
+    step ``2r`` in 2-D); constructing many scheme instances with the same
+    tolerance — the common shape of experiment sweeps and attack
+    simulations — reuses one family (and therefore one set of cached
+    float tables) instead of rebuilding the partitions each time.
+    """
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    return tuple(Grid.square(dim, size, offset=g * step) for g in range(count))

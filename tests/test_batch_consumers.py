@@ -1,0 +1,220 @@
+"""Consumers of the batch engine: attacks and analysis fast paths.
+
+The offline attack, the dictionary match-set machinery, hotspot coverage
+and the empirical password-space measures all route through
+:mod:`repro.core.batch`; these tests pin their semantics against the
+scalar definitions they replaced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import effective_space_bits, empirical_cell_distribution
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.hotspot import (
+    HarvestedHotspot,
+    harvest_hotspots,
+    hotspot_coverage,
+)
+from repro.core import CenteredDiscretization, RobustDiscretization, StaticGridScheme
+from repro.errors import AttackError
+from repro.geometry.grid import Grid, grid_float_table, square_grid_family
+from repro.geometry.point import Point
+from repro.study.dataset import PasswordSample
+
+
+def _samples(points_per_password, image_name="cars"):
+    return [
+        PasswordSample(
+            password_id=i,
+            user_id=i,
+            image_name=image_name,
+            points=tuple(Point.xy(x, y) for x, y in pts),
+        )
+        for i, pts in enumerate(points_per_password)
+    ]
+
+
+class TestDictionaryBatchPaths:
+    def test_match_sets_batch_equals_scalar_oracle(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        seeds = tuple(
+            Point.xy(20 * i % 300, 15 * i % 200) for i in range(40)
+        )
+        dictionary = HumanSeededDictionary(seed_points=seeds, tuple_length=3)
+        originals = [Point.xy(50, 60), Point.xy(140, 90), Point.xy(220, 130)]
+        enrollments = [scheme.enroll(p) for p in originals]
+
+        def accepts(position, point):
+            return scheme.accepts(enrollments[position], point)
+
+        assert dictionary.match_sets_batch(scheme, enrollments) == (
+            dictionary.match_sets(accepts)
+        )
+
+    def test_match_sets_batch_validates_position_count(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        dictionary = HumanSeededDictionary(
+            seed_points=tuple(Point.xy(i, i) for i in range(10)), tuple_length=5
+        )
+        with pytest.raises(AttackError):
+            dictionary.match_sets_batch(scheme, [scheme.enroll(Point.xy(1, 1))])
+
+    def test_seed_array_shape(self):
+        dictionary = HumanSeededDictionary(
+            seed_points=tuple(Point.xy(i, 2 * i) for i in range(8)),
+            tuple_length=2,
+        )
+        array = dictionary.seed_array()
+        assert array.shape == (8, 2)
+        assert array[3].tolist() == [3.0, 6.0]
+
+    def test_popularity_scores_match_definition(self):
+        """The vectorized scores equal the quadratic-loop definition."""
+        rng = np.random.default_rng(5)
+        seeds = tuple(
+            Point.xy(int(x), int(y))
+            for x, y in rng.integers(0, 60, size=(30, 2))
+        )
+        dictionary = HumanSeededDictionary(seed_points=seeds, tuple_length=2)
+        expected = tuple(
+            float(
+                sum(
+                    1
+                    for other in seeds
+                    if max(
+                        abs(int(p.x) - int(other.x)),
+                        abs(int(p.y) - int(other.y)),
+                    )
+                    <= 5
+                )
+            )
+            for p in seeds
+        )
+        assert dictionary.popularity_scores() == expected
+
+
+class TestHotspotCoverage:
+    def test_full_coverage_when_hotspots_are_the_targets(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        targets = _samples([[(100, 100), (200, 200)]])
+        hotspots = [
+            HarvestedHotspot(x=100, y=100, support=3),
+            HarvestedHotspot(x=200, y=200, support=2),
+        ]
+        assert hotspot_coverage(scheme, hotspots, targets) == 1.0
+
+    def test_partial_coverage_counts_within_tolerance_only(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        # One click within 9 px of the hotspot, one far away.
+        targets = _samples([[(105, 100), (400, 400)]])
+        hotspots = [HarvestedHotspot(x=100, y=100, support=3)]
+        assert hotspot_coverage(scheme, hotspots, targets) == 0.5
+
+    def test_requires_hotspots_and_targets(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        with pytest.raises(AttackError):
+            hotspot_coverage(scheme, [], _samples([[(1, 1)]]))
+        with pytest.raises(AttackError):
+            hotspot_coverage(
+                scheme, [HarvestedHotspot(x=1, y=1, support=1)], []
+            )
+
+    def test_harvest_hotspots_claims_dense_cluster_first(self):
+        """The incremental-count rewrite keeps the greedy semantics."""
+        cluster = [(50 + dx, 50 + dy) for dx in (-2, 0, 2) for dy in (-2, 0, 2)]
+        stragglers = [(300, 300), (400, 100)]
+        observed = _samples([cluster + stragglers])
+        hotspots = harvest_hotspots(observed, radius=9, max_hotspots=10)
+        # Every cluster point ties at support 9; the greedy tie-break picks
+        # the earliest observed point, exactly like the pre-rewrite loop.
+        assert (hotspots[0].x, hotspots[0].y) == cluster[0]
+        assert hotspots[0].support == len(cluster)
+        assert {(h.x, h.y) for h in hotspots[1:]} == set(stragglers)
+        assert all(h.support == 1 for h in hotspots[1:])
+
+
+class TestEmpiricalSpace:
+    def test_distribution_counts_cells(self):
+        scheme = StaticGridScheme(dim=2, cell_size=10)
+        points = [(1, 1), (2, 3), (15, 1), (1, 2)]
+        distribution = empirical_cell_distribution(scheme, points)
+        assert distribution == {(0, 0): 3, (1, 0): 1}
+
+    def test_robust_cells_distinguished_by_grid(self):
+        scheme = RobustDiscretization.for_pixel_tolerance(2, 9)
+        points = [(100, 100), (100, 100), (101, 101)]
+        distribution = empirical_cell_distribution(scheme, points)
+        # Keys carry the grid identifier as their first component.
+        assert all(len(key) == 3 for key in distribution)
+        assert sum(distribution.values()) == 3
+
+    def test_uniform_two_cells_is_one_bit_per_click(self):
+        scheme = StaticGridScheme(dim=2, cell_size=10)
+        points = [(1, 1), (15, 1)]
+        assert effective_space_bits(scheme, points, clicks=5) == pytest.approx(
+            5.0
+        )
+
+    def test_single_cell_pool_has_zero_bits(self):
+        scheme = StaticGridScheme(dim=2, cell_size=10)
+        assert effective_space_bits(scheme, [(1, 1), (2, 2)], clicks=5) == 0.0
+
+    def test_effective_never_exceeds_uniform_entropy(self):
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        rng = np.random.default_rng(11)
+        points = rng.integers(0, 451, size=(500, 2)).astype(float)
+        bits = effective_space_bits(scheme, points, clicks=1)
+        assert 0.0 < bits <= math.log2(500)
+
+
+class TestAsPointArrayEdgeCases:
+    def test_ragged_rows_raise_parameter_error(self):
+        from repro.core.batch import as_point_array
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="inconsistent dimensionality"):
+            as_point_array([(1, 2), (3,)])
+
+    def test_empty_input_raises_parameter_error(self):
+        from repro.core.batch import as_point_array
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="at least one point"):
+            as_point_array([])
+        with pytest.raises(ParameterError, match="at least one point"):
+            as_point_array(np.empty((0, 2)))
+
+    def test_seed_array_cached_and_read_only(self):
+        dictionary = HumanSeededDictionary(
+            seed_points=tuple(Point.xy(i, i) for i in range(5)), tuple_length=2
+        )
+        first = dictionary.seed_array()
+        assert dictionary.seed_array() is first
+        with pytest.raises(ValueError):
+            first[0, 0] = 99.0
+
+
+class TestGridCaches:
+    def test_float_table_cached_per_identical_grid(self):
+        a = Grid.square(2, 18, offset=6)
+        b = Grid.square(2, 18, offset=6)
+        assert grid_float_table(a)[0] is grid_float_table(b)[0]
+        assert a.float_table()[1] is b.float_table()[1]
+
+    def test_float_tables_read_only(self):
+        sizes, offsets = Grid.square(2, 18, offset=6).float_table()
+        with pytest.raises(ValueError):
+            sizes[0] = 1.0
+
+    def test_square_family_shared_across_scheme_instances(self):
+        first = RobustDiscretization.for_pixel_tolerance(2, 9)
+        second = RobustDiscretization.for_pixel_tolerance(2, 9)
+        assert first.grid(0) is second.grid(0)
+        assert first.grid(2) is second.grid(2)
+        family = square_grid_family(2, first.cell_size, 2 * first.r, 3)
+        assert family[1] is first.grid(1)

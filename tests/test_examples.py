@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end-to-end via the public API.
+
+Each example is executed in-process (``runpy`` with ``__main__``
+semantics, stdout captured) so the session-cached simulated dataset is
+shared and the whole suite stays fast.  A light content assertion per
+example guards against scripts that "run" but print nothing meaningful.
+"""
+
+from __future__ import annotations
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> fragment its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "edge problem",
+    "dictionary_attack.py": "dictionary",
+    "field_study_replication.py": "Table 1",
+    "online_attack_and_ccp.py": "online",
+    "password_space_explorer.py": "empirical effective space",
+    "usability_and_3d.py": "3-D",
+}
+
+
+def test_every_example_is_covered():
+    """The expectation table tracks the examples directory exactly."""
+    assert {p.name for p in EXAMPLES_DIR.glob("*.py")} == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_end_to_end(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = buffer.getvalue()
+    assert len(output) > 100, f"{script} produced almost no output"
+    assert EXPECTED_OUTPUT[script].lower() in output.lower(), (
+        f"{script} output lacks expected fragment "
+        f"{EXPECTED_OUTPUT[script]!r}"
+    )

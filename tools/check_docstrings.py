@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail when public symbols in the library lack docstrings.
+
+Walks every module under ``src/repro`` and reports:
+
+* modules without a module docstring;
+* public classes (not ``_``-prefixed) without a class docstring;
+* public functions and methods without a docstring.
+
+Exempt: ``_``-private symbols, dunder methods (their contracts come from
+the data model), and ``__init__``/``__post_init__`` (documented in their
+class docstring's Parameters section).  Everything else public needs at
+least a one-line summary; this checker is the ``make docs-check`` gate
+enforcing that bar.
+
+Exit status: 0 when clean, 1 with a per-symbol report otherwise.
+
+Usage::
+
+    python tools/check_docstrings.py [root ...]
+
+Roots default to ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Names that never need docstrings: dunders get their contract from the
+#: data model, and these two carry no API surface of their own.
+EXEMPT_NAMES = {"__post_init__", "__init__"}
+
+
+def is_public(name: str) -> bool:
+    """Public means not underscore-prefixed (dunders are handled apart)."""
+    return not name.startswith("_")
+
+
+def iter_missing(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, description)`` for each missing docstring in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield 1, "module docstring missing"
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if is_public(child.name):
+                    if ast.get_docstring(child) is None:
+                        yield child.lineno, f"class {prefix}{child.name}"
+                    yield from walk(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                if name in EXEMPT_NAMES:
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if not is_public(name):
+                    continue
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, f"def {prefix}{name}"
+
+    yield from walk(tree, "")
+
+
+def main(argv: List[str]) -> int:
+    """Check all roots; print a report and return the exit status."""
+    roots = [Path(a) for a in argv[1:]] or [Path("src/repro")]
+    failures: List[str] = []
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            checked += 1
+            for line, what in iter_missing(path):
+                failures.append(f"{path}:{line}: {what}")
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} public symbol(s) without docstrings "
+              f"across {checked} file(s)")
+        return 1
+    print(f"docstrings ok: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
