@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench examples docs-check check
+.PHONY: test unit bench bench-store examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -20,6 +20,10 @@ unit:
 ## Benchmarks only, with timing tables and archived reports.
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+## Store/serving throughput gate only (>=10x batched-service floor).
+bench-store:
+	$(PYTHON) -m pytest benchmarks/test_bench_store.py -q
 
 ## Execute every example end-to-end.
 examples:

@@ -21,21 +21,13 @@ import numpy as np
 
 from repro.attacks import online_attack
 from repro import CenteredDiscretization, RobustDiscretization
-from repro.experiments import default_dataset, default_dictionary
-from repro.passwords import (
-    CCPSystem,
-    LockoutPolicy,
-    PCCPSystem,
-    PassPointsSystem,
-    PasswordStore,
-)
-from repro.study import canonical_images, cars_image
+from repro.experiments import default_dictionary, enrolled_store
+from repro.passwords import CCPSystem, PCCPSystem
+from repro.study import canonical_images
 
 
 def online_attack_scenario() -> None:
-    dataset = default_dataset()
     dictionary = default_dictionary("cars")
-    victims = dataset.passwords_on("cars")[:40]
 
     print("online dictionary attack, 3-strike lockout, 100-guess budget:")
     print(f"{'scheme':<12} {'compromised':>12} {'locked out':>11} {'guesses':>8}")
@@ -43,10 +35,11 @@ def online_attack_scenario() -> None:
         CenteredDiscretization.for_pixel_tolerance(2, 9),
         RobustDiscretization(2, 9),
     ):
-        system = PassPointsSystem(image=cars_image(), scheme=scheme)
-        store = PasswordStore(system=system, policy=LockoutPolicy(max_failures=3))
-        for password in victims:
-            store.create_account(f"user{password.password_id}", password.points)
+        # The population enrolls once through the storage layer (memory:
+        # here; pass a sqlite:/jsonl: URI to persist and resume — see
+        # examples/storage_backends.py).
+        store = enrolled_store(scheme, image_name="cars", victims=40)
+        victims = store.usernames
         result = online_attack(store, dictionary, guess_budget=100)
         print(
             f"{scheme.name:<12} "

@@ -40,8 +40,12 @@ from repro.attacks.leakage import (
 from repro.attacks.offline import (
     OfflineAttackResult,
     PasswordAttackOutcome,
+    StolenAccountOutcome,
+    StolenFileAttackResult,
     hash_only_work_factor,
     offline_attack_known_identifiers,
+    offline_attack_stolen_file,
+    parse_password_file,
 )
 from repro.attacks.online import OnlineAttackResult, online_attack
 from repro.attacks.shoulder import ShoulderSurfResult, shoulder_surf_attack
@@ -59,6 +63,10 @@ __all__ = [
     "PasswordAttackOutcome",
     "PerPointStoredPassword",
     "ShoulderSurfResult",
+    "StolenAccountOutcome",
+    "StolenFileAttackResult",
+    "offline_attack_stolen_file",
+    "parse_password_file",
     "attack_cost_comparison",
     "cell_salience_ranking",
     "divide_and_conquer_attack",

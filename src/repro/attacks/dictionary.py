@@ -31,7 +31,7 @@ from typing import Callable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batch import as_point_array
+from repro.core.batch import BatchDiscretization, as_point_array
 from repro.core.scheme import Discretization, DiscretizationScheme
 from repro.errors import AttackError
 from repro.geometry.point import Point
@@ -190,7 +190,10 @@ class HumanSeededDictionary:
 
         One :meth:`~repro.core.batch.BatchKernel.accepts` call per click
         position tests the entire seed pool against that position's stored
-        cell — the batch-engine fast path of the offline attack.
+        cell.  For a whole password enrolled through
+        :func:`~repro.core.batch.discretize_batch`, prefer
+        :meth:`match_mask_batch`, which answers all positions in a single
+        kernel call.
         """
         if len(enrollments) != self.tuple_length:
             raise AttackError(
@@ -202,6 +205,42 @@ class HumanSeededDictionary:
         return tuple(
             tuple(int(i) for i in np.nonzero(kernel.accepts(enrollment, seeds))[0])
             for enrollment in enrollments
+        )
+
+    def match_mask_batch(
+        self,
+        scheme: "DiscretizationScheme",
+        enrollment: "BatchDiscretization",
+    ) -> "np.ndarray":
+        """``(positions, N)`` acceptance mask in **one** kernel call.
+
+        *enrollment* is a whole password discretized at once via
+        :func:`~repro.core.batch.discretize_batch` (one row per click
+        position).  The seed pool is tiled against every position's
+        stored public material and located in a single vectorized call,
+        so the per-password attack cost is one ``(positions·N, dim)``
+        array pass instead of ``positions`` separate kernel calls.
+        """
+        positions = len(enrollment)
+        if positions != self.tuple_length:
+            raise AttackError(
+                f"expected {self.tuple_length} enrolled positions, got "
+                f"{positions}"
+            )
+        kernel = scheme.batch()
+        seeds = self.seed_array()
+        pool = len(seeds)
+        tiled_seeds = np.tile(seeds, (positions, 1))
+        tiled_public = np.repeat(enrollment.public, pool, axis=0)
+        tiled_secret = np.repeat(enrollment.secret, pool, axis=0)
+        located = kernel.locate(tiled_seeds, tiled_public)
+        return np.all(located == tiled_secret, axis=1).reshape(positions, pool)
+
+    @staticmethod
+    def match_sets_from_mask(mask: "np.ndarray") -> Tuple[Tuple[int, ...], ...]:
+        """Convert a :meth:`match_mask_batch` mask to per-position index sets."""
+        return tuple(
+            tuple(int(i) for i in np.nonzero(row)[0]) for row in mask
         )
 
     @staticmethod

@@ -28,22 +28,28 @@ boundary-to-integer gap, 1/6 px, dwarfs float error).
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.batch import as_point_array
+from repro.core.batch import as_point_array, discretize_batch
 from repro.core.scheme import DiscretizationScheme
 from repro.errors import AttackError
+from repro.passwords.system import StoredPassword
 from repro.study.dataset import PasswordSample
 from repro.attacks.dictionary import HumanSeededDictionary
 
 __all__ = [
     "PasswordAttackOutcome",
     "OfflineAttackResult",
+    "StolenAccountOutcome",
+    "StolenFileAttackResult",
     "offline_attack_known_identifiers",
+    "offline_attack_stolen_file",
+    "parse_password_file",
     "hash_only_work_factor",
 ]
 
@@ -149,9 +155,6 @@ def offline_attack_known_identifiers(
             f"on {image_name!r}"
         )
 
-    kernel = scheme.batch()
-    seeds = as_point_array(dictionary.seed_points, scheme.dim)
-
     outcomes: List[PasswordAttackOutcome] = []
     for password in passwords:
         if len(password.points) != dictionary.tuple_length:
@@ -159,11 +162,11 @@ def offline_attack_known_identifiers(
                 f"password {password.password_id} has {len(password.points)} "
                 f"clicks, dictionary tuples have {dictionary.tuple_length}"
             )
-        match_lists: List[Tuple[int, ...]] = []
-        for original in password.points:
-            enrollment = scheme.enroll(original)
-            inside = kernel.accepts(enrollment, seeds)
-            match_lists.append(tuple(int(i) for i in np.nonzero(inside)[0]))
+        # Whole-password batch enrollment + one (positions, N) mask per
+        # password: a single kernel call answers every position at once.
+        enrollment = discretize_batch(scheme, password.points)
+        mask = dictionary.match_mask_batch(scheme, enrollment)
+        match_lists = list(HumanSeededDictionary.match_sets_from_mask(mask))
         cracked = HumanSeededDictionary.has_injective_assignment(match_lists)
         if count_entries and cracked:
             matching = HumanSeededDictionary.count_injective_assignments(match_lists)
@@ -183,6 +186,143 @@ def offline_attack_known_identifiers(
         outcomes=tuple(outcomes),
         dictionary_bits=dictionary.bits,
         hash_operations_modeled=dictionary.entry_count * len(passwords),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class StolenAccountOutcome:
+    """Hash-grinding outcome for one stolen account record."""
+
+    username: str
+    cracked: bool
+    guesses_hashed: int
+
+
+@dataclass(frozen=True)
+class StolenFileAttackResult:
+    """Result of grinding a stolen password file with a guess budget.
+
+    Unlike :class:`OfflineAttackResult` (closed-form, needs the victims'
+    original click-points), this attack sees only what a storage backend's
+    ``dump`` reveals — public material, salts, digests — and must pay one
+    hash per guess, exactly the attacker of §5.1.
+    """
+
+    scheme_name: str
+    guess_budget: int
+    outcomes: Tuple[StolenAccountOutcome, ...]
+
+    @property
+    def attacked(self) -> int:
+        """Number of stolen records attacked."""
+        return len(self.outcomes)
+
+    @property
+    def cracked(self) -> int:
+        """Number of records cracked within the budget."""
+        return sum(1 for o in self.outcomes if o.cracked)
+
+    @property
+    def cracked_fraction(self) -> float:
+        """Fraction of stolen records cracked within the budget."""
+        if not self.outcomes:
+            return 0.0
+        return self.cracked / self.attacked
+
+    @property
+    def hash_operations(self) -> int:
+        """Hashes the attacker actually computed (early-stop included)."""
+        return sum(o.guesses_hashed for o in self.outcomes)
+
+
+def parse_password_file(payload: str) -> Dict[str, StoredPassword]:
+    """Parse a password file dumped by any storage backend.
+
+    The payload is the JSON produced by
+    :meth:`~repro.passwords.storage.StorageBackend.dump` /
+    :meth:`~repro.passwords.store.PasswordStore.dump_records` — the
+    attacker-visible artifact, identical across memory/SQLite/JSONL
+    backends.
+    """
+    from repro.errors import ReproError
+
+    try:
+        data = json.loads(payload)
+        return {
+            username: StoredPassword.from_json(stored)
+            for username, stored in data.items()
+        }
+    except (
+        json.JSONDecodeError,
+        AttributeError,
+        KeyError,
+        TypeError,
+        ReproError,  # e.g. VerificationError from a malformed nested record
+    ) as exc:
+        raise AttackError(f"malformed stolen password file: {exc}") from exc
+
+
+def offline_attack_stolen_file(
+    scheme: DiscretizationScheme,
+    stolen: Union[str, Mapping[str, StoredPassword]],
+    dictionary: HumanSeededDictionary,
+    guess_budget: int = 1000,
+) -> StolenFileAttackResult:
+    """Grind a stolen password file with popularity-ordered guesses.
+
+    For each stolen record the attacker discretizes every candidate entry
+    under the record's clear public material — one vectorized ``locate``
+    over all ``budget × clicks`` points at once — then pays one salted
+    hash per entry (stopping at the first match).  This is the deployed
+    §5.1 threat executed end to end: steal via a backend's ``dump``,
+    attack offline without throttling.
+
+    *stolen* is either the JSON payload itself or an already-parsed
+    ``{username: StoredPassword}`` mapping.
+    """
+    if guess_budget < 1:
+        raise AttackError(f"guess_budget must be >= 1, got {guess_budget}")
+    records = parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
+    if not records:
+        raise AttackError("stolen password file holds no records")
+
+    entries = list(dictionary.prioritized_entries(guess_budget))
+    if not entries:
+        raise AttackError("dictionary yielded no entries")
+    entry_points = as_point_array(
+        [point for entry in entries for point in entry], scheme.dim
+    )
+    kernel = scheme.batch()
+
+    outcomes: List[StolenAccountOutcome] = []
+    for username in sorted(records):
+        stored = records[username]
+        if stored.clicks != dictionary.tuple_length:
+            raise AttackError(
+                f"record {username!r} has {stored.clicks} clicks, dictionary "
+                f"tuples have {dictionary.tuple_length}"
+            )
+        public_rows = kernel.public_rows(stored.publics)
+        tiled_public = np.concatenate([public_rows] * len(entries), axis=0)
+        located = kernel.locate(entry_points, tiled_public).reshape(
+            len(entries), -1
+        )
+        cracked = False
+        hashed = 0
+        for row in located:
+            hashed += 1
+            if stored.record.matches(tuple(int(v) for v in row)):
+                cracked = True
+                break
+        outcomes.append(
+            StolenAccountOutcome(
+                username=username, cracked=cracked, guesses_hashed=hashed
+            )
+        )
+    return StolenFileAttackResult(
+        scheme_name=scheme.name,
+        guess_budget=guess_budget,
+        outcomes=tuple(outcomes),
     )
 
 

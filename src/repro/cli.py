@@ -8,7 +8,11 @@ Subcommands:
 * ``repro study --out study.json`` — generate and save the simulated field
   study;
 * ``repro demo`` — the quickstart: enroll and verify a password under both
-  schemes.
+  schemes;
+* ``repro store create/login/dump/attack`` — operate a persistent password
+  store on a backend URI (``memory:``, ``sqlite:PATH``, ``jsonl:PATH``):
+  enroll a simulated population (resuming if already enrolled), run
+  throttled logins, steal the password file, and grind it offline.
 """
 
 from __future__ import annotations
@@ -70,6 +74,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="enroll/verify a password under both schemes")
+
+    store_parser = sub.add_parser(
+        "store", help="operate a password store on a backend URI"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    create_parser = store_sub.add_parser(
+        "create", help="enroll a simulated population (resumes if present)"
+    )
+    create_parser.add_argument("uri", help="backend URI (memory:, sqlite:PATH, jsonl:PATH)")
+    create_parser.add_argument(
+        "--scheme",
+        choices=["centered", "robust", "static"],
+        default="centered",
+        help="discretization scheme (default: centered)",
+    )
+    create_parser.add_argument(
+        "--tolerance", type=int, default=9, help="pixel tolerance r (default: 9)"
+    )
+    create_parser.add_argument(
+        "--image",
+        choices=["cars", "pool"],
+        default="cars",
+        help="canonical study image (default: cars)",
+    )
+    create_parser.add_argument(
+        "--users", type=int, default=10, help="accounts to enroll (default: 10)"
+    )
+
+    login_parser = store_sub.add_parser(
+        "login", help="one throttled login attempt against a store"
+    )
+    login_parser.add_argument("uri", help="backend URI")
+    login_parser.add_argument("--user", required=True, help="account name")
+    login_parser.add_argument(
+        "--points",
+        required=True,
+        help="click-points as 'x,y;x,y;...' (5 for classic PassPoints)",
+    )
+
+    dump_parser = store_sub.add_parser(
+        "dump", help="print the password file (what an attacker steals)"
+    )
+    dump_parser.add_argument("uri", help="backend URI")
+
+    attack_parser = store_sub.add_parser(
+        "attack", help="steal the password file and grind it offline"
+    )
+    attack_parser.add_argument("uri", help="backend URI")
+    attack_parser.add_argument(
+        "--budget",
+        type=int,
+        default=500,
+        help="hash-guess budget per account (default: 500)",
+    )
     return parser
 
 
@@ -167,6 +226,186 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _scheme_named(name: str, tolerance: int):
+    """Construct a 2-D scheme from its CLI name and pixel tolerance."""
+    from repro.core.centered import CenteredDiscretization
+    from repro.core.robust import RobustDiscretization
+    from repro.core.static import StaticGridScheme
+
+    if name == "centered":
+        return CenteredDiscretization.for_pixel_tolerance(2, tolerance)
+    if name == "robust":
+        return RobustDiscretization.for_pixel_tolerance(2, tolerance)
+    return StaticGridScheme(dim=2, cell_size=2 * tolerance + 1)
+
+
+def _store_for_backend(backend):
+    """Reconstruct the deployed store from a backend's persisted meta."""
+    from repro.errors import StoreError
+    from repro.passwords.store import PasswordStore
+    from repro.study.image import cars_image, pool_image
+
+    scheme_name = backend.get_meta("scheme")
+    if scheme_name is None:
+        raise StoreError(
+            f"backend {backend.uri!r} holds no deployment meta; "
+            "run 'repro store create' first"
+        )
+    scheme = _scheme_named(scheme_name, int(backend.get_meta("tolerance_px")))
+    image = {"cars": cars_image, "pool": pool_image}[backend.get_meta("image")]()
+    from repro.passwords.passpoints import PassPointsSystem
+
+    system = PassPointsSystem(image=image, scheme=scheme)
+    return PasswordStore(system=system, backend=backend)
+
+
+def _cmd_store_create(
+    uri: str, scheme_name: str, tolerance: int, image_name: str, users: int
+) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.common import default_dataset
+    from repro.passwords.passpoints import PassPointsSystem
+    from repro.passwords.storage import backend_from_uri
+    from repro.passwords.store import PasswordStore
+    from repro.study.image import cars_image, pool_image
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A reopened backend must be resumed under the deployment it was
+    # created with: records enrolled under one scheme are unverifiable
+    # under another, so a mismatch is refused rather than overwritten.
+    existing = backend.get_meta("scheme")
+    if existing is not None:
+        requested = (scheme_name, str(tolerance), image_name)
+        persisted = (
+            existing,
+            backend.get_meta("tolerance_px"),
+            backend.get_meta("image"),
+        )
+        if requested != persisted:
+            print(
+                f"{backend.uri} was created with scheme={persisted[0]} "
+                f"tolerance={persisted[1]} image={persisted[2]}; refusing to "
+                f"re-create it as scheme={scheme_name} tolerance={tolerance} "
+                f"image={image_name}",
+                file=sys.stderr,
+            )
+            backend.close()
+            return 2
+    else:
+        backend.put_meta("scheme", scheme_name)
+        backend.put_meta("tolerance_px", str(tolerance))
+        backend.put_meta("image", image_name)
+    image = {"cars": cars_image, "pool": pool_image}[image_name]()
+    system = PassPointsSystem(image=image, scheme=_scheme_named(scheme_name, tolerance))
+    store = PasswordStore(system=system, backend=backend)
+    samples = default_dataset().passwords_on(image_name)[:users]
+    enrolled = skipped = 0
+    for sample in samples:
+        username = f"user{sample.password_id}"
+        if username in backend:
+            skipped += 1
+            continue
+        store.create_account(username, list(sample.points))
+        enrolled += 1
+    print(
+        f"{backend.uri}: enrolled {enrolled} new accounts under "
+        f"{system.scheme.name} ({skipped} already present, "
+        f"{len(backend)} total)"
+    )
+    backend.close()
+    return 0
+
+
+def _cmd_store_login(uri: str, username: str, points_arg: str) -> int:
+    from repro.errors import LockoutError, ReproError
+    from repro.geometry.point import Point
+    from repro.passwords.storage import backend_from_uri
+
+    try:
+        points = [
+            Point.xy(int(x), int(y))
+            for x, y in (pair.split(",") for pair in points_arg.split(";"))
+        ]
+    except ValueError:
+        print(f"malformed --points {points_arg!r} (want 'x,y;x,y;...')", file=sys.stderr)
+        return 2
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = _store_for_backend(backend)
+        ok = store.login(username, points)
+    except LockoutError:
+        print(f"{username}: locked")
+        return 3
+    except ReproError as exc:
+        print(f"{username}: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    print(f"{username}: {'accepted' if ok else 'rejected'}")
+    return 0 if ok else 1
+
+
+def _cmd_store_dump(uri: str) -> int:
+    from repro.errors import ReproError
+    from repro.passwords.storage import backend_from_uri
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(backend.dump())
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_store_attack(uri: str, budget: int) -> int:
+    from repro.attacks.offline import offline_attack_stolen_file
+    from repro.errors import ReproError
+    from repro.experiments.common import default_dictionary
+    from repro.passwords.storage import backend_from_uri
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = _store_for_backend(backend)
+        payload = backend.dump()  # the theft: any backend, same artifact
+        dictionary = default_dictionary(backend.get_meta("image"))
+        result = offline_attack_stolen_file(
+            store.system.scheme, payload, dictionary, guess_budget=budget
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    print(
+        f"stolen file from {uri}: {result.attacked} records, "
+        f"budget {budget} guesses/record under {result.scheme_name}"
+    )
+    for outcome in result.outcomes:
+        status = "CRACKED" if outcome.cracked else "survived"
+        print(f"  {outcome.username:<12} {status:>9} ({outcome.guesses_hashed} hashes)")
+    print(
+        f"cracked {result.cracked}/{result.attacked} "
+        f"({result.cracked_fraction:.0%}) with {result.hash_operations} hashes"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -181,6 +420,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args.out, args.experiments)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "store":
+        if args.store_command == "create":
+            return _cmd_store_create(
+                args.uri, args.scheme, args.tolerance, args.image, args.users
+            )
+        if args.store_command == "login":
+            return _cmd_store_login(args.uri, args.user, args.points)
+        if args.store_command == "dump":
+            return _cmd_store_dump(args.uri)
+        if args.store_command == "attack":
+            return _cmd_store_attack(args.uri, args.budget)
     parser.error(f"unhandled command {args.command!r}")
     return 2  # pragma: no cover
 

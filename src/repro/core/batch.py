@@ -272,6 +272,22 @@ class BatchKernel(abc.ABC):
             f"{type(discretization).__name__}"
         )
 
+    def public_rows(self, publics: Sequence[Tuple]) -> np.ndarray:
+        """Stack scalar public tuples into one kernel-shaped public array.
+
+        One row per input tuple, in order, shaped as :meth:`locate`
+        expects for this scheme (Centered: ``(N, dim)`` float offsets;
+        Robust: ``(N,)`` int identifiers; static: ``(N, 0)``).  This is
+        how row-oriented stores (per-account
+        :class:`~repro.passwords.system.StoredPassword` publics) feed the
+        columnar batch engine.
+        """
+        if not publics:
+            raise ParameterError("publics must contain at least one tuple")
+        return np.concatenate(
+            [self._public_array(public) for public in publics], axis=0
+        )
+
     @abc.abstractmethod
     def _public_array(self, public: Tuple) -> np.ndarray:
         """Scheme-specific conversion of scalar public material to one row."""

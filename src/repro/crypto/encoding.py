@@ -29,7 +29,13 @@ from typing import Iterable, Union
 
 from repro.errors import ParameterError
 
-__all__ = ["Encodable", "encode_scalar", "encode_scalars"]
+__all__ = [
+    "Encodable",
+    "encode_scalar",
+    "encode_scalars",
+    "scalar_to_json",
+    "scalar_from_json",
+]
 
 #: Scalar types accepted by the encoder.
 Encodable = Union[int, float, Fraction, str]
@@ -41,6 +47,10 @@ def _canonical_number(value: Union[int, float, Fraction]) -> tuple[str, str]:
     All exactly-rational values are reduced to lowest terms; integral values
     (of any carrier type) become plain ints.
     """
+    if isinstance(value, int):
+        # Fast path for the overwhelmingly common case (secret indices are
+        # ints); identical output to the Fraction route below.
+        return "i", str(value)
     if isinstance(value, float):
         if not value == value or value in (float("inf"), float("-inf")):
             raise ParameterError(f"cannot encode non-finite float {value!r}")
@@ -88,3 +98,35 @@ def encode_scalars(values: Iterable[Encodable]) -> bytes:
     parts = [encode_scalar(v) for v in values]
     header = f"n:{len(parts)};".encode("ascii")
     return header + b"".join(parts)
+
+
+def scalar_to_json(value: Encodable):
+    """JSON-serializable form of one scalar.
+
+    Ints, floats and strings pass through; :class:`~fractions.Fraction`
+    becomes ``{"q": [numerator, denominator]}`` so exact rationals survive
+    a JSON round-trip.  This is the one wire format shared by
+    :class:`~repro.crypto.records.VerificationRecord`,
+    :class:`~repro.passwords.system.StoredPassword` and the storage
+    backends.
+
+    >>> scalar_to_json(Fraction(19, 2))
+    {'q': [19, 2]}
+    >>> scalar_to_json(7)
+    7
+    """
+    if isinstance(value, Fraction):
+        return {"q": [value.numerator, value.denominator]}
+    return value
+
+
+def scalar_from_json(value) -> Encodable:
+    """Inverse of :func:`scalar_to_json`.
+
+    >>> scalar_from_json({"q": [19, 2]})
+    Fraction(19, 2)
+    """
+    if isinstance(value, dict) and "q" in value:
+        numerator, denominator = value["q"]
+        return Fraction(int(numerator), int(denominator))
+    return value

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
-from repro.crypto.encoding import Encodable
+from repro.crypto.encoding import Encodable, scalar_from_json, scalar_to_json
 from repro.crypto.hashing import Hasher
 from repro.errors import VerificationError
 
@@ -69,15 +69,8 @@ class VerificationRecord:
 
     def to_json(self) -> dict:
         """JSON-serializable representation."""
-        from fractions import Fraction
-
-        def scalar_json(value: Encodable):
-            if isinstance(value, Fraction):
-                return {"q": [value.numerator, value.denominator]}
-            return value
-
         return {
-            "public": [scalar_json(v) for v in self.public],
+            "public": [scalar_to_json(v) for v in self.public],
             "digest": self.digest,
             "hasher": self.hasher.to_json(),
         }
@@ -85,14 +78,6 @@ class VerificationRecord:
     @classmethod
     def from_json(cls, data: dict) -> "VerificationRecord":
         """Inverse of :meth:`to_json`."""
-        from fractions import Fraction
-
-        def scalar_from_json(value):
-            if isinstance(value, dict) and "q" in value:
-                num, den = value["q"]
-                return Fraction(int(num), int(den))
-            return value
-
         try:
             public = tuple(scalar_from_json(v) for v in data["public"])
             return cls(

@@ -10,6 +10,7 @@ from repro.experiments.common import (
     clear_caches,
     default_dataset,
     default_dictionary,
+    enrolled_store,
 )
 from repro.experiments.export import result_to_json, write_reports, write_result
 from repro.experiments.runner import EXPERIMENTS, render_all, run_all, run_experiment
@@ -20,6 +21,7 @@ __all__ = [
     "clear_caches",
     "default_dataset",
     "default_dictionary",
+    "enrolled_store",
     "render_all",
     "result_to_json",
     "run_all",

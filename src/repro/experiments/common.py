@@ -23,6 +23,7 @@ __all__ = [
     "ExperimentResult",
     "default_dataset",
     "default_dictionary",
+    "enrolled_store",
     "clear_caches",
 ]
 
@@ -105,6 +106,45 @@ def default_dictionary(
 ) -> HumanSeededDictionary:
     """The shared lab-seeded attack dictionary for a canonical image."""
     return _dictionary_for(image_name, seed, passwords)
+
+
+def enrolled_store(
+    scheme,
+    image_name: str = "cars",
+    backend_uri: str = "memory:",
+    victims: Optional[int] = None,
+    policy=None,
+):
+    """A :class:`~repro.passwords.store.PasswordStore` holding the default
+    field-study population, enrolled once and resumed thereafter.
+
+    Accounts are named ``user<password_id>`` after the dataset passwords on
+    *image_name*.  Accounts already present in the backend (a reopened
+    ``sqlite:``/``jsonl:`` URI) are kept as-is — enrollment cost is paid
+    once per backend, and repeated attack/experiment runs share the same
+    enrolled population, lockout state included.
+    """
+    from repro.passwords.passpoints import PassPointsSystem
+    from repro.passwords.policy import LockoutPolicy
+    from repro.passwords.storage import backend_from_uri
+    from repro.passwords.store import PasswordStore
+
+    images = {"cars": cars_image, "pool": pool_image}
+    system = PassPointsSystem(image=images[image_name](), scheme=scheme)
+    backend = backend_from_uri(backend_uri)
+    store = PasswordStore(
+        system=system,
+        policy=policy if policy is not None else LockoutPolicy(max_failures=3),
+        backend=backend,
+    )
+    samples = default_dataset().passwords_on(image_name)
+    if victims is not None:
+        samples = samples[:victims]
+    for sample in samples:
+        username = f"user{sample.password_id}"
+        if username not in backend:
+            store.create_account(username, list(sample.points))
+    return store
 
 
 def clear_caches() -> None:

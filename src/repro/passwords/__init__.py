@@ -11,7 +11,15 @@ from repro.passwords.ccp import CCPSystem, next_image_index
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.pccp import PCCPSystem, ViewportSelectionModel
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
+from repro.passwords.service import LoginOutcome, VerificationService
 from repro.passwords.space3d import ClickSpace3D, Space3DSystem, space3d_password_bits
+from repro.passwords.storage import (
+    JsonlBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    backend_from_uri,
+)
 from repro.passwords.store import PasswordStore
 from repro.passwords.system import (
     StoredPassword,
@@ -25,16 +33,23 @@ __all__ = [
     "BlonderSystem",
     "CCPSystem",
     "ClickSpace3D",
+    "JsonlBackend",
     "LockoutPolicy",
+    "LoginOutcome",
+    "MemoryBackend",
     "PCCPSystem",
     "PassPointsSystem",
     "PasswordStore",
+    "SQLiteBackend",
     "Space3DSystem",
+    "StorageBackend",
     "StoredPassword",
-    "space3d_password_bits",
+    "VerificationService",
     "ViewportSelectionModel",
+    "backend_from_uri",
     "enroll_password",
     "locate_secrets",
     "next_image_index",
+    "space3d_password_bits",
     "verify_password",
 ]

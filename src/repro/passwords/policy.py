@@ -97,6 +97,29 @@ class AccountThrottle:
         if cap is not None and self.failures >= cap:
             self.locked = True
 
+    def state(self) -> dict:
+        """JSON-serializable mutable state (policy parameters excluded).
+
+        Storage backends persist this next to the password record so
+        lockout survives a process restart — an attacker cannot reset the
+        failure counter by bouncing the server.
+        """
+        return {
+            "failures": self.failures,
+            "locked": self.locked,
+            "accumulated_delay": self.accumulated_delay,
+        }
+
+    @classmethod
+    def from_state(cls, policy: LockoutPolicy, state: dict) -> "AccountThrottle":
+        """Rehydrate a throttle persisted via :meth:`state`."""
+        return cls(
+            policy=policy,
+            failures=int(state.get("failures", 0)),
+            locked=bool(state.get("locked", False)),
+            accumulated_delay=float(state.get("accumulated_delay", 0.0)),
+        )
+
 
 @dataclass
 class _Registry:

@@ -1,0 +1,306 @@
+"""Batched verification service: the "millions of users" login front-end.
+
+:class:`~repro.passwords.store.PasswordStore` verifies one click-point at a
+time through the scalar schemes — exact, never fast.  This module is the
+serving shape the ROADMAP calls for: a :class:`VerificationService` accepts
+enrollment and login attempts, groups pending logins into micro-batches,
+and verifies each micro-batch through the NumPy batch engine
+(:meth:`~repro.core.scheme.DiscretizationScheme.batch`) — one vectorized
+``locate`` call answers the geometric half of every pending attempt at
+once, and a per-account precomputed hash prefix reduces the crypto half to
+one digest per attempt.
+
+Semantics are preserved bit-for-bit relative to the scalar path:
+
+* **decisions** — the batch kernels agree with the exact-rational scalar
+  schemes on integer-pixel click-points (the float-exactness argument in
+  :mod:`repro.core.batch`), and the digest bytes hashed here are
+  byte-identical to :meth:`~repro.crypto.records.VerificationRecord.matches`;
+* **lockout ordering** (§5.1) — attempts are *decided* sequentially in
+  submission order against the same
+  :class:`~repro.passwords.policy.AccountThrottle` objects the store uses,
+  so a failure streak inside one micro-batch locks the account for the
+  very next attempt, exactly as scalar :meth:`PasswordStore.login` would.
+  ``tests/test_verification_service.py`` property-tests this equivalence
+  across all three schemes and all three storage backends.
+
+The one intentional divergence: structural validation happens in bulk —
+unknown accounts and wrong click counts raise at :meth:`submit`,
+out-of-image points raise when their micro-batch is converted (before any
+of that batch's decisions) — rather than interleaved attempt-by-attempt.
+
+Throughput is gated in ``benchmarks/test_bench_store.py``: the service
+must beat the scalar login loop by ≥10x on a 10,000-attempt stream for
+every scheme (see ``benchmarks/reports/store_throughput.txt``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import as_point_array
+from repro.crypto.encoding import encode_scalar
+from repro.errors import DomainError, ParameterError, VerificationError
+from repro.geometry.point import Point
+from repro.passwords.store import PasswordStore
+
+__all__ = ["LoginOutcome", "VerificationService"]
+
+#: Attempt statuses, in the vocabulary of the scalar path: ``accept`` /
+#: ``reject`` mirror ``PasswordStore.login`` returning True/False;
+#: ``locked`` mirrors it raising ``LockoutError``.
+ACCEPT, REJECT, LOCKED = "accept", "reject", "locked"
+
+#: Cache of canonical byte encodings for small secret indices (cell
+#: indices are tiny ints, so the hit rate in a login flood is ~100%).
+_INT_ENCODINGS: Dict[int, bytes] = {}
+
+
+def _encode_int(value: int) -> bytes:
+    """Cached :func:`~repro.crypto.encoding.encode_scalar` for an int."""
+    cached = _INT_ENCODINGS.get(value)
+    if cached is None:
+        cached = encode_scalar(value)
+        _INT_ENCODINGS[value] = cached
+    return cached
+
+
+@dataclass(frozen=True, slots=True)
+class LoginOutcome:
+    """Decision for one submitted login attempt.
+
+    Attributes
+    ----------
+    username:
+        The account the attempt targeted.
+    status:
+        ``"accept"``, ``"reject"``, or ``"locked"`` (the attempt was
+        refused without being evaluated, as the scalar path's
+        :class:`~repro.errors.LockoutError`).
+    """
+
+    username: str
+    status: str
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the attempt was verified successfully."""
+        return self.status == ACCEPT
+
+    @property
+    def locked(self) -> bool:
+        """Whether the attempt was refused because the account is locked."""
+        return self.status == LOCKED
+
+
+@dataclass(frozen=True)
+class _AccountMaterial:
+    """Per-account precomputation shared by every attempt on the account.
+
+    ``prefix`` is the exact byte prefix of
+    :func:`~repro.crypto.encoding.encode_scalars` over the record's hash
+    material — count header plus encoded public scalars — so each attempt
+    only encodes its candidate secret indices and hashes once.  ``rounds``
+    and ``hash_new`` replicate
+    :meth:`~repro.crypto.hashing.Hasher.digest` with the algorithm
+    constructor resolved once instead of per call.
+    """
+
+    public_rows: np.ndarray
+    prefix: bytes
+    salt: bytes
+    hash_new: Callable
+    rounds: int
+    digest: str
+    clicks: int
+
+
+class VerificationService:
+    """Micro-batching front-end over a :class:`PasswordStore`.
+
+    Parameters
+    ----------
+    store:
+        The store to serve (its system, policy, and storage backend all
+        apply unchanged; throttle state written by the service is the
+        same state scalar logins read, and vice versa).
+    max_batch:
+        Micro-batch size: pending attempts are verified through the batch
+        engine in groups of at most this many attempts per vectorized
+        ``locate`` call.
+
+    >>> # end-to-end usage lives in examples/storage_backends.py
+    """
+
+    def __init__(self, store: PasswordStore, max_batch: int = 1024) -> None:
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        self._store = store
+        self._max_batch = max_batch
+        self._pending: List[Tuple[str, Sequence[Point], _AccountMaterial]] = []
+        self._materials: Dict[str, _AccountMaterial] = {}
+        self._kernel = store.system.scheme.batch()
+
+    @property
+    def store(self) -> PasswordStore:
+        """The underlying password store."""
+        return self._store
+
+    @property
+    def pending_count(self) -> int:
+        """Number of submitted attempts not yet flushed."""
+        return len(self._pending)
+
+    # -- enrollment ---------------------------------------------------------
+
+    def enroll(self, username: str, points: Sequence[Point]) -> None:
+        """Register an account (delegates to the store's scalar path).
+
+        Enrollment is rare and correctness-critical, so it stays on the
+        exact-rational scalar scheme; only the login flood is batched.
+        """
+        self._store.create_account(username, points)
+
+    # -- login intake -------------------------------------------------------
+
+    def _material_for(self, username: str) -> _AccountMaterial:
+        material = self._materials.get(username)
+        stored = self._store.record_for(username)
+        if material is not None and material.digest == stored.record.digest:
+            return material
+        record = stored.record
+        hasher = record.hasher
+        scalar_count = len(record.public) + stored.clicks * self._kernel.dim
+        prefix = f"n:{scalar_count};".encode("ascii") + b"".join(
+            encode_scalar(value) for value in record.public
+        )
+        material = _AccountMaterial(
+            public_rows=self._kernel.public_rows(stored.publics),
+            prefix=prefix,
+            salt=hasher.salt,
+            hash_new=getattr(hashlib, hasher.algorithm, None)
+            or (lambda data, _name=hasher.algorithm: hashlib.new(_name, data)),
+            rounds=hasher.iterations,
+            digest=record.digest,
+            clicks=stored.clicks,
+        )
+        self._materials[username] = material
+        return material
+
+    def submit(self, username: str, points: Sequence[Point]) -> int:
+        """Queue one login attempt; returns its position in the queue.
+
+        Unknown accounts (:class:`~repro.errors.StoreError`) and wrong
+        click counts (:class:`~repro.errors.VerificationError`) raise
+        here; out-of-image points raise from :meth:`flush` when their
+        micro-batch is converted.
+        """
+        material = self._material_for(username)
+        if len(points) != material.clicks:
+            raise VerificationError(
+                f"expected {material.clicks} click-points, got {len(points)}"
+            )
+        self._pending.append((username, points, material))
+        return len(self._pending) - 1
+
+    # -- batched decision ---------------------------------------------------
+
+    def _chunk_points(self, chunk: Sequence[Tuple]) -> np.ndarray:
+        """Stack a micro-batch's click-points into one ``(M, dim)`` array.
+
+        Fast path: one ``np.array`` over the raw coordinate tuples
+        (integer-pixel clicks, the flood case); points with exact-rational
+        coordinates fall back to the general converter.  Domain checking
+        is vectorized against the system's image and raises
+        :class:`~repro.errors.DomainError` before any of this batch's
+        decisions, mirroring the scalar path's pre-verification check.
+        """
+        flat = [point.coords for _, points, _ in chunk for point in points]
+        try:
+            array = np.array(flat, dtype=np.float64)
+            if array.ndim != 2 or array.shape[1] != self._kernel.dim:
+                raise ValueError(array.shape)
+        except (TypeError, ValueError):
+            array = as_point_array(
+                [point for _, points, _ in chunk for point in points],
+                self._kernel.dim,
+            )
+        image = getattr(self._store.system, "image", None)
+        if image is not None and array.shape[1] == 2:
+            inside = (
+                (array[:, 0] >= 0)
+                & (array[:, 0] < image.width)
+                & (array[:, 1] >= 0)
+                & (array[:, 1] < image.height)
+            )
+            if not inside.all():
+                bad = int(np.argmin(inside))
+                raise DomainError(
+                    f"click-point {flat[bad]!r} outside image "
+                    f"{image.name!r} ({image.width}x{image.height})"
+                )
+        return array
+
+    def flush(self) -> List[LoginOutcome]:
+        """Decide every pending attempt; outcomes in submission order.
+
+        Pending attempts are grouped into micro-batches; each micro-batch
+        resolves its geometry in **one** vectorized ``locate`` call over
+        the concatenated click-points of all its attempts (per-point
+        public rows are stacked alongside, so attempts on different
+        accounts — even with different click counts — share the call).
+        Decisions then replay sequentially so per-account lockout
+        ordering is preserved bit-for-bit.
+        """
+        pending, self._pending = self._pending, []
+        outcomes: List[LoginOutcome] = []
+        store = self._store
+        throttles: Dict[str, object] = {}  # local cache of the store's objects
+        encodings = _INT_ENCODINGS
+        compare_digest = hmac.compare_digest
+        for start in range(0, len(pending), self._max_batch):
+            chunk = pending[start : start + self._max_batch]
+            points = self._chunk_points(chunk)
+            public = np.concatenate(
+                [material.public_rows for _, _, material in chunk], axis=0
+            )
+            located = self._kernel.locate(points, public)
+            offset = 0
+            for username, _, material in chunk:
+                clicks = material.clicks
+                secrets = located[offset : offset + clicks].ravel().tolist()
+                offset += clicks
+                throttle = throttles.get(username)
+                if throttle is None:
+                    throttle = throttles[username] = store.throttle_for(username)
+                if throttle.locked:
+                    outcomes.append(LoginOutcome(username=username, status=LOCKED))
+                    continue
+                data = material.prefix + b"".join(
+                    [encodings.get(v) or _encode_int(v) for v in secrets]
+                )
+                current = material.hash_new(material.salt + data).digest()
+                for _ in range(material.rounds - 1):
+                    current = material.hash_new(current).digest()
+                ok = compare_digest(current.hex(), material.digest)
+                before = (throttle.failures, throttle.locked)
+                throttle.record(ok)
+                if (throttle.failures, throttle.locked) != before:
+                    store._persist_throttle(username)
+                outcomes.append(
+                    LoginOutcome(username=username, status=ACCEPT if ok else REJECT)
+                )
+        return outcomes
+
+    def login_many(
+        self, attempts: Sequence[Tuple[str, Sequence[Point]]]
+    ) -> List[LoginOutcome]:
+        """Submit a whole attempt stream and flush it in micro-batches."""
+        for username, points in attempts:
+            self.submit(username, points)
+        return self.flush()

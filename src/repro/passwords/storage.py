@@ -1,0 +1,462 @@
+"""Pluggable storage backends for the password store.
+
+The paper's deployment story (§3.1–3.2, §5.1) is a server holding salted
+hash records and throttling logins.  This module makes that server state a
+real, swappable subsystem: a :class:`StorageBackend` holds, per account,
+
+* the :class:`~repro.passwords.system.StoredPassword` record (clear public
+  material + salted digest — exactly what an offline attacker steals), and
+* the account's throttle state (§5.1 lockout counters), persisted so that
+  lockout survives a process restart.
+
+Three implementations ship:
+
+* :class:`MemoryBackend` — the original in-process dict (tests, simulations);
+* :class:`SQLiteBackend` — a durable single-file database, so enrolled
+  populations survive across attack/experiment runs;
+* :class:`JsonlBackend` — an append-only JSON-lines log replayed at open,
+  the "flat password file" deployment shape.
+
+Backends are addressed by URI — ``memory:``, ``sqlite:PATH``,
+``jsonl:PATH`` — via :func:`backend_from_uri`; the CLI ``repro store``
+subcommands operate on these URIs.  A backend's :meth:`~StorageBackend.dump`
+is the portable password-file artifact (same JSON for every backend): the
+offline attacks in :mod:`repro.attacks.offline` consume it directly.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.passwords.system import StoredPassword
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "JsonlBackend",
+    "backend_from_uri",
+]
+
+
+class StorageBackend(abc.ABC):
+    """Persistence contract between :class:`~repro.passwords.store.PasswordStore`
+    and its storage medium.
+
+    Implementations store three kinds of state:
+
+    * **records** — ``username -> StoredPassword`` (the password file);
+    * **throttle state** — ``username -> dict`` (§5.1 lockout counters,
+      shaped by :meth:`~repro.passwords.policy.AccountThrottle.state`);
+    * **meta** — small string key/values describing the deployment
+      (scheme, image, tolerance) so a reopened backend can reconstruct
+      its verifier.
+
+    All usernames are unicode strings; all writes must be visible to a
+    subsequent read through the same backend instance, and — for durable
+    backends — through a new instance opened on the same location.
+    """
+
+    #: The URI this backend was constructed from (for display/round-trips).
+    uri: str = "memory:"
+
+    # -- records ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, username: str, stored: StoredPassword) -> None:
+        """Insert or replace the record for *username*."""
+
+    @abc.abstractmethod
+    def get(self, username: str) -> Optional[StoredPassword]:
+        """The record for *username*, or ``None`` when unknown."""
+
+    @abc.abstractmethod
+    def delete(self, username: str) -> None:
+        """Remove an account's record and throttle state.
+
+        Raises :class:`~repro.errors.StoreError` for unknown accounts.
+        """
+
+    @abc.abstractmethod
+    def usernames(self) -> Tuple[str, ...]:
+        """All account names, sorted for determinism."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop every record and all throttle state (meta survives)."""
+
+    def iter_records(self) -> Iterator[Tuple[str, StoredPassword]]:
+        """Yield ``(username, record)`` pairs in sorted username order."""
+        for username in self.usernames():
+            record = self.get(username)
+            if record is not None:
+                yield username, record
+
+    def __contains__(self, username: str) -> bool:
+        return self.get(username) is not None
+
+    def __len__(self) -> int:
+        return len(self.usernames())
+
+    # -- throttle state -----------------------------------------------------
+
+    @abc.abstractmethod
+    def put_throttle(self, username: str, state: dict) -> None:
+        """Persist an account's throttle state (JSON-serializable dict)."""
+
+    @abc.abstractmethod
+    def get_throttle(self, username: str) -> Optional[dict]:
+        """The persisted throttle state, or ``None`` when never recorded."""
+
+    # -- meta ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def put_meta(self, key: str, value: str) -> None:
+        """Persist one deployment-metadata string."""
+
+    @abc.abstractmethod
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one deployment-metadata string, or ``None``."""
+
+    # -- password file ------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialize the *password file* (records only) to JSON.
+
+        This is the artifact offline attacks assume stolen: public
+        material, digests, salts and hashing parameters — no throttle
+        state and, of course, no click-points.  The format is identical
+        across backends, so a population enrolled into SQLite can be
+        attacked from a JSONL steal and vice versa.
+        """
+        payload = {
+            username: stored.to_json() for username, stored in self.iter_records()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def load(self, payload: str) -> None:
+        """Replace all records with a password file produced by :meth:`dump`.
+
+        Existing accounts are dropped; throttle states reset.
+        """
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"malformed password file: {exc}") from exc
+        records = {
+            username: StoredPassword.from_json(stored)
+            for username, stored in data.items()
+        }
+        self.clear()
+        for username, stored in records.items():
+            self.put(username, stored)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op for memory)."""
+
+
+class MemoryBackend(StorageBackend):
+    """The original in-process dict backend (nothing survives the process)."""
+
+    def __init__(self) -> None:
+        self.uri = "memory:"
+        self._records: Dict[str, StoredPassword] = {}
+        self._throttles: Dict[str, dict] = {}
+        self._meta: Dict[str, str] = {}
+
+    def put(self, username: str, stored: StoredPassword) -> None:
+        """Insert or replace the record for *username*."""
+        self._records[username] = stored
+
+    def get(self, username: str) -> Optional[StoredPassword]:
+        """The record for *username*, or ``None`` when unknown."""
+        return self._records.get(username)
+
+    def delete(self, username: str) -> None:
+        """Remove an account's record and throttle state."""
+        if username not in self._records:
+            raise StoreError(f"unknown account {username!r}")
+        del self._records[username]
+        self._throttles.pop(username, None)
+
+    def usernames(self) -> Tuple[str, ...]:
+        """All account names, sorted."""
+        return tuple(sorted(self._records))
+
+    def clear(self) -> None:
+        """Drop every record and all throttle state."""
+        self._records.clear()
+        self._throttles.clear()
+
+    def put_throttle(self, username: str, state: dict) -> None:
+        """Persist an account's throttle state."""
+        self._throttles[username] = dict(state)
+
+    def get_throttle(self, username: str) -> Optional[dict]:
+        """The persisted throttle state, or ``None``."""
+        state = self._throttles.get(username)
+        return dict(state) if state is not None else None
+
+    def put_meta(self, key: str, value: str) -> None:
+        """Persist one metadata string."""
+        self._meta[key] = value
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one metadata string, or ``None``."""
+        return self._meta.get(key)
+
+
+class SQLiteBackend(StorageBackend):
+    """Durable single-file backend on the stdlib :mod:`sqlite3`.
+
+    Three tables — ``records``, ``throttles``, ``meta`` — each keyed by
+    name with a JSON payload column.  Every write commits, so enrolled
+    populations and lockout state survive process restarts; the database
+    file *is* the stolen password file of the paper's offline-attack
+    model (modulo the throttle/meta tables, which :meth:`dump` excludes).
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = str(path)
+        self.uri = f"sqlite:{self._path}"
+        self._conn = sqlite3.connect(self._path)
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS records "
+                "(username TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS throttles "
+                "(username TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+
+    @property
+    def path(self) -> str:
+        """Filesystem location of the database."""
+        return self._path
+
+    def put(self, username: str, stored: StoredPassword) -> None:
+        """Insert or replace the record for *username* (committed)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO records (username, payload) VALUES (?, ?)",
+                (username, json.dumps(stored.to_json(), sort_keys=True)),
+            )
+
+    def get(self, username: str) -> Optional[StoredPassword]:
+        """The record for *username*, or ``None`` when unknown."""
+        row = self._conn.execute(
+            "SELECT payload FROM records WHERE username = ?", (username,)
+        ).fetchone()
+        if row is None:
+            return None
+        return StoredPassword.from_json(json.loads(row[0]))
+
+    def delete(self, username: str) -> None:
+        """Remove an account's record and throttle state (committed)."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM records WHERE username = ?", (username,)
+            )
+            self._conn.execute(
+                "DELETE FROM throttles WHERE username = ?", (username,)
+            )
+        if cursor.rowcount == 0:
+            raise StoreError(f"unknown account {username!r}")
+
+    def usernames(self) -> Tuple[str, ...]:
+        """All account names, sorted."""
+        rows = self._conn.execute(
+            "SELECT username FROM records ORDER BY username"
+        ).fetchall()
+        return tuple(row[0] for row in rows)
+
+    def clear(self) -> None:
+        """Drop every record and all throttle state (committed)."""
+        with self._conn:
+            self._conn.execute("DELETE FROM records")
+            self._conn.execute("DELETE FROM throttles")
+
+    def put_throttle(self, username: str, state: dict) -> None:
+        """Persist an account's throttle state (committed)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO throttles (username, payload) VALUES (?, ?)",
+                (username, json.dumps(state, sort_keys=True)),
+            )
+
+    def get_throttle(self, username: str) -> Optional[dict]:
+        """The persisted throttle state, or ``None``."""
+        row = self._conn.execute(
+            "SELECT payload FROM throttles WHERE username = ?", (username,)
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def put_meta(self, key: str, value: str) -> None:
+        """Persist one metadata string (committed)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one metadata string, or ``None``."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def close(self) -> None:
+        """Close the database connection."""
+        self._conn.close()
+
+
+class JsonlBackend(StorageBackend):
+    """Append-only JSON-lines event log, replayed into memory at open.
+
+    Every mutation appends one event line — ``put``, ``delete``,
+    ``throttle``, ``meta``, ``clear`` — and flushes, so the file on disk
+    is always a valid history and the latest state is recovered by a
+    linear replay.  This is the "flat password file" deployment shape,
+    and doubles as an audit log of the account lifecycle.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = str(path)
+        self.uri = f"jsonl:{self._path}"
+        self._records: Dict[str, StoredPassword] = {}
+        self._throttles: Dict[str, dict] = {}
+        self._meta: Dict[str, str] = {}
+        if os.path.exists(self._path):
+            self._replay()
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str:
+        """Filesystem location of the log."""
+        return self._path
+
+    def _replay(self) -> None:
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                    self._apply(event)
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise StoreError(
+                        f"{self._path}:{line_number}: malformed log event: {exc}"
+                    ) from exc
+
+    def _apply(self, event: dict) -> None:
+        op = event["op"]
+        if op == "put":
+            self._records[event["username"]] = StoredPassword.from_json(
+                event["record"]
+            )
+        elif op == "delete":
+            self._records.pop(event["username"], None)
+            self._throttles.pop(event["username"], None)
+        elif op == "throttle":
+            self._throttles[event["username"]] = event["state"]
+        elif op == "meta":
+            self._meta[event["key"]] = event["value"]
+        elif op == "clear":
+            self._records.clear()
+            self._throttles.clear()
+        else:
+            raise StoreError(f"unknown log op {op!r}")
+
+    def _append(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def put(self, username: str, stored: StoredPassword) -> None:
+        """Insert or replace the record for *username* (appended + flushed)."""
+        self._records[username] = stored
+        self._append({"op": "put", "username": username, "record": stored.to_json()})
+
+    def get(self, username: str) -> Optional[StoredPassword]:
+        """The record for *username*, or ``None`` when unknown."""
+        return self._records.get(username)
+
+    def delete(self, username: str) -> None:
+        """Remove an account (a ``delete`` event; the log keeps history)."""
+        if username not in self._records:
+            raise StoreError(f"unknown account {username!r}")
+        del self._records[username]
+        self._throttles.pop(username, None)
+        self._append({"op": "delete", "username": username})
+
+    def usernames(self) -> Tuple[str, ...]:
+        """All account names, sorted."""
+        return tuple(sorted(self._records))
+
+    def clear(self) -> None:
+        """Drop every record and all throttle state (a ``clear`` event)."""
+        self._records.clear()
+        self._throttles.clear()
+        self._append({"op": "clear"})
+
+    def put_throttle(self, username: str, state: dict) -> None:
+        """Persist an account's throttle state (appended + flushed)."""
+        self._throttles[username] = dict(state)
+        self._append({"op": "throttle", "username": username, "state": dict(state)})
+
+    def get_throttle(self, username: str) -> Optional[dict]:
+        """The persisted throttle state, or ``None``."""
+        state = self._throttles.get(username)
+        return dict(state) if state is not None else None
+
+    def put_meta(self, key: str, value: str) -> None:
+        """Persist one metadata string (appended + flushed)."""
+        self._meta[key] = value
+        self._append({"op": "meta", "key": key, "value": value})
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one metadata string, or ``None``."""
+        return self._meta.get(key)
+
+    def close(self) -> None:
+        """Close the log file handle."""
+        self._handle.close()
+
+
+def backend_from_uri(uri: str) -> StorageBackend:
+    """Construct a backend from a ``scheme:location`` URI.
+
+    Supported schemes: ``memory:`` (location ignored), ``sqlite:PATH``,
+    ``jsonl:PATH``.
+
+    >>> backend_from_uri("memory:").uri
+    'memory:'
+    """
+    scheme, _, location = uri.partition(":")
+    if scheme == "memory":
+        return MemoryBackend()
+    if scheme == "sqlite":
+        if not location:
+            raise StoreError(f"sqlite backend needs a path: {uri!r}")
+        return SQLiteBackend(location)
+    if scheme == "jsonl":
+        if not location:
+            raise StoreError(f"jsonl backend needs a path: {uri!r}")
+        return JsonlBackend(location)
+    raise StoreError(
+        f"unknown storage backend URI {uri!r} "
+        "(expected memory:, sqlite:PATH, or jsonl:PATH)"
+    )

@@ -10,12 +10,16 @@ Binds together everything the paper says about deployment:
 
 The store is scheme-agnostic: it is constructed around a
 :class:`~repro.passwords.passpoints.PassPointsSystem` (or any object with
-``enroll``/``verify`` and ``with_salt``).
+``enroll``/``verify`` and ``with_salt``), and storage-agnostic: records and
+throttle state live in a pluggable
+:class:`~repro.passwords.storage.StorageBackend` (in-memory dict, durable
+SQLite, or append-only JSONL log), so enrolled populations can survive
+across attack/experiment runs.  The batched counterpart of :meth:`login`
+is :class:`~repro.passwords.service.VerificationService`.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
@@ -23,6 +27,7 @@ from repro.errors import StoreError
 from repro.geometry.point import Point
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
+from repro.passwords.storage import MemoryBackend, StorageBackend
 from repro.passwords.system import StoredPassword
 
 __all__ = ["PasswordStore"]
@@ -38,12 +43,25 @@ class PasswordStore:
         The (unsalted) deployment; each account gets a per-user salted copy.
     policy:
         Online throttling policy applied to every account.
+    backend:
+        Where records and throttle state live (default: in-memory dict).
+        Pass a :class:`~repro.passwords.storage.SQLiteBackend` or
+        :class:`~repro.passwords.storage.JsonlBackend` — or anything from
+        :func:`~repro.passwords.storage.backend_from_uri` — for a store
+        that survives the process; accounts already present in a reopened
+        backend are served immediately, lockout state included.
     """
 
     system: PassPointsSystem
     policy: LockoutPolicy = LockoutPolicy()
-    _records: Dict[str, StoredPassword] = field(default_factory=dict)
+    backend: StorageBackend = field(default_factory=MemoryBackend)
+    # In-process caches over the backend.  The store assumes it is the
+    # sole writer of its backend while open (same assumption the
+    # throttle cache already makes); durable backends are re-read only
+    # on first access after open, so a login flood against SQLite/JSONL
+    # does not re-parse records per attempt.
     _throttles: Dict[str, AccountThrottle] = field(default_factory=dict)
+    _record_cache: Dict[str, StoredPassword] = field(default_factory=dict)
 
     # -- accounts -----------------------------------------------------------
 
@@ -57,37 +75,58 @@ class PasswordStore:
 
     def create_account(self, username: str, points: Sequence[Point]) -> None:
         """Register an account with a graphical password."""
-        if username in self._records:
+        if username in self.backend:
             raise StoreError(f"account {username!r} already exists")
         stored = self._salted_system(username).enroll(points)
-        self._records[username] = stored
-        self._throttles[username] = AccountThrottle(self.policy)
+        self.backend.put(username, stored)
+        self._record_cache[username] = stored
+        throttle = AccountThrottle(self.policy)
+        self._throttles[username] = throttle
+        self.backend.put_throttle(username, throttle.state())
 
     def delete_account(self, username: str) -> None:
         """Remove an account."""
-        if username not in self._records:
-            raise StoreError(f"unknown account {username!r}")
-        del self._records[username]
-        del self._throttles[username]
+        self.backend.delete(username)
+        self._throttles.pop(username, None)
+        self._record_cache.pop(username, None)
 
     @property
     def usernames(self) -> tuple:
         """All registered account names (sorted for determinism)."""
-        return tuple(sorted(self._records))
+        return tuple(self.backend.usernames())
 
     def record_for(self, username: str) -> StoredPassword:
         """The stored record — what an offline attacker exfiltrates."""
-        try:
-            return self._records[username]
-        except KeyError:
-            raise StoreError(f"unknown account {username!r}") from None
+        stored = self._record_cache.get(username)
+        if stored is None:
+            stored = self.backend.get(username)
+            if stored is None:
+                raise StoreError(f"unknown account {username!r}")
+            self._record_cache[username] = stored
+        return stored
 
     def throttle_for(self, username: str) -> AccountThrottle:
-        """The account's throttle state (for inspection and attacks)."""
-        try:
-            return self._throttles[username]
-        except KeyError:
-            raise StoreError(f"unknown account {username!r}") from None
+        """The account's throttle state (for inspection and attacks).
+
+        Hydrated from the backend on first access, so lockout persisted
+        by a previous process (durable backends) is still enforced.
+        """
+        throttle = self._throttles.get(username)
+        if throttle is not None:
+            return throttle
+        if username not in self.backend:
+            raise StoreError(f"unknown account {username!r}")
+        state = self.backend.get_throttle(username)
+        if state is None:
+            throttle = AccountThrottle(self.policy)
+        else:
+            throttle = AccountThrottle.from_state(self.policy, state)
+        self._throttles[username] = throttle
+        return throttle
+
+    def _persist_throttle(self, username: str) -> None:
+        """Write an account's current throttle state through the backend."""
+        self.backend.put_throttle(username, self.throttle_for(username).state())
 
     # -- login ---------------------------------------------------------------
 
@@ -103,6 +142,7 @@ class PasswordStore:
         throttle.check()
         ok = self._salted_system(username).verify(stored, points)
         throttle.record(ok)
+        self._persist_throttle(username)
         return ok
 
     def is_locked(self, username: str) -> bool:
@@ -116,24 +156,20 @@ class PasswordStore:
 
         This is the artifact offline attacks assume stolen: public
         material, digests, salts and hashing parameters — but no throttle
-        state and, of course, no click-points.
+        state and, of course, no click-points.  Identical across backends
+        (it delegates to :meth:`~repro.passwords.storage.StorageBackend.dump`).
         """
-        payload = {
-            username: stored.to_json()
-            for username, stored in self._records.items()
-        }
-        return json.dumps(payload, sort_keys=True)
+        return self.backend.dump()
 
     def load_records(self, payload: str) -> None:
         """Load a password file dumped by :meth:`dump_records`.
 
         Existing accounts are replaced; throttle states reset.
         """
-        data = json.loads(payload)
-        self._records = {
-            username: StoredPassword.from_json(stored)
-            for username, stored in data.items()
-        }
-        self._throttles = {
-            username: AccountThrottle(self.policy) for username in self._records
-        }
+        self.backend.load(payload)
+        self._throttles = {}
+        self._record_cache = {}
+        for username in self.backend.usernames():
+            throttle = AccountThrottle(self.policy)
+            self._throttles[username] = throttle
+            self.backend.put_throttle(username, throttle.state())

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.core.scheme import Discretization, DiscretizationScheme
-from repro.crypto.encoding import Encodable
+from repro.crypto.encoding import Encodable, scalar_from_json, scalar_to_json
 from repro.crypto.hashing import Hasher
 from repro.crypto.records import VerificationRecord, make_record
 from repro.errors import VerificationError
@@ -59,30 +59,17 @@ class StoredPassword:
 
     def to_json(self) -> dict:
         """JSON-serializable representation."""
-        from fractions import Fraction
-
-        def scalar_json(value: Encodable):
-            if isinstance(value, Fraction):
-                return {"q": [value.numerator, value.denominator]}
-            return value
-
         return {
             "scheme_name": self.scheme_name,
-            "publics": [[scalar_json(v) for v in per_point] for per_point in self.publics],
+            "publics": [
+                [scalar_to_json(v) for v in per_point] for per_point in self.publics
+            ],
             "record": self.record.to_json(),
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "StoredPassword":
         """Inverse of :meth:`to_json`."""
-        from fractions import Fraction
-
-        def scalar_from_json(value):
-            if isinstance(value, dict) and "q" in value:
-                num, den = value["q"]
-                return Fraction(int(num), int(den))
-            return value
-
         return cls(
             scheme_name=str(data["scheme_name"]),
             publics=tuple(

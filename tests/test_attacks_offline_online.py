@@ -10,6 +10,8 @@ from repro.attacks.dictionary import HumanSeededDictionary
 from repro.attacks.offline import (
     hash_only_work_factor,
     offline_attack_known_identifiers,
+    offline_attack_stolen_file,
+    parse_password_file,
 )
 from repro.attacks.online import online_attack
 from repro.core.centered import CenteredDiscretization
@@ -192,6 +194,94 @@ class TestOfflineKnownIdentifiers:
             count_entries=False,
         )
         assert result.hash_operations_modeled == dictionary.entry_count
+
+
+class TestStolenFileAttack:
+    def _stolen_store(self, scheme, accounts):
+        system = PassPointsSystem(image=cars_image(), scheme=scheme)
+        store = PasswordStore(system=system)
+        for username, points in accounts.items():
+            store.create_account(username, points)
+        return store
+
+    def test_seeded_guesses_crack_the_stolen_file(self):
+        """Entries covering the real click-points crack the salted records."""
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        store = self._stolen_store(scheme, {"alice": points})
+        # Seeds = the exact points plus a little noise, so the prioritized
+        # enumeration reaches a cracking entry within a modest budget.
+        seeds = tuple(points) + tuple(Point.xy(5 + i, 300) for i in range(3))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        payload = store.dump_records()
+        result = offline_attack_stolen_file(
+            scheme, payload, dictionary, guess_budget=20000
+        )
+        assert result.scheme_name == scheme.name
+        assert result.cracked == 1
+        assert result.outcomes[0].username == "alice"
+        assert 1 <= result.outcomes[0].guesses_hashed <= 20000
+        assert result.hash_operations == result.outcomes[0].guesses_hashed
+
+    def test_far_seeds_crack_nothing(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        store = self._stolen_store(scheme, {"alice": points, "bob": points})
+        seeds = tuple(Point.xy(400 + i % 5, 10 + i) for i in range(8))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        result = offline_attack_stolen_file(
+            scheme, store.dump_records(), dictionary, guess_budget=50
+        )
+        assert result.cracked == 0
+        assert result.cracked_fraction == 0.0
+        assert result.attacked == 2
+        # Every record pays the full budget when nothing matches.
+        assert result.hash_operations == 2 * 50
+
+    def test_accepts_parsed_records(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        store = self._stolen_store(scheme, {"alice": points})
+        records = parse_password_file(store.dump_records())
+        assert set(records) == {"alice"}
+        seeds = tuple(points) + (Point.xy(5, 300),)
+        dictionary = HumanSeededDictionary(seed_points=seeds, tuple_length=5)
+        result = offline_attack_stolen_file(
+            scheme, records, dictionary, guess_budget=20000
+        )
+        assert result.cracked == 1
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(AttackError):
+            parse_password_file("{broken")
+        with pytest.raises(AttackError):
+            parse_password_file("[1, 2, 3]")
+        # A malformed *nested* record must surface as AttackError too,
+        # not leak the records layer's VerificationError.
+        with pytest.raises(AttackError):
+            parse_password_file(
+                '{"alice": {"scheme_name": "x", "publics": [], "record": {}}}'
+            )
+
+    def test_validation(self):
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        store = self._stolen_store(scheme, {"alice": points})
+        seeds = tuple(points) + (Point.xy(5, 300),)
+        dictionary = HumanSeededDictionary(seed_points=seeds, tuple_length=5)
+        with pytest.raises(AttackError):
+            offline_attack_stolen_file(
+                scheme, store.dump_records(), dictionary, guess_budget=0
+            )
+        with pytest.raises(AttackError):
+            offline_attack_stolen_file(scheme, "{}", dictionary)
+        short = HumanSeededDictionary(seed_points=seeds, tuple_length=3)
+        with pytest.raises(AttackError):
+            offline_attack_stolen_file(scheme, store.dump_records(), short)
 
 
 class TestHashOnlyWorkFactor:

@@ -56,6 +56,43 @@ class TestDictionaryBatchPaths:
             dictionary.match_sets(accepts)
         )
 
+    def test_match_mask_batch_equals_scalar_oracle(self):
+        """The one-call (positions, N) mask matches the scalar match sets."""
+        from repro.core.batch import discretize_batch
+
+        seeds = tuple(
+            Point.xy(20 * i % 300, 15 * i % 200) for i in range(40)
+        )
+        dictionary = HumanSeededDictionary(seed_points=seeds, tuple_length=3)
+        originals = [Point.xy(50, 60), Point.xy(140, 90), Point.xy(220, 130)]
+        for scheme in (
+            CenteredDiscretization.for_pixel_tolerance(2, 9),
+            RobustDiscretization.for_pixel_tolerance(2, 9),
+            StaticGridScheme(dim=2, cell_size=19),
+        ):
+            enrollments = [scheme.enroll(p) for p in originals]
+
+            def accepts(position, point):
+                return scheme.accepts(enrollments[position], point)
+
+            batch = discretize_batch(scheme, originals)
+            mask = dictionary.match_mask_batch(scheme, batch)
+            assert mask.shape == (3, len(seeds))
+            assert HumanSeededDictionary.match_sets_from_mask(mask) == (
+                dictionary.match_sets(accepts)
+            )
+
+    def test_match_mask_batch_validates_position_count(self):
+        from repro.core.batch import discretize_batch
+
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        dictionary = HumanSeededDictionary(
+            seed_points=tuple(Point.xy(i, i) for i in range(10)), tuple_length=5
+        )
+        batch = discretize_batch(scheme, [Point.xy(1, 1), Point.xy(2, 2)])
+        with pytest.raises(AttackError):
+            dictionary.match_mask_batch(scheme, batch)
+
     def test_match_sets_batch_validates_position_count(self):
         scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
         dictionary = HumanSeededDictionary(

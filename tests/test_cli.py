@@ -57,6 +57,89 @@ class TestStudy:
         assert "191 participants" in capsys.readouterr().out
 
 
+class TestStore:
+    def test_create_login_dump_attack_roundtrip(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        assert main(["store", "create", uri, "--users", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "enrolled 3 new accounts" in out
+
+        # Re-running resumes instead of re-enrolling.
+        assert main(["store", "create", uri, "--users", "3"]) == 0
+        assert "3 already present" in capsys.readouterr().out
+
+        # The dump is the attacker-visible password file.
+        assert main(["store", "dump", uri]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+        username = sorted(payload)[0]
+
+        # A wrong-password login is rejected (exit code 1) and counts
+        # toward the lockout streak; the right points would be accepted.
+        points = "40,50;100,90;160,130;220,170;280,210"
+        assert main(["store", "login", uri, "--user", username, "--points", points]) == 1
+        assert "rejected" in capsys.readouterr().out
+        for _ in range(2):
+            main(["store", "login", uri, "--user", username, "--points", points])
+        capsys.readouterr()
+        assert main(["store", "login", uri, "--user", username, "--points", points]) == 3
+        assert "locked" in capsys.readouterr().out
+
+        # Offline grind of the stolen file runs end to end.
+        assert main(["store", "attack", uri, "--budget", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "stolen file" in out
+        assert "cracked" in out
+
+    def test_jsonl_backend_roundtrip(self, tmp_path, capsys):
+        uri = f"jsonl:{tmp_path / 'store.jsonl'}"
+        assert main(["store", "create", uri, "--users", "2", "--scheme", "robust"]) == 0
+        capsys.readouterr()
+        assert main(["store", "dump", uri]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_recreate_with_mismatched_deployment_refused(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        assert main(["store", "create", uri, "--users", "1"]) == 0
+        capsys.readouterr()
+        # Different scheme (or tolerance/image) must not overwrite the
+        # persisted deployment meta under the enrolled records.
+        assert main(["store", "create", uri, "--users", "1", "--scheme", "robust"]) == 2
+        assert "refusing" in capsys.readouterr().err
+        assert main(["store", "create", uri, "--users", "1", "--tolerance", "4"]) == 2
+        capsys.readouterr()
+        # Matching deployment still resumes fine.
+        assert main(["store", "create", uri, "--users", "1"]) == 0
+        assert "1 already present" in capsys.readouterr().out
+
+    def test_attack_without_create_fails_cleanly(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'empty.db'}"
+        assert main(["store", "attack", uri]) == 2
+        assert "store create" in capsys.readouterr().err
+
+    def test_bad_uri_fails_cleanly(self, capsys):
+        assert main(["store", "dump", "redis:somewhere"]) == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+        assert main(["store", "create", "sqlite:"]) == 2
+        assert "needs a path" in capsys.readouterr().err
+
+    def test_login_without_create_fails(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'empty.db'}"
+        code = main(
+            ["store", "login", uri, "--user", "ghost", "--points", "1,1;2,2;3,3;4,4;5,5"]
+        )
+        assert code == 2
+        assert "store create" in capsys.readouterr().err
+
+    def test_malformed_points_rejected(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        main(["store", "create", uri, "--users", "1"])
+        capsys.readouterr()
+        code = main(["store", "login", uri, "--user", "user0", "--points", "nonsense"])
+        assert code == 2
+        assert "malformed" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_output(self, capsys):
         assert main(["demo"]) == 0

@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "field_study_replication.py": "Table 1",
     "online_attack_and_ccp.py": "online",
     "password_space_explorer.py": "empirical effective space",
+    "storage_backends.py": "durable backend",
     "usability_and_3d.py": "3-D",
 }
 
