@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store examples docs-check check
+.PHONY: test unit bench bench-store serve-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -24,6 +24,10 @@ bench:
 ## Store/serving throughput gate only (>=10x batched-service floor).
 bench-store:
 	$(PYTHON) -m pytest benchmarks/test_bench_store.py -q
+
+## Async serving gate only; regenerates benchmarks/reports/serving_throughput.txt.
+serve-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_serving.py -q
 
 ## Execute every example end-to-end.
 examples:

@@ -10,9 +10,15 @@ Subcommands:
 * ``repro demo`` — the quickstart: enroll and verify a password under both
   schemes;
 * ``repro store create/login/dump/attack`` — operate a persistent password
-  store on a backend URI (``memory:``, ``sqlite:PATH``, ``jsonl:PATH``):
-  enroll a simulated population (resuming if already enrolled), run
-  throttled logins, steal the password file, and grind it offline.
+  store on a backend URI (``memory:``, ``sqlite:PATH``, ``jsonl:PATH``,
+  ``shards:sqlite:PREFIX{0..N}.db``): enroll a simulated population
+  (resuming if already enrolled), run throttled logins, steal the password
+  file, and grind it offline;
+* ``repro serve`` — expose a store over TCP through the asyncio JSONL
+  login protocol (micro-batched verification under the hood);
+* ``repro flood`` — self-hosted load generation: start a server on an
+  ephemeral port, flood it with concurrent clients, report throughput and
+  p50/p95 latency.
 """
 
 from __future__ import annotations
@@ -128,6 +134,54 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=500,
         help="hash-guess budget per account (default: 500)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve a store over TCP (asyncio JSONL protocol)"
+    )
+    serve_parser.add_argument("uri", help="backend URI (run 'store create' first)")
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve_parser.add_argument(
+        "--port", type=int, default=7411, help="bind port (default: 7411)"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=256,
+        help="flush when this many attempts are pending (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--flush-interval", type=float, default=0.0,
+        help="flush deadline in seconds; 0 = next event-loop pass (default)",
+    )
+
+    flood_parser = sub.add_parser(
+        "flood", help="flood a self-hosted server and report throughput/latency"
+    )
+    flood_parser.add_argument(
+        "uri", help="backend URI (enrolled on the fly when empty)"
+    )
+    flood_parser.add_argument(
+        "--users", type=int, default=25, help="accounts to enroll (default: 25)"
+    )
+    flood_parser.add_argument(
+        "--attempts", type=int, default=2000,
+        help="total login attempts (default: 2000)",
+    )
+    flood_parser.add_argument(
+        "--clients", type=int, default=16,
+        help="concurrent TCP client connections (default: 16)",
+    )
+    flood_parser.add_argument(
+        "--wrong-fraction", type=float, default=0.25,
+        help="fraction of attacker (wrong-password) attempts (default: 0.25)",
+    )
+    flood_parser.add_argument(
+        "--seed", type=int, default=2008, help="stream seed (default: 2008)"
+    )
+    flood_parser.add_argument(
+        "--scheme",
+        choices=["centered", "robust", "static"],
+        default="centered",
+        help="scheme when enrolling a fresh backend (default: centered)",
     )
     return parser
 
@@ -406,6 +460,125 @@ def _cmd_store_attack(uri: str, budget: int) -> int:
     return 0
 
 
+def _cmd_serve(
+    uri: str, host: str, port: int, max_batch: int, flush_interval: float
+) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.passwords.storage import backend_from_uri
+    from repro.serving import LoginServer
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = _store_for_backend(backend)
+        server = LoginServer(
+            store,
+            host=host,
+            port=port,
+            max_batch=max_batch,
+            flush_interval=flush_interval,
+        )
+
+        async def run() -> None:
+            await server.start()
+            bound_host, bound_port = server.address
+            print(
+                f"serving {backend.uri} on {bound_host}:{bound_port} "
+                f"(JSONL ops: login/enroll/stats/ping; Ctrl-C to stop)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_flood(
+    uri: str,
+    users: int,
+    attempts: int,
+    clients: int,
+    wrong_fraction: float,
+    seed: int,
+    scheme_name: str,
+) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.experiments.common import default_dataset
+    from repro.passwords.storage import backend_from_uri
+    from repro.serving import LoginServer, flood_server, mixed_stream
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # A fresh backend is deployed on the spot (the flood's point is
+        # serving-layer load, not enrollment ceremony); an existing one is
+        # resumed under its persisted deployment, exactly like store create.
+        if backend.get_meta("scheme") is None:
+            backend.put_meta("scheme", scheme_name)
+            backend.put_meta("tolerance_px", "9")
+            backend.put_meta("image", "cars")
+        store = _store_for_backend(backend)
+        samples = default_dataset().passwords_on(backend.get_meta("image"))[:users]
+        accounts = {}
+        for sample in samples:
+            username = f"user{sample.password_id}"
+            if username not in backend:
+                store.create_account(username, list(sample.points))
+            accounts[username] = list(sample.points)
+        image = store.system.image
+        stream = mixed_stream(
+            accounts,
+            attempts,
+            wrong_fraction=wrong_fraction,
+            seed=seed,
+            bounds=(image.width, image.height),
+        )
+
+        async def run():
+            server = await LoginServer(store, port=0).start()
+            bound_host, bound_port = server.address
+            print(
+                f"flooding {backend.uri} via {bound_host}:{bound_port} — "
+                f"{attempts:,} attempts, {clients} clients, "
+                f"{len(accounts)} accounts"
+            )
+            report = await flood_server(bound_host, bound_port, stream, clients)
+            stats = server.service.stats
+            await server.aclose()
+            return report, stats
+
+        report, stats = asyncio.run(run())
+        locked = sum(1 for username in accounts if store.is_locked(username))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    print(report.summary())
+    print(
+        f"batching: {stats.flushes} flushes, mean batch {stats.mean_batch:.1f}, "
+        f"largest {stats.largest_batch}; {locked} account(s) locked out"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -431,6 +604,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_store_dump(args.uri)
         if args.store_command == "attack":
             return _cmd_store_attack(args.uri, args.budget)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.uri, args.host, args.port, args.max_batch, args.flush_interval
+        )
+    if args.command == "flood":
+        return _cmd_flood(
+            args.uri,
+            args.users,
+            args.attempts,
+            args.clients,
+            args.wrong_fraction,
+            args.seed,
+            args.scheme,
+        )
     parser.error(f"unhandled command {args.command!r}")
     return 2  # pragma: no cover
 

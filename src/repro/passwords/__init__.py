@@ -16,9 +16,11 @@ from repro.passwords.space3d import ClickSpace3D, Space3DSystem, space3d_passwor
 from repro.passwords.storage import (
     JsonlBackend,
     MemoryBackend,
+    ShardedBackend,
     SQLiteBackend,
     StorageBackend,
     backend_from_uri,
+    rebalance,
 )
 from repro.passwords.store import PasswordStore
 from repro.passwords.system import (
@@ -41,6 +43,7 @@ __all__ = [
     "PassPointsSystem",
     "PasswordStore",
     "SQLiteBackend",
+    "ShardedBackend",
     "Space3DSystem",
     "StorageBackend",
     "StoredPassword",
@@ -50,6 +53,7 @@ __all__ = [
     "enroll_password",
     "locate_secrets",
     "next_image_index",
+    "rebalance",
     "space3d_password_bits",
     "verify_password",
 ]

@@ -208,6 +208,27 @@ class VerificationService:
         self._pending.append((username, points, material))
         return len(self._pending) - 1
 
+    def submit_all(self, attempts: Sequence[Tuple[str, Sequence[Point]]]) -> int:
+        """Queue a burst of ``(username, points)`` attempts atomically.
+
+        Every attempt is validated (unknown account, wrong click count)
+        **before** any of them is enqueued, so a failing burst leaves the
+        pending queue untouched.  Returns the queue position of the first
+        attempt; the burst occupies consecutive positions, and
+        :meth:`flush` returns their outcomes at exactly those positions.
+        """
+        prepared = []
+        for username, points in attempts:
+            material = self._material_for(username)
+            if len(points) != material.clicks:
+                raise VerificationError(
+                    f"expected {material.clicks} click-points, got {len(points)}"
+                )
+            prepared.append((username, points, material))
+        start = len(self._pending)
+        self._pending.extend(prepared)
+        return start
+
     # -- batched decision ---------------------------------------------------
 
     def _chunk_points(self, chunk: Sequence[Tuple]) -> np.ndarray:
@@ -248,6 +269,15 @@ class VerificationService:
 
     def flush(self) -> List[LoginOutcome]:
         """Decide every pending attempt; outcomes in submission order.
+
+        **Ordering guarantee**: ``flush()[i]`` is the outcome of the
+        ``i``-th :meth:`submit` since the previous flush — one outcome per
+        submitted attempt, in exactly the order attempts were submitted,
+        across micro-batch boundaries.  The async front-end
+        (:class:`repro.serving.AsyncVerificationService`) resolves the
+        futures of parked coroutines by position against this list, so
+        the guarantee is part of the public contract, not an
+        implementation detail.
 
         Pending attempts are grouped into micro-batches; each micro-batch
         resolves its geometry in **one** vectorized ``locate`` call over

@@ -9,28 +9,38 @@ real, swappable subsystem: a :class:`StorageBackend` holds, per account,
 * the account's throttle state (§5.1 lockout counters), persisted so that
   lockout survives a process restart.
 
-Three implementations ship:
+Four implementations ship:
 
 * :class:`MemoryBackend` — the original in-process dict (tests, simulations);
-* :class:`SQLiteBackend` — a durable single-file database, so enrolled
-  populations survive across attack/experiment runs;
+* :class:`SQLiteBackend` — a durable single-file database in WAL journal
+  mode, so enrolled populations survive across attack/experiment runs and
+  concurrent readers (attack grinds against a live store) never block the
+  login writer;
 * :class:`JsonlBackend` — an append-only JSON-lines log replayed at open,
-  the "flat password file" deployment shape.
+  the "flat password file" deployment shape;
+* :class:`ShardedBackend` — a consistent-hash router spreading usernames
+  across N child backends, the multi-process serving shape.
 
 Backends are addressed by URI — ``memory:``, ``sqlite:PATH``,
-``jsonl:PATH`` — via :func:`backend_from_uri`; the CLI ``repro store``
-subcommands operate on these URIs.  A backend's :meth:`~StorageBackend.dump`
-is the portable password-file artifact (same JSON for every backend): the
-offline attacks in :mod:`repro.attacks.offline` consume it directly.
+``jsonl:PATH``, ``shards:CHILD{A..B}`` — via :func:`backend_from_uri`; the
+CLI ``repro store`` / ``repro serve`` / ``repro flood`` subcommands operate
+on these URIs.  A backend's :meth:`~StorageBackend.dump` is the portable
+password-file artifact (same JSON for every backend, shards merged): the
+offline attacks in :mod:`repro.attacks.offline` consume it directly, so
+stealing a sharded deployment still yields one file.
 """
 
 from __future__ import annotations
 
 import abc
+import bisect
+import hashlib
+import heapq
 import json
 import os
+import re
 import sqlite3
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StoreError
 from repro.passwords.system import StoredPassword
@@ -40,7 +50,9 @@ __all__ = [
     "MemoryBackend",
     "SQLiteBackend",
     "JsonlBackend",
+    "ShardedBackend",
     "backend_from_uri",
+    "rebalance",
 ]
 
 
@@ -122,6 +134,15 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def get_meta(self, key: str) -> Optional[str]:
         """Read one deployment-metadata string, or ``None``."""
+
+    def meta_items(self) -> Tuple[Tuple[str, str], ...]:
+        """All persisted metadata pairs, sorted by key.
+
+        Used by :func:`rebalance` to carry the deployment description to a
+        new shard layout; the base implementation returns nothing, so
+        minimal third-party backends stay valid.
+        """
+        return ()
 
     # -- password file ------------------------------------------------------
 
@@ -212,6 +233,10 @@ class MemoryBackend(StorageBackend):
         """Read one metadata string, or ``None``."""
         return self._meta.get(key)
 
+    def meta_items(self) -> Tuple[Tuple[str, str], ...]:
+        """All persisted metadata pairs, sorted by key."""
+        return tuple(sorted(self._meta.items()))
+
 
 class SQLiteBackend(StorageBackend):
     """Durable single-file backend on the stdlib :mod:`sqlite3`.
@@ -221,12 +246,27 @@ class SQLiteBackend(StorageBackend):
     populations and lockout state survive process restarts; the database
     file *is* the stolen password file of the paper's offline-attack
     model (modulo the throttle/meta tables, which :meth:`dump` excludes).
+
+    The connection runs in WAL journal mode with a busy timeout, and
+    :meth:`dump` / :meth:`iter_records` read through a *fresh read-only
+    connection*: an offline attack grinding a live store snapshots the
+    password file without ever blocking the login writer (and cannot
+    mutate it — the reader connection is opened ``mode=ro``).
     """
+
+    #: Milliseconds a connection waits on a locked database before failing.
+    BUSY_TIMEOUT_MS = 5_000
 
     def __init__(self, path: str) -> None:
         self._path = str(path)
         self.uri = f"sqlite:{self._path}"
         self._conn = sqlite3.connect(self._path)
+        self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
+        # WAL lets readers proceed against a committed snapshot while a
+        # writer holds the write lock; some filesystems refuse it, in
+        # which case SQLite stays on its default rollback journal.
+        row = self._conn.execute("PRAGMA journal_mode=WAL").fetchone()
+        self._journal_mode = str(row[0]).lower() if row else "unknown"
         with self._conn:
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS records "
@@ -245,6 +285,43 @@ class SQLiteBackend(StorageBackend):
     def path(self) -> str:
         """Filesystem location of the database."""
         return self._path
+
+    @property
+    def journal_mode(self) -> str:
+        """The journal mode actually in effect (``"wal"`` when supported)."""
+        return self._journal_mode
+
+    def _reader(self) -> Optional[sqlite3.Connection]:
+        """A fresh read-only connection, or ``None`` when unavailable.
+
+        Opened with SQLite's URI ``mode=ro``, so bulk reads (password-file
+        theft, shard scans) run on their own snapshot and cannot write.
+        """
+        try:
+            conn = sqlite3.connect(f"file:{self._path}?mode=ro", uri=True)
+            conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
+            return conn
+        except sqlite3.Error:
+            return None
+
+    def iter_records(self) -> Iterator[Tuple[str, StoredPassword]]:
+        """Yield ``(username, record)`` pairs in sorted username order.
+
+        Reads through a dedicated read-only connection (one ``SELECT``
+        over the whole table) so concurrent writers are never blocked;
+        falls back to the writer connection if a reader cannot be opened.
+        """
+        reader = self._reader()
+        conn = reader if reader is not None else self._conn
+        try:
+            rows = conn.execute(
+                "SELECT username, payload FROM records ORDER BY username"
+            ).fetchall()
+        finally:
+            if reader is not None:
+                reader.close()
+        for username, payload in rows:
+            yield username, StoredPassword.from_json(json.loads(payload))
 
     def put(self, username: str, stored: StoredPassword) -> None:
         """Insert or replace the record for *username* (committed)."""
@@ -317,6 +394,13 @@ class SQLiteBackend(StorageBackend):
             "SELECT value FROM meta WHERE key = ?", (key,)
         ).fetchone()
         return row[0] if row is not None else None
+
+    def meta_items(self) -> Tuple[Tuple[str, str], ...]:
+        """All persisted metadata pairs, sorted by key."""
+        rows = self._conn.execute(
+            "SELECT key, value FROM meta ORDER BY key"
+        ).fetchall()
+        return tuple((key, value) for key, value in rows)
 
     def close(self) -> None:
         """Close the database connection."""
@@ -431,16 +515,202 @@ class JsonlBackend(StorageBackend):
         """Read one metadata string, or ``None``."""
         return self._meta.get(key)
 
+    def meta_items(self) -> Tuple[Tuple[str, str], ...]:
+        """All persisted metadata pairs, sorted by key."""
+        return tuple(sorted(self._meta.items()))
+
     def close(self) -> None:
         """Close the log file handle."""
         self._handle.close()
+
+
+def _ring_position(key: str) -> int:
+    """Deterministic 64-bit position of *key* on the consistent-hash ring.
+
+    Python's builtin ``hash`` is salted per process, so routing is pinned
+    to a keyed-less blake2b instead: the same username lands on the same
+    shard in every process that opens the store.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardedBackend(StorageBackend):
+    """Consistent-hash router over N child backends.
+
+    Usernames are routed to shards through a hash ring with
+    ``replicas`` virtual nodes per shard, so the assignment is stable,
+    deterministic across processes (blake2b, not the salted builtin
+    ``hash``), and roughly balanced.  Per-account operations touch
+    exactly one child; population-level operations (``usernames``,
+    ``iter_records``, ``dump``, ``load``, ``clear``) merge or fan out
+    across all of them, so a sharded deployment still produces the single
+    portable password file the offline attacks consume — stealing the
+    shards is stealing one artifact.
+
+    Metadata writes replicate to every shard (each child must be able to
+    describe the deployment on its own); reads take the first answer.
+    """
+
+    def __init__(
+        self, shards: Sequence[StorageBackend], uri: Optional[str] = None,
+        replicas: int = 64,
+    ) -> None:
+        if not shards:
+            raise StoreError("ShardedBackend needs at least one child backend")
+        if replicas < 1:
+            raise StoreError(f"replicas must be >= 1, got {replicas}")
+        self._shards: List[StorageBackend] = list(shards)
+        self.uri = uri or f"shards[{','.join(s.uri for s in self._shards)}]"
+        ring = sorted(
+            (_ring_position(f"shard:{index}:{replica}"), index)
+            for index in range(len(self._shards))
+            for replica in range(replicas)
+        )
+        self._ring_keys = [position for position, _ in ring]
+        self._ring_values = [index for _, index in ring]
+
+    @property
+    def shards(self) -> Tuple[StorageBackend, ...]:
+        """The child backends, in shard-index order."""
+        return tuple(self._shards)
+
+    def shard_index_for(self, username: str) -> int:
+        """The index of the child backend that owns *username*."""
+        position = _ring_position(username)
+        slot = bisect.bisect_right(self._ring_keys, position)
+        return self._ring_values[slot % len(self._ring_values)]
+
+    def shard_for(self, username: str) -> StorageBackend:
+        """The child backend that owns *username*."""
+        return self._shards[self.shard_index_for(username)]
+
+    def put(self, username: str, stored: StoredPassword) -> None:
+        """Insert or replace the record on the owning shard."""
+        self.shard_for(username).put(username, stored)
+
+    def get(self, username: str) -> Optional[StoredPassword]:
+        """The record from the owning shard, or ``None`` when unknown."""
+        return self.shard_for(username).get(username)
+
+    def delete(self, username: str) -> None:
+        """Remove an account from its owning shard."""
+        self.shard_for(username).delete(username)
+
+    def usernames(self) -> Tuple[str, ...]:
+        """All account names across every shard, sorted."""
+        merged: List[str] = []
+        for shard in self._shards:
+            merged.extend(shard.usernames())
+        return tuple(sorted(merged))
+
+    def clear(self) -> None:
+        """Drop every record and all throttle state on every shard."""
+        for shard in self._shards:
+            shard.clear()
+
+    def iter_records(self) -> Iterator[Tuple[str, StoredPassword]]:
+        """Yield ``(username, record)`` pairs merged across shards, sorted.
+
+        Each shard already yields in sorted username order (and shards are
+        disjoint by routing), so this is a streaming k-way merge — S table
+        scans, not one routed point query per account.
+        """
+        return heapq.merge(
+            *(shard.iter_records() for shard in self._shards),
+            key=lambda pair: pair[0],
+        )
+
+    def put_throttle(self, username: str, state: dict) -> None:
+        """Persist throttle state on the owning shard."""
+        self.shard_for(username).put_throttle(username, state)
+
+    def get_throttle(self, username: str) -> Optional[dict]:
+        """Throttle state from the owning shard, or ``None``."""
+        return self.shard_for(username).get_throttle(username)
+
+    def put_meta(self, key: str, value: str) -> None:
+        """Replicate one metadata string to every shard."""
+        for shard in self._shards:
+            shard.put_meta(key, value)
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one metadata string (first shard that has it)."""
+        for shard in self._shards:
+            value = shard.get_meta(key)
+            if value is not None:
+                return value
+        return None
+
+    def meta_items(self) -> Tuple[Tuple[str, str], ...]:
+        """Metadata pairs merged across shards (first writer wins per key)."""
+        merged: Dict[str, str] = {}
+        for shard in self._shards:
+            for key, value in shard.meta_items():
+                merged.setdefault(key, value)
+        return tuple(sorted(merged.items()))
+
+    def close(self) -> None:
+        """Close every child backend."""
+        for shard in self._shards:
+            shard.close()
+
+
+def rebalance(source: StorageBackend, dest: StorageBackend) -> int:
+    """Copy every account — record, throttle state, meta — into *dest*.
+
+    *dest* is cleared first, then repopulated through its own routing, so
+    moving a population between shard layouts (4 shards → 2, single file →
+    sharded, …) preserves lockout state: an account locked on the old
+    layout is still locked on the new one.  Returns the number of accounts
+    moved.
+    """
+    dest.clear()
+    moved = 0
+    for username, record in source.iter_records():
+        dest.put(username, record)
+        state = source.get_throttle(username)
+        if state is not None:
+            dest.put_throttle(username, state)
+        moved += 1
+    for key, value in source.meta_items():
+        dest.put_meta(key, value)
+    return moved
+
+
+#: ``{A..B}`` range template inside a ``shards:`` URI.
+_SHARD_RANGE = re.compile(r"\{(\d+)\.\.(\d+)\}")
+
+
+def _expand_shard_uris(template: str) -> List[str]:
+    """Expand one ``{A..B}`` range in a child-URI template.
+
+    >>> _expand_shard_uris("sqlite:/tmp/s{0..2}.db")
+    ['sqlite:/tmp/s0.db', 'sqlite:/tmp/s1.db', 'sqlite:/tmp/s2.db']
+    """
+    matches = list(_SHARD_RANGE.finditer(template))
+    if len(matches) != 1:
+        raise StoreError(
+            f"shards: template needs exactly one {{A..B}} range, got {template!r}"
+        )
+    match = matches[0]
+    lo, hi = int(match.group(1)), int(match.group(2))
+    if hi < lo:
+        raise StoreError(f"empty shard range {match.group(0)!r} in {template!r}")
+    return [
+        template[: match.start()] + str(index) + template[match.end() :]
+        for index in range(lo, hi + 1)
+    ]
 
 
 def backend_from_uri(uri: str) -> StorageBackend:
     """Construct a backend from a ``scheme:location`` URI.
 
     Supported schemes: ``memory:`` (location ignored), ``sqlite:PATH``,
-    ``jsonl:PATH``.
+    ``jsonl:PATH``, and ``shards:TEMPLATE`` where TEMPLATE is any other
+    backend URI containing one ``{A..B}`` range — e.g.
+    ``shards:sqlite:/tmp/s{0..3}.db`` routes usernames across four SQLite
+    files by consistent hashing.
 
     >>> backend_from_uri("memory:").uri
     'memory:'
@@ -456,7 +726,12 @@ def backend_from_uri(uri: str) -> StorageBackend:
         if not location:
             raise StoreError(f"jsonl backend needs a path: {uri!r}")
         return JsonlBackend(location)
+    if scheme == "shards":
+        if not location:
+            raise StoreError(f"shards backend needs a child template: {uri!r}")
+        children = [backend_from_uri(child) for child in _expand_shard_uris(location)]
+        return ShardedBackend(children, uri=uri)
     raise StoreError(
         f"unknown storage backend URI {uri!r} "
-        "(expected memory:, sqlite:PATH, or jsonl:PATH)"
+        "(expected memory:, sqlite:PATH, jsonl:PATH, or shards:TEMPLATE)"
     )

@@ -1,0 +1,41 @@
+"""Async authentication front-end over the sharded password store.
+
+The serving layer is the deployment shape of the paper's §5.1 server: a
+flood of independent online login attempts, amortized into vectorized
+verification batches while per-account throttling stays bit-for-bit
+scalar-equivalent.
+
+* :class:`~repro.serving.service.AsyncVerificationService` — concurrent
+  login coroutines park on futures; a size-or-deadline trigger flushes the
+  shared :class:`~repro.passwords.service.VerificationService` batch;
+* :class:`~repro.serving.server.LoginServer` — asyncio TCP server speaking
+  a JSON-lines protocol (``repro serve``);
+* :mod:`~repro.serving.flood` — load generation with throughput and
+  p50/p95 latency reporting (``repro flood``,
+  ``benchmarks/test_bench_serving.py``).
+
+See the "Serving layer" section of ``docs/architecture.md`` for the
+queue → flush trigger → kernel batch → futures pipeline.
+"""
+
+from repro.serving.flood import (
+    FloodReport,
+    flood_server,
+    flood_service,
+    mixed_stream,
+    percentile,
+)
+from repro.serving.server import LoginServer, parse_points
+from repro.serving.service import AsyncVerificationService, ServiceStats
+
+__all__ = [
+    "AsyncVerificationService",
+    "FloodReport",
+    "LoginServer",
+    "ServiceStats",
+    "flood_server",
+    "flood_service",
+    "mixed_stream",
+    "parse_points",
+    "percentile",
+]

@@ -1,0 +1,280 @@
+"""Load generator for the serving stack: throughput and tail latency.
+
+The paper's deployment constraint (§5.1) is a server absorbing an online
+login flood while throttling per account; survey work on cued-recall
+authentication frames server-side verification latency as the operative
+cost.  This module makes both measurable:
+
+* :func:`mixed_stream` builds a deterministic legit/attacker attempt mix
+  over an enrolled population;
+* :func:`flood_service` drives N concurrent client coroutines straight
+  into an :class:`~repro.serving.service.AsyncVerificationService`
+  (the benchmark shape — no socket noise);
+* :func:`flood_server` drives N real TCP connections through the JSONL
+  protocol of :class:`~repro.serving.server.LoginServer` (the
+  ``repro flood`` CLI shape);
+
+both report a :class:`FloodReport` with throughput, p50/p95/p99 latency
+and the accept/reject/locked tally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.serving.service import AsyncVerificationService
+
+__all__ = ["FloodReport", "percentile", "mixed_stream", "flood_service", "flood_server"]
+
+#: One attempt: ``(username, click_points)``.
+Attempt = Tuple[str, Sequence[Point]]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by nearest-rank on a sorted copy.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.0
+    """
+    if not samples:
+        return float("nan")
+    if not 0 <= q <= 1:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(math.ceil(q * len(ordered)), 1) - 1
+    return ordered[rank]
+
+
+@dataclass
+class FloodReport:
+    """Outcome of one flood run.
+
+    Attributes
+    ----------
+    attempts / clients / seconds:
+        Workload shape and wall-clock duration.
+    tally:
+        Decision counts keyed ``accept`` / ``reject`` / ``locked``.
+    latencies_ms:
+        Per-attempt submit→decision latency, milliseconds, in completion
+        order (the percentile properties digest it).
+    """
+
+    attempts: int
+    clients: int
+    seconds: float
+    tally: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Decided attempts per second."""
+        return self.attempts / self.seconds if self.seconds else float("inf")
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-attempt latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-attempt latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-attempt latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.99)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (CLI and example output)."""
+        tally = ", ".join(
+            f"{self.tally.get(status, 0)} {status}"
+            for status in ("accept", "reject", "locked")
+        )
+        return (
+            f"{self.attempts:,} attempts / {self.clients} clients in "
+            f"{self.seconds:.2f}s -> {self.throughput:,.0f} logins/s | "
+            f"p50 {self.p50_ms:.2f}ms p95 {self.p95_ms:.2f}ms | {tally}"
+        )
+
+
+def mixed_stream(
+    accounts: Dict[str, Sequence[Point]],
+    attempts: int,
+    wrong_fraction: float = 0.25,
+    seed: int = 2008,
+    jitter_px: int = 3,
+    bounds: Optional[Tuple[int, int]] = None,
+) -> List[Attempt]:
+    """A deterministic legit/attacker mix over an enrolled population.
+
+    Each attempt targets a round-robin account; a ``wrong_fraction`` slice
+    of the stream shifts every click 25 px off (the attacker), the rest
+    re-enter the password exactly or with a small within-tolerance jitter
+    (the legitimate user).  Deterministic in *seed* so scalar reference
+    runs and flood runs see the same stream.
+
+    Pass ``bounds=(width, height)`` to clamp generated points into the
+    image domain (enrolled clicks near an edge would otherwise shift out
+    of it and draw :class:`~repro.errors.DomainError` instead of a
+    decision; a clamped "wrong" attempt may occasionally land within
+    tolerance, which only perturbs the mix, not correctness).
+    """
+    if not accounts:
+        raise ValueError("mixed_stream needs at least one enrolled account")
+    if not 0 <= wrong_fraction <= 1:
+        raise ValueError(f"wrong_fraction must be in [0, 1], got {wrong_fraction}")
+    rng = np.random.default_rng(seed)
+    names = sorted(accounts)
+    if bounds is None:
+        clamp = lambda x, y: (x, y)  # noqa: E731 - trivial passthrough
+    else:
+        width, height = bounds
+
+        def clamp(x: int, y: int) -> Tuple[int, int]:
+            return (
+                min(max(x, 0), width - 1),
+                min(max(y, 0), height - 1),
+            )
+
+    stream: List[Attempt] = []
+    for index in range(attempts):
+        username = names[index % len(names)]
+        points = accounts[username]
+        if rng.random() < wrong_fraction:  # the attacker's guess
+            attempt = [
+                Point.xy(*clamp(int(p.x) - 25, int(p.y) + 25)) for p in points
+            ]
+        elif index % 2:  # within-tolerance re-entry
+            attempt = [
+                Point.xy(
+                    *clamp(
+                        int(p.x) + int(rng.integers(-jitter_px, jitter_px + 1)),
+                        int(p.y) + int(rng.integers(-jitter_px, jitter_px + 1)),
+                    )
+                )
+                for p in points
+            ]
+        else:  # exact re-entry
+            attempt = list(points)
+        stream.append((username, attempt))
+    return stream
+
+
+def _split_round_robin(stream: Sequence[Attempt], clients: int) -> List[List[Attempt]]:
+    return [list(stream[offset::clients]) for offset in range(clients)]
+
+
+async def flood_service(
+    service: AsyncVerificationService,
+    stream: Sequence[Attempt],
+    clients: int = 64,
+    window: int = 1,
+) -> FloodReport:
+    """Drive *stream* through the async service with concurrent coroutines.
+
+    The stream is split round-robin across *clients* coroutine clients;
+    each keeps at most *window* requests in flight — ``window=1`` is the
+    fully closed loop (one ``submit``/await per attempt), larger windows
+    pipeline a burst through one
+    :meth:`~repro.serving.service.AsyncVerificationService.submit_many`
+    future.  Batching is emergent either way: clients know nothing of
+    each other, the service's flush triggers do the amortizing.
+    """
+    report = FloodReport(attempts=len(stream), clients=clients, seconds=0.0)
+    tally = report.tally
+    latencies = report.latencies_ms
+    perf_counter = time.perf_counter
+
+    async def client(attempts: List[Attempt]) -> None:
+        if window == 1:
+            submit = service.submit
+            for username, pts in attempts:
+                begin = perf_counter()
+                outcome = await submit(username, pts)
+                latencies.append((perf_counter() - begin) * 1000.0)
+                tally[outcome.status] = tally.get(outcome.status, 0) + 1
+            return
+        for start in range(0, len(attempts), window):
+            chunk = attempts[start : start + window]
+            begin = perf_counter()
+            outcomes = await service.submit_many(chunk)
+            elapsed_ms = (perf_counter() - begin) * 1000.0
+            for outcome in outcomes:
+                tally[outcome.status] = tally.get(outcome.status, 0) + 1
+                latencies.append(elapsed_ms)
+
+    begin = perf_counter()
+    await asyncio.gather(*(client(part) for part in _split_round_robin(stream, clients)))
+    report.seconds = perf_counter() - begin
+    return report
+
+
+async def flood_server(
+    host: str,
+    port: int,
+    stream: Sequence[Attempt],
+    clients: int = 16,
+) -> FloodReport:
+    """Drive *stream* through a live :class:`~repro.serving.server.LoginServer`
+    over real TCP connections speaking the JSONL protocol.
+
+    Each client opens its own connection and runs closed-loop (send one
+    login line, await its response line); concurrency across connections
+    is what fills the server's batches.
+    """
+    report = FloodReport(attempts=len(stream), clients=clients, seconds=0.0)
+    tally = report.tally
+    latencies = report.latencies_ms
+    perf_counter = time.perf_counter
+
+    async def client(attempts: List[Attempt]) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for request_id, (username, points) in enumerate(attempts):
+                line = json.dumps(
+                    {
+                        "op": "login",
+                        "id": request_id,
+                        "user": username,
+                        "points": [[int(p.x), int(p.y)] for p in points],
+                    },
+                    separators=(",", ":"),
+                ).encode() + b"\n"
+                begin = perf_counter()
+                writer.write(line)
+                try:
+                    await writer.drain()
+                    raw = await reader.readline()
+                except ConnectionError:
+                    raw = b""
+                if not raw:
+                    # Server went away mid-flood: count this and every
+                    # unsent attempt as dropped instead of crashing the run.
+                    dropped = len(attempts) - request_id
+                    tally["dropped"] = tally.get("dropped", 0) + dropped
+                    break
+                response = json.loads(raw)
+                latencies.append((perf_counter() - begin) * 1000.0)
+                status = response.get("status") if response.get("ok") else "error"
+                tally[status] = tally.get(status, 0) + 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - server already gone
+                pass
+
+    begin = perf_counter()
+    await asyncio.gather(*(client(part) for part in _split_round_robin(stream, clients)))
+    report.seconds = perf_counter() - begin
+    return report

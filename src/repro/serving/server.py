@@ -1,0 +1,230 @@
+"""Asyncio TCP server speaking a JSON-lines login protocol.
+
+One request per line, one JSON object per request; one response line per
+request, correlated by the client-chosen ``id`` (responses to pipelined
+requests may interleave — every request is handled as its own task, and
+logins park on the shared :class:`~repro.serving.service.AsyncVerificationService`
+batch).  Operations:
+
+``{"op": "login", "id": 1, "user": "u7", "points": [[x, y], ...]}``
+    One throttled login attempt.  Response
+    ``{"id": 1, "ok": true, "status": "accept" | "reject" | "locked"}``.
+``{"op": "enroll", "id": 2, "user": "new", "points": [[x, y], ...]}``
+    Register an account (scalar path, like the sync service).
+``{"op": "stats", "id": 3}``
+    Batching counters (submitted/decided/flushes/mean batch) plus account
+    count — a live view of how well the flood is amortizing.
+``{"op": "ping", "id": 4}``
+    Liveness probe.
+
+Failures come back as ``{"id": ..., "ok": false, "error": "<ErrorClass>",
+"message": "..."}`` — library errors (unknown account, wrong click count,
+out-of-image point) fail only their own request; malformed JSON fails the
+line it arrived on.  The CLI front door is ``repro serve URI``; the
+matching load generator is :mod:`repro.serving.flood` / ``repro flood``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.geometry.point import Point
+from repro.passwords.store import PasswordStore
+from repro.serving.service import AsyncVerificationService
+
+__all__ = ["LoginServer", "parse_points"]
+
+
+def parse_points(payload: object) -> Sequence[Point]:
+    """Convert a JSON ``[[x, y], ...]`` payload into click-points.
+
+    Raises :class:`ValueError` on anything that is not a list of 2-number
+    pairs — protocol-level garbage, reported to the client as an
+    ``error: "protocol"`` response rather than a library exception.
+    """
+    if not isinstance(payload, list) or not payload:
+        raise ValueError(f"points must be a non-empty list, got {payload!r}")
+    points = []
+    for pair in payload:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ValueError(f"each point must be an [x, y] pair, got {pair!r}")
+        x, y = pair
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            raise ValueError(f"coordinates must be numbers, got {pair!r}")
+        points.append(Point.xy(int(x), int(y)))
+    return points
+
+
+class LoginServer:
+    """A TCP front door over one store's async verification service.
+
+    Parameters
+    ----------
+    store:
+        The store to serve; a fresh
+        :class:`~repro.serving.service.AsyncVerificationService` is built
+        over it with the given batching knobs.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port — read
+        :attr:`address` after :meth:`start` (how the tests and the
+        self-hosted ``repro flood`` run).
+    max_batch / flush_interval:
+        Forwarded to the async service (size / deadline flush triggers).
+    """
+
+    def __init__(
+        self,
+        store: PasswordStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 256,
+        flush_interval: float = 0.0,
+    ) -> None:
+        self.service = AsyncVerificationService(
+            store, max_batch=max_batch, flush_interval=flush_interval
+        )
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.connections_served = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "LoginServer":
+        """Bind and start accepting connections (returns self)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and decide any parked attempts."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _respond(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        # One write() per complete line keeps concurrent responses whole.
+        writer.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+        try:
+            await writer.drain()
+        except ConnectionError:  # client went away mid-response
+            pass
+
+    async def _handle_request(
+        self, writer: asyncio.StreamWriter, request: dict
+    ) -> None:
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "login":
+                points = parse_points(request.get("points"))
+                outcome = await self.service.login(str(request.get("user")), points)
+                response = {"id": request_id, "ok": True, "status": outcome.status}
+            elif op == "enroll":
+                points = parse_points(request.get("points"))
+                self.service.service.enroll(str(request.get("user")), points)
+                response = {"id": request_id, "ok": True, "status": "enrolled"}
+            elif op == "stats":
+                stats = self.service.stats
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "accounts": len(self.service.store.usernames),
+                    "submitted": stats.submitted,
+                    "decided": stats.decided,
+                    "flushes": stats.flushes,
+                    "size_flushes": stats.size_flushes,
+                    "largest_batch": stats.largest_batch,
+                    "mean_batch": round(stats.mean_batch, 2),
+                }
+            elif op == "ping":
+                response = {"id": request_id, "ok": True, "status": "pong"}
+            else:
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "protocol",
+                    "message": f"unknown op {op!r}",
+                }
+        except ReproError as exc:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except ValueError as exc:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": "protocol",
+                "message": str(exc),
+            }
+        await self._respond(writer, response)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        # Only in-flight requests are tracked: completed tasks remove
+        # themselves, so a long-lived pipelining connection doesn't
+        # accumulate one Task object per request it ever made.
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.CancelledError, ConnectionError):
+                    # Server shutdown (handler task cancelled) or client
+                    # reset: stop reading, settle in-flight requests below.
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._respond(
+                        writer,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": "protocol",
+                            "message": f"malformed JSON line: {exc}",
+                        },
+                    )
+                    continue
+                # Each request is its own task so pipelined logins from one
+                # connection land in the same batch instead of serializing.
+                task = asyncio.ensure_future(self._handle_request(writer, request))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError):
+                pass  # loop teardown or client already gone

@@ -1,0 +1,280 @@
+"""Asyncio front-end over the micro-batched verification service.
+
+:class:`~repro.passwords.service.VerificationService` batches logins but is
+synchronous: *somebody* has to collect a batch before flushing it.  In a
+live deployment that somebody is the event loop — independent clients
+arrive as concurrent coroutines, and this module amortizes them into
+vectorized kernel calls without any client knowing about the others:
+
+* :meth:`AsyncVerificationService.submit` validates an attempt, enqueues
+  it on the underlying sync service, and parks the caller on an
+  :class:`asyncio.Future`;
+* a flush fires when either ``max_batch`` attempts are pending (size
+  trigger, checked synchronously at submit) or ``flush_interval`` seconds
+  after the first pending attempt (deadline trigger; an interval of ``0``
+  means "the next event-loop pass", which batches everything submitted in
+  the current scheduling tick — the lowest-latency policy);
+* the sync service's :meth:`~repro.passwords.service.VerificationService.flush`
+  returns outcomes **in submission order** (a documented guarantee), so
+  futures are resolved positionally — no request ids, no reordering.
+
+Semantics are the scalar ``PasswordStore.login`` loop's, bit-for-bit, in
+enqueue order: the property tests in ``tests/test_serving.py`` drive
+randomized concurrent interleavings and compare the full decision/lockout
+sequence against the scalar reference.  The one structural difference
+from the sync service: out-of-image points are validated per request at
+:meth:`submit` (raising :class:`~repro.errors.DomainError` to that caller
+alone), so one malformed request can never poison the shared batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import DomainError, ParameterError
+from repro.geometry.point import Point
+from repro.passwords.service import LoginOutcome, VerificationService
+from repro.passwords.store import PasswordStore
+
+__all__ = ["AsyncVerificationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing the batching behaviour of one service instance.
+
+    Attributes
+    ----------
+    submitted:
+        Login attempts accepted by :meth:`AsyncVerificationService.submit`.
+    decided:
+        Attempts whose future has been resolved.
+    flushes:
+        Number of batch flushes executed.
+    size_flushes:
+        Flushes triggered by the ``max_batch`` size trigger (the rest were
+        deadline flushes or explicit :meth:`~AsyncVerificationService.drain`
+        calls).
+    largest_batch:
+        Largest number of attempts decided by a single flush.
+    """
+
+    submitted: int = 0
+    decided: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Average attempts per flush (0.0 before the first flush)."""
+        return self.decided / self.flushes if self.flushes else 0.0
+
+
+class AsyncVerificationService:
+    """Concurrent login front-end amortizing clients into kernel batches.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.passwords.store.PasswordStore` to serve.  A
+        private sync :class:`~repro.passwords.service.VerificationService`
+        is created over it; the async layer must own that service's queue,
+        so don't share one sync service between an async front-end and
+        direct callers.
+    max_batch:
+        Size trigger: a flush fires synchronously as soon as this many
+        attempts are pending.
+    flush_interval:
+        Deadline trigger, in seconds, armed when the first attempt of a
+        batch arrives.  ``0.0`` (default) flushes on the next event-loop
+        pass — every coroutine that submits during the current tick shares
+        one kernel call.
+
+    Use it from a running event loop::
+
+        service = AsyncVerificationService(store)
+        outcome = await service.login("alice", points)   # parks until flush
+    """
+
+    def __init__(
+        self,
+        store: PasswordStore,
+        max_batch: int = 256,
+        flush_interval: float = 0.0,
+    ) -> None:
+        if flush_interval < 0:
+            raise ParameterError(
+                f"flush_interval must be >= 0, got {flush_interval}"
+            )
+        self._service = VerificationService(store, max_batch=max_batch)
+        self._max_batch = max_batch
+        self._flush_interval = flush_interval
+        # Parked callers: ``(future, n)`` — the future resolves to one
+        # outcome (n == 1, from submit) or a list of n outcomes (from
+        # submit_many).  Total pending attempts is tracked separately so
+        # the size trigger stays O(1).
+        self._waiters: List[tuple] = []
+        self._pending_attempts = 0
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self.stats = ServiceStats()
+        # Image bounds hoisted out of the per-submit hot path.
+        image = getattr(store.system, "image", None)
+        if image is not None:
+            self._bounds = (image.width, image.height, image.name)
+        else:
+            self._bounds = None
+
+    @property
+    def store(self) -> PasswordStore:
+        """The underlying password store."""
+        return self._service.store
+
+    @property
+    def service(self) -> VerificationService:
+        """The sync micro-batching service the async layer drives."""
+        return self._service
+
+    @property
+    def pending_count(self) -> int:
+        """Attempts submitted but not yet flushed."""
+        return self._pending_attempts
+
+    # -- intake ---------------------------------------------------------------
+
+    def _validate_points(self, points: Sequence[Point]) -> None:
+        """Per-request domain check, mirroring the scalar path.
+
+        The sync service defers out-of-image detection to flush time and
+        fails the whole micro-batch; here each request is checked on its
+        own so a bad client only fails itself — exactly what the scalar
+        ``PasswordStore.login`` would do (raise before touching the
+        throttle).
+        """
+        if self._bounds is None:
+            return
+        width, height, name = self._bounds
+        for point in points:
+            coords = point.coords
+            if len(coords) != 2:
+                continue
+            x, y = coords
+            if not (0 <= x < width and 0 <= y < height):
+                raise DomainError(
+                    f"click-point {tuple(coords)!r} outside image "
+                    f"{name!r} ({width}x{height})"
+                )
+
+    def _arm_or_fire(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Apply the flush triggers after an enqueue (hot path)."""
+        if self._pending_attempts >= self._max_batch:
+            self.stats.size_flushes += 1
+            self._flush_now()
+        elif self._flush_handle is None:
+            if self._flush_interval <= 0:
+                self._flush_handle = loop.call_soon(self._flush_now)
+            else:
+                self._flush_handle = loop.call_later(
+                    self._flush_interval, self._flush_now
+                )
+
+    def submit(self, username: str, points: Sequence[Point]) -> asyncio.Future:
+        """Enqueue one attempt; the returned future resolves to its
+        :class:`~repro.passwords.service.LoginOutcome`.
+
+        Validation is synchronous and per-request: unknown accounts raise
+        :class:`~repro.errors.StoreError`, wrong click counts
+        :class:`~repro.errors.VerificationError`, out-of-image points
+        :class:`~repro.errors.DomainError` — all from this call, leaving
+        the shared batch untouched.  Enqueue order is decision order (the
+        property the equivalence tests pin down), and it is established
+        here, atomically, before any ``await``.
+
+        Must be called from a running event loop.
+        """
+        loop = asyncio.get_running_loop()
+        self._validate_points(points)
+        self._service.submit(username, points)
+        future = loop.create_future()
+        self._waiters.append((future, 1))
+        self._pending_attempts += 1
+        self.stats.submitted += 1
+        self._arm_or_fire(loop)
+        return future
+
+    def submit_many(
+        self, attempts: Sequence[tuple]
+    ) -> asyncio.Future:
+        """Enqueue a pipelined burst of ``(username, points)`` attempts.
+
+        The returned future resolves to a list of outcomes, one per
+        attempt in order.  Semantically identical to calling
+        :meth:`submit` per attempt (each is decided individually, in
+        enqueue order, against the same throttles) but parks the whole
+        burst on **one** future — the cheap path for clients that pipeline
+        requests.  Validation failures raise before any attempt of the
+        burst is enqueued, so a rejected burst leaves no partial state.
+        """
+        loop = asyncio.get_running_loop()
+        for _, points in attempts:
+            self._validate_points(points)
+        self._service.submit_all(attempts)
+        future = loop.create_future()
+        self._waiters.append((future, len(attempts)))
+        self._pending_attempts += len(attempts)
+        self.stats.submitted += len(attempts)
+        self._arm_or_fire(loop)
+        return future
+
+    async def login(self, username: str, points: Sequence[Point]) -> LoginOutcome:
+        """Submit one attempt and wait for its batched decision."""
+        return await self.submit(username, points)
+
+    # -- flushing -------------------------------------------------------------
+
+    def _flush_now(self) -> None:
+        """Decide every pending attempt and resolve its future.
+
+        Futures are resolved positionally against the sync service's
+        submission-order outcome list.  A failure inside the batched
+        decision (which per-request validation should have made
+        impossible) is propagated to every parked caller rather than
+        swallowed.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        waiters, self._waiters = self._waiters, []
+        batch_size, self._pending_attempts = self._pending_attempts, 0
+        if not waiters:
+            return
+        self.stats.flushes += 1
+        if batch_size > self.stats.largest_batch:
+            self.stats.largest_batch = batch_size
+        try:
+            outcomes = self._service.flush()
+        except Exception as exc:  # pragma: no cover - defensive
+            for future, _ in waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.decided += len(outcomes)
+        offset = 0
+        for future, count in waiters:
+            if count == 1:
+                if not future.done():
+                    future.set_result(outcomes[offset])
+                offset += 1
+            else:
+                if not future.done():
+                    future.set_result(outcomes[offset : offset + count])
+                offset += count
+
+    async def drain(self) -> None:
+        """Flush any pending attempts and wait until they are decided."""
+        waiters = [future for future, _ in self._waiters]
+        self._flush_now()
+        if waiters:
+            await asyncio.gather(*waiters, return_exceptions=True)

@@ -8,11 +8,33 @@ dataset from :mod:`repro.experiments.common`.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
+
 import pytest
 
 from repro.study.clickmodel import ClickErrorModel, SelectionModel
 from repro.study.fieldstudy import FieldStudyConfig, generate_field_study
 from repro.study.image import cars_image, pool_image
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests on a fresh stdlib event loop.
+
+    The container has no pytest-asyncio, so the serving-layer tests
+    (tests/test_serving.py) rely on this hook: any collected coroutine
+    test function is executed via ``asyncio.run`` with its requested
+    fixtures, keeping async tests first-class citizens of tier-1.
+    """
+    test_fn = pyfuncitem.obj
+    if inspect.iscoroutinefunction(test_fn):
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(test_fn(**kwargs))
+        return True
+    return None
 
 
 @pytest.fixture(scope="session")

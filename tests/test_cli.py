@@ -140,6 +140,43 @@ class TestStore:
         assert "malformed" in capsys.readouterr().err
 
 
+class TestServeFlood:
+    def test_flood_self_hosted_on_sharded_backend(self, tmp_path, capsys):
+        uri = f"shards:sqlite:{tmp_path / 'f'}{{0..1}}.db"
+        code = main(
+            ["flood", uri, "--users", "4", "--attempts", "80", "--clients", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "logins/s" in out
+        assert "p95" in out
+        assert "locked out" in out
+        assert "batching" in out
+        # A second run resumes the enrolled (and partially locked) store —
+        # with fewer attempts than accounts, so some accounts see no login
+        # and their lockout state must be read back from the (still open)
+        # backend, not a warm cache.
+        assert main(["flood", uri, "--users", "4", "--attempts", "2"]) == 0
+        assert "4 accounts" in capsys.readouterr().out
+
+    def test_flood_respects_persisted_deployment(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        assert main(["store", "create", uri, "--users", "2", "--scheme", "robust"]) == 0
+        capsys.readouterr()
+        # The flood serves the deployment the backend was created with
+        # (robust), regardless of the requested enrollment scheme.
+        assert main(["flood", uri, "--users", "2", "--attempts", "40"]) == 0
+        assert "logins/s" in capsys.readouterr().out
+
+    def test_flood_bad_uri_fails_cleanly(self, capsys):
+        assert main(["flood", "redis:somewhere"]) == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+
+    def test_serve_requires_deployment_meta(self, tmp_path, capsys):
+        assert main(["serve", f"sqlite:{tmp_path / 'empty.db'}", "--port", "0"]) == 2
+        assert "store create" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_output(self, capsys):
         assert main(["demo"]) == 0

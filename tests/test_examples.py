@@ -19,6 +19,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 #: script name -> fragment its output must contain.
 EXPECTED_OUTPUT = {
+    "async_serving.py": "4-shard store",
     "quickstart.py": "edge problem",
     "dictionary_attack.py": "dictionary",
     "field_study_replication.py": "Table 1",
