@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -28,6 +28,10 @@ bench-store:
 ## Async serving gate only; regenerates benchmarks/reports/serving_throughput.txt.
 serve-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_serving.py -q
+
+## Parallel attack gate only; regenerates benchmarks/reports/attack_throughput.txt.
+attack-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_attacks.py -q
 
 ## Execute every example end-to-end.
 examples:

@@ -14,6 +14,22 @@ import os
 import pytest
 
 
+def pytest_report_header(config):
+    """Bench-run context line: worker count and array backend.
+
+    Archived reports quote throughput numbers; this header (and the
+    matching line inside ``attack_throughput.txt``) makes every bench run
+    self-describing about the hardware and backend that produced it.
+    """
+    from repro.attacks.parallel import default_workers
+    from repro.core.batch import resolve_array_namespace
+
+    return (
+        f"attack engine: {default_workers()} worker(s) schedulable; "
+        f"array backend: {resolve_array_namespace().__name__}"
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def warm_shared_data():
     """Generate the shared dataset/dictionaries before any timing runs."""

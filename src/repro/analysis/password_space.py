@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Sequence, Tuple
 
-from repro.core.batch import PointArrayLike, discretize_batch
+from repro.core.batch import PointArrayLike
 from repro.core.scheme import DiscretizationScheme
 from repro.errors import ParameterError
 from repro.geometry.numbers import (
@@ -187,11 +187,12 @@ def empirical_cell_distribution(
     the fixed ``2r`` lattice shifted by ``r``, so counts group clicks that
     would share a hashed secret.
     """
-    batch = discretize_batch(scheme, points)
+    import numpy as np
+
+    # Pinned to numpy: the cell counting below runs on host arrays.
+    batch = scheme.batch(xp=np).enroll(points)
     keys = batch.secret
     if batch.public.ndim == 1:  # robust: grid identifier distinguishes cells
-        import numpy as np
-
         keys = np.column_stack([batch.public, batch.secret])
     return dict(Counter(tuple(int(v) for v in row) for row in keys))
 

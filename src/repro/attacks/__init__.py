@@ -2,8 +2,10 @@
 
 Human-seeded dictionaries with exact closed-form crack decisions, offline
 attacks with known grid identifiers (Figures 7–8), the hash-only work-factor
-model, throttled online attacks, hotspot harvesting, shoulder-surfing, and
-grid-identifier leakage analysis.
+model, throttled online attacks, hotspot harvesting, shoulder-surfing,
+grid-identifier leakage analysis, and a process-sharded parallel attack
+engine (:mod:`repro.attacks.parallel`) that scales the offline attacks
+across CPU cores with bit-identical results at any worker count.
 """
 
 from repro.attacks.dictionary import (
@@ -48,6 +50,15 @@ from repro.attacks.offline import (
     parse_password_file,
 )
 from repro.attacks.online import OnlineAttackResult, online_attack
+from repro.attacks.parallel import (
+    DictionarySpec,
+    SchemeSpec,
+    ShardedAttackRunner,
+    default_workers,
+    merge_offline_results,
+    merge_stolen_results,
+    partition_evenly,
+)
 from repro.attacks.shoulder import ShoulderSurfResult, shoulder_surf_attack
 
 __all__ = [
@@ -58,8 +69,15 @@ __all__ = [
     "expected_guesses_to_crack",
     "offline_cracking_cost",
     "summarize_attack_economics",
+    "DictionarySpec",
     "OfflineAttackResult",
     "OnlineAttackResult",
+    "SchemeSpec",
+    "ShardedAttackRunner",
+    "default_workers",
+    "merge_offline_results",
+    "merge_stolen_results",
+    "partition_evenly",
     "PasswordAttackOutcome",
     "PerPointStoredPassword",
     "ShoulderSurfResult",

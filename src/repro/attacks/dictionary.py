@@ -23,6 +23,7 @@ expansion.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import itertools
 import math
@@ -75,6 +76,44 @@ def partition_moebius_weight(partition: Tuple[Tuple[int, ...], ...]) -> int:
         size = len(block)
         weight *= (-1) ** (size - 1) * math.factorial(size - 1)
     return weight
+
+
+@functools.lru_cache(maxsize=4096)
+def _count_injective_cached(canonical_sets: Tuple[Tuple[int, ...], ...]) -> int:
+    """Memoized injective-tuple count for a canonicalized match-set key.
+
+    The key is the position-order-canonicalized match sets (the count is a
+    permanent, invariant under permuting positions), so attack loops over
+    many passwords that induce the same match structure — common on
+    hotspot-heavy images — pay the Möbius inversion once.
+
+    Before recursing into the Bell-number partition sum, positions are
+    short-circuited: any empty match set zeroes the count outright, and a
+    singleton position must take its only seed point, which removes that
+    point from every other position's set and shrinks the partition
+    lattice one position at a time.
+    """
+    sets = [set(s) for s in canonical_sets]
+    while True:
+        if any(not s for s in sets):
+            return 0
+        singleton = next((i for i, s in enumerate(sets) if len(s) == 1), None)
+        if singleton is None:
+            break
+        value = next(iter(sets[singleton]))
+        sets = [s - {value} for i, s in enumerate(sets) if i != singleton]
+    if not sets:
+        return 1
+    total = 0
+    for partition in set_partitions(range(len(sets))):
+        term = partition_moebius_weight(partition)
+        for block in partition:
+            common = set.intersection(*[sets[j] for j in block])
+            term *= len(common)
+            if term == 0:
+                break
+        total += term
+    return total
 
 
 @dataclass(frozen=True)
@@ -200,7 +239,7 @@ class HumanSeededDictionary:
                 f"expected {self.tuple_length} enrollments, got "
                 f"{len(enrollments)}"
             )
-        kernel = scheme.batch()
+        kernel = scheme.batch(xp=np)  # host pipeline: np ops on every mask
         seeds = self.seed_array()
         return tuple(
             tuple(int(i) for i in np.nonzero(kernel.accepts(enrollment, seeds))[0])
@@ -227,7 +266,7 @@ class HumanSeededDictionary:
                 f"expected {self.tuple_length} enrolled positions, got "
                 f"{positions}"
             )
-        kernel = scheme.batch()
+        kernel = scheme.batch(xp=np)  # host pipeline: np.tile/np.repeat below
         seeds = self.seed_array()
         pool = len(seeds)
         tiled_seeds = np.tile(seeds, (positions, 1))
@@ -274,19 +313,14 @@ class HumanSeededDictionary:
 
         Permanent of the position×seed biadjacency matrix via Möbius
         inversion over position partitions: distinctness of seed points is
-        handled exactly, with Bell(tuple_length) terms.
+        handled exactly, with Bell(tuple_length) terms.  The computation is
+        memoized on the canonicalized match sets (the permanent is
+        position-order invariant) and short-circuits empty and singleton
+        positions before touching the partition lattice — this is the
+        per-password CPU hotspot of the known-identifier attack loop.
         """
-        sets = [set(m) for m in match_sets]
-        total = 0
-        for partition in set_partitions(range(len(sets))):
-            term = partition_moebius_weight(partition)
-            for block in partition:
-                common = set.intersection(*[sets[j] for j in block])
-                term *= len(common)
-                if term == 0:
-                    break
-            total += term
-        return total
+        key = tuple(sorted(tuple(sorted(set(m))) for m in match_sets))
+        return _count_injective_cached(key)
 
     def matching_entry_count(self, accepts: Callable[[int, Point], bool]) -> int:
         """Exact number of dictionary entries that crack the target."""

@@ -35,7 +35,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.batch import as_point_array, discretize_batch
+from repro.core.batch import as_point_array
 from repro.core.scheme import DiscretizationScheme
 from repro.errors import AttackError
 from repro.passwords.system import StoredPassword
@@ -61,16 +61,6 @@ class PasswordAttackOutcome:
     password_id: int
     cracked: bool
     matching_entries: int
-
-    @property
-    def guess_rank_bound(self) -> float:
-        """Expected fraction of the dictionary hit by a uniform-order scan.
-
-        With ``m`` matching entries in a dictionary of ``N``, a random-order
-        enumeration expects ``(N+1)/(m+1)`` guesses; this property returns
-        ``m`` for downstream aggregation (kept simple on purpose).
-        """
-        return float(self.matching_entries)
 
 
 @dataclass(frozen=True)
@@ -120,6 +110,63 @@ class OfflineAttackResult:
             return 0.0
         return sum(o.matching_entries for o in self.outcomes) / self.attacked
 
+    @property
+    def dictionary_entries(self) -> int:
+        """Exact dictionary size N (``hash_operations_modeled`` is N × attacked)."""
+        if not self.outcomes:
+            return 0
+        return self.hash_operations_modeled // self.attacked
+
+    def expected_guess_rank(self, outcome: PasswordAttackOutcome) -> float:
+        """Expected guesses before *outcome*'s password falls, ``(N+1)/(m+1)``.
+
+        With ``m`` matching entries in a dictionary of ``N``, a uniform
+        random-order enumeration expects ``(N+1)/(m+1)`` guesses to hit the
+        first match.  For an uncracked password (``m = 0``) this degrades
+        to ``N + 1`` — one past exhausting the dictionary — which is the
+        natural "never hits" sentinel on the same scale.
+        """
+        if outcome.matching_entries < 0:
+            raise AttackError(
+                f"matching_entries must be >= 0, got {outcome.matching_entries}"
+            )
+        return (self.dictionary_entries + 1) / (outcome.matching_entries + 1)
+
+
+def _validate_known_identifier_targets(
+    scheme: DiscretizationScheme,
+    passwords: Sequence[PasswordSample],
+    dictionary: HumanSeededDictionary,
+) -> str:
+    """Pre-flight checks shared by the serial and sharded attack paths.
+
+    Returns the single image name the targets live on.  Kept in one place
+    so the parallel runner surfaces exactly the errors the serial path
+    would — from the caller's process, before any worker forks.
+    """
+    if scheme.dim != 2:
+        raise AttackError(f"attack expects a 2-D scheme, got {scheme.dim}-D")
+    if not passwords:
+        raise AttackError("no passwords to attack")
+    image_names = {p.image_name for p in passwords}
+    if len(image_names) != 1:
+        raise AttackError(
+            f"passwords span multiple images: {sorted(image_names)}"
+        )
+    image_name = image_names.pop()
+    if dictionary.image_name and dictionary.image_name != image_name:
+        raise AttackError(
+            f"dictionary was seeded on {dictionary.image_name!r}, targets are "
+            f"on {image_name!r}"
+        )
+    for password in passwords:
+        if len(password.points) != dictionary.tuple_length:
+            raise AttackError(
+                f"password {password.password_id} has {len(password.points)} "
+                f"clicks, dictionary tuples have {dictionary.tuple_length}"
+            )
+    return image_name
+
 
 def offline_attack_known_identifiers(
     scheme: DiscretizationScheme,
@@ -139,32 +186,15 @@ def offline_attack_known_identifiers(
     Set ``count_entries=False`` to skip the exact matching-entry permanent
     (the boolean decision is much cheaper).
     """
-    if scheme.dim != 2:
-        raise AttackError(f"attack expects a 2-D scheme, got {scheme.dim}-D")
-    if not passwords:
-        raise AttackError("no passwords to attack")
-    image_names = {p.image_name for p in passwords}
-    if len(image_names) != 1:
-        raise AttackError(
-            f"passwords span multiple images: {sorted(image_names)}"
-        )
-    image_name = image_names.pop()
-    if dictionary.image_name and dictionary.image_name != image_name:
-        raise AttackError(
-            f"dictionary was seeded on {dictionary.image_name!r}, targets are "
-            f"on {image_name!r}"
-        )
+    image_name = _validate_known_identifier_targets(scheme, passwords, dictionary)
 
     outcomes: List[PasswordAttackOutcome] = []
     for password in passwords:
-        if len(password.points) != dictionary.tuple_length:
-            raise AttackError(
-                f"password {password.password_id} has {len(password.points)} "
-                f"clicks, dictionary tuples have {dictionary.tuple_length}"
-            )
         # Whole-password batch enrollment + one (positions, N) mask per
         # password: a single kernel call answers every position at once.
-        enrollment = discretize_batch(scheme, password.points)
+        # The kernel is pinned to numpy: this pipeline interleaves host
+        # python (match sets, the permanent) with every kernel output.
+        enrollment = scheme.batch(xp=np).enroll(password.points)
         mask = dictionary.match_mask_batch(scheme, enrollment)
         match_lists = list(HumanSeededDictionary.match_sets_from_mask(mask))
         cracked = HumanSeededDictionary.has_injective_assignment(match_lists)
@@ -262,6 +292,30 @@ def parse_password_file(payload: str) -> Dict[str, StoredPassword]:
         raise AttackError(f"malformed stolen password file: {exc}") from exc
 
 
+def _validate_stolen_records(
+    records: Mapping[str, StoredPassword],
+    dictionary: HumanSeededDictionary,
+    guess_budget: int,
+) -> None:
+    """Pre-flight checks shared by the serial and sharded grind paths."""
+    if guess_budget < 1:
+        raise AttackError(f"guess_budget must be >= 1, got {guess_budget}")
+    if not records:
+        raise AttackError("stolen password file holds no records")
+    for username in sorted(records):
+        if records[username].clicks != dictionary.tuple_length:
+            raise AttackError(
+                f"record {username!r} has {records[username].clicks} clicks, "
+                f"dictionary tuples have {dictionary.tuple_length}"
+            )
+
+
+#: Guesses located per kernel call in the stolen-file grind.  Bounds peak
+#: memory to ``chunk × clicks`` rows (instead of ``budget × clicks``) and
+#: bounds the geometry wasted on an early-stopped account to one chunk.
+GUESS_CHUNK = 128
+
+
 def offline_attack_stolen_file(
     scheme: DiscretizationScheme,
     stolen: Union[str, Mapping[str, StoredPassword]],
@@ -270,49 +324,54 @@ def offline_attack_stolen_file(
 ) -> StolenFileAttackResult:
     """Grind a stolen password file with popularity-ordered guesses.
 
-    For each stolen record the attacker discretizes every candidate entry
+    For each stolen record the attacker discretizes candidate entries
     under the record's clear public material — one vectorized ``locate``
-    over all ``budget × clicks`` points at once — then pays one salted
-    hash per entry (stopping at the first match).  This is the deployed
-    §5.1 threat executed end to end: steal via a backend's ``dump``,
-    attack offline without throttling.
+    per :data:`GUESS_CHUNK`-guess chunk, broadcasting the record's few
+    public rows with ``np.tile`` instead of materializing a
+    ``budget × clicks`` copy — then pays one salted hash per entry,
+    stopping at the first match (cracked accounts never locate, let alone
+    hash, the chunks behind the early stop).  This is the deployed §5.1
+    threat executed end to end: steal via a backend's ``dump``, attack
+    offline without throttling.
 
     *stolen* is either the JSON payload itself or an already-parsed
     ``{username: StoredPassword}`` mapping.
     """
-    if guess_budget < 1:
-        raise AttackError(f"guess_budget must be >= 1, got {guess_budget}")
     records = parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
-    if not records:
-        raise AttackError("stolen password file holds no records")
+    _validate_stolen_records(records, dictionary, guess_budget)
 
     entries = list(dictionary.prioritized_entries(guess_budget))
     if not entries:
         raise AttackError("dictionary yielded no entries")
+    clicks = dictionary.tuple_length
     entry_points = as_point_array(
         [point for entry in entries for point in entry], scheme.dim
     )
-    kernel = scheme.batch()
+    # Pinned to numpy: the grind tiles public rows with host np.tile and
+    # hashes per located row — a device backend would only add transfers.
+    kernel = scheme.batch(xp=np)
 
     outcomes: List[StolenAccountOutcome] = []
     for username in sorted(records):
         stored = records[username]
-        if stored.clicks != dictionary.tuple_length:
-            raise AttackError(
-                f"record {username!r} has {stored.clicks} clicks, dictionary "
-                f"tuples have {dictionary.tuple_length}"
-            )
         public_rows = kernel.public_rows(stored.publics)
-        tiled_public = np.concatenate([public_rows] * len(entries), axis=0)
-        located = kernel.locate(entry_points, tiled_public).reshape(
-            len(entries), -1
-        )
         cracked = False
         hashed = 0
-        for row in located:
-            hashed += 1
-            if stored.record.matches(tuple(int(v) for v in row)):
-                cracked = True
+        for start in range(0, len(entries), GUESS_CHUNK):
+            stop = min(start + GUESS_CHUNK, len(entries))
+            chunk_points = entry_points[start * clicks : stop * clicks]
+            reps = stop - start
+            if public_rows.ndim == 1:  # robust: flat grid identifiers
+                tiled_public = np.tile(public_rows, reps)
+            else:
+                tiled_public = np.tile(public_rows, (reps, 1))
+            located = kernel.locate(chunk_points, tiled_public).reshape(reps, -1)
+            for row in located:
+                hashed += 1
+                if stored.record.matches(tuple(int(v) for v in row)):
+                    cracked = True
+                    break
+            if cracked:
                 break
         outcomes.append(
             StolenAccountOutcome(

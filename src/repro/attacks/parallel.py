@@ -1,0 +1,493 @@
+"""Process-sharded parallel attack engine (ROADMAP: multiprocessing shards).
+
+The offline attacks of §5.1 are embarrassingly parallel: every target
+password (known-identifier attack) and every stolen record (password-file
+grind) is decided independently of the others.  This module shards those
+workloads across ``concurrent.futures.ProcessPoolExecutor`` workers and
+merges the per-shard results deterministically, so scaling out never
+changes a single bit of the answer:
+
+* the target list is partitioned **contiguously in dataset order**
+  (:func:`partition_evenly`), each worker runs the ordinary serial attack
+  (:func:`~repro.attacks.offline.offline_attack_known_identifiers` /
+  :func:`~repro.attacks.offline.offline_attack_stolen_file`) on its shard,
+  and the merge concatenates outcomes in shard order — i.e. exactly the
+  serial iteration order — while summing the aggregate hash counters;
+* ``workers=1`` bypasses the pool entirely and calls the serial function,
+  so it is bit-identical to the serial path by construction, and any
+  ``workers`` produces the identical result by the merge argument above
+  (property-tested in ``tests/test_attacks_parallel.py``).
+
+Workers never receive live kernels, schemes or numpy arrays.  Each worker
+rebuilds its scheme, batch kernel and dictionary from a small picklable
+spec (:class:`SchemeSpec`, :class:`DictionarySpec`) holding only primitive
+JSON-encoded parameters — the same codec the password file itself uses —
+which keeps the pickled task payload tiny and start-method agnostic
+(fork and spawn both work).
+
+Worker failures are surfaced eagerly: any exception raised in a worker
+(or a broken pool) is re-raised in the caller as
+:class:`~repro.errors.AttackError` instead of hanging the merge.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.offline import (
+    OfflineAttackResult,
+    StolenFileAttackResult,
+    _validate_known_identifier_targets,
+    _validate_stolen_records,
+    offline_attack_known_identifiers,
+    offline_attack_stolen_file,
+    parse_password_file,
+)
+from repro.core.scheme import DiscretizationScheme
+from repro.crypto.encoding import scalar_from_json, scalar_to_json
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.passwords.system import StoredPassword
+from repro.study.dataset import PasswordSample
+
+__all__ = [
+    "DictionarySpec",
+    "SchemeSpec",
+    "ShardedAttackRunner",
+    "default_workers",
+    "merge_offline_results",
+    "merge_stolen_results",
+    "partition_evenly",
+]
+
+_Item = TypeVar("_Item")
+
+
+def default_workers() -> int:
+    """CPU-aware default worker count.
+
+    The schedulable CPU count (``os.sched_getaffinity``) where available —
+    a container pinned to 2 of 64 cores should default to 2 workers — and
+    ``os.cpu_count()`` elsewhere; never less than 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity support
+        return max(1, os.cpu_count() or 1)
+
+
+def partition_evenly(items: Sequence[_Item], shards: int) -> List[List[_Item]]:
+    """Split *items* into *shards* contiguous, near-even, non-empty runs.
+
+    The first ``len(items) % shards`` shards get one extra item.  Order is
+    preserved, so concatenating the shards reproduces *items* exactly —
+    the property the deterministic merge relies on.  *shards* must not
+    exceed ``len(items)``.
+    """
+    if shards < 1:
+        raise AttackError(f"shards must be >= 1, got {shards}")
+    if shards > len(items):
+        raise AttackError(
+            f"cannot split {len(items)} item(s) into {shards} non-empty shards"
+        )
+    base, extra = divmod(len(items), shards)
+    result: List[List[_Item]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        result.append(list(items[start : start + size]))
+        start += size
+    return result
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Picklable recipe for rebuilding a scheme inside a worker process.
+
+    Holds only primitive values (scheme kind, dimension, JSON-encoded
+    rational parameters) — never kernels, grids or numpy state — so the
+    pickled payload is a few hundred bytes and works under any
+    multiprocessing start method.
+
+    Attributes
+    ----------
+    kind:
+        ``"centered"``, ``"robust"`` or ``"static"``.
+    dim:
+        Scheme dimensionality.
+    r:
+        JSON-encoded exact tolerance (centered/robust); ``None`` for static.
+    cell_size, offset:
+        JSON-encoded static-grid geometry; ``None`` otherwise.
+    selection:
+        Robust grid-selection policy value; ``None`` otherwise.
+    """
+
+    kind: str
+    dim: int
+    r: Optional[object] = None
+    cell_size: Optional[object] = None
+    offset: Optional[object] = None
+    selection: Optional[str] = None
+
+    @classmethod
+    def from_scheme(
+        cls, scheme: DiscretizationScheme, for_enrollment: bool = True
+    ) -> "SchemeSpec":
+        """Describe *scheme* as primitives, or raise :class:`AttackError`.
+
+        With *for_enrollment* (the default), ``RANDOM_SAFE`` Robust
+        schemes are rejected: their rng is live process-local state, so
+        sharded enrollment could neither transport nor deterministically
+        replay it.  Locate-only workloads (the stolen-file grind never
+        enrolls) pass ``for_enrollment=False``, which normalizes
+        ``RANDOM_SAFE`` to ``MOST_CENTERED`` — ``locate`` is
+        selection-independent, so the rebuilt scheme behaves identically.
+        """
+        from repro.core.centered import CenteredDiscretization
+        from repro.core.robust import GridSelection, RobustDiscretization
+        from repro.core.static import StaticGridScheme
+
+        if isinstance(scheme, CenteredDiscretization):
+            return cls(kind="centered", dim=scheme.dim, r=scalar_to_json(scheme.r))
+        if isinstance(scheme, RobustDiscretization):
+            selection = scheme.selection
+            if selection is GridSelection.RANDOM_SAFE:
+                if for_enrollment:
+                    raise AttackError(
+                        "cannot shard a RANDOM_SAFE robust scheme: its rng is "
+                        "process-local state and cannot be replayed "
+                        "deterministically across workers"
+                    )
+                selection = GridSelection.MOST_CENTERED
+            return cls(
+                kind="robust",
+                dim=scheme.dim,
+                r=scalar_to_json(scheme.r),
+                selection=selection.value,
+            )
+        if isinstance(scheme, StaticGridScheme):
+            return cls(
+                kind="static",
+                dim=scheme.dim,
+                cell_size=scalar_to_json(scheme.cell_size),
+                offset=scalar_to_json(scheme.grid.offsets[0]),
+            )
+        raise AttackError(
+            f"cannot build a worker spec for scheme type {type(scheme).__name__}"
+        )
+
+    def build(self) -> DiscretizationScheme:
+        """Rebuild the scheme (workers call this once per shard)."""
+        from repro.core.centered import CenteredDiscretization
+        from repro.core.robust import GridSelection, RobustDiscretization
+        from repro.core.static import StaticGridScheme
+
+        if self.kind == "centered":
+            return CenteredDiscretization(self.dim, scalar_from_json(self.r))
+        if self.kind == "robust":
+            return RobustDiscretization(
+                self.dim,
+                scalar_from_json(self.r),
+                selection=GridSelection(self.selection),
+            )
+        if self.kind == "static":
+            return StaticGridScheme(
+                self.dim,
+                scalar_from_json(self.cell_size),
+                offset=scalar_from_json(self.offset),
+            )
+        raise AttackError(f"unknown scheme spec kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DictionarySpec:
+    """Picklable recipe for rebuilding the attack dictionary in a worker.
+
+    Carries the seed pool as JSON-encoded coordinate tuples (exact through
+    :func:`~repro.crypto.encoding.scalar_to_json`), not as
+    :class:`~repro.geometry.point.Point` objects or the dictionary's cached
+    numpy seed array — workers rebuild those themselves.
+    """
+
+    seed_points: Tuple[Tuple[object, ...], ...]
+    tuple_length: int
+    image_name: str
+
+    @classmethod
+    def from_dictionary(cls, dictionary: HumanSeededDictionary) -> "DictionarySpec":
+        """Describe *dictionary* as primitives."""
+        return cls(
+            seed_points=tuple(
+                tuple(scalar_to_json(coord) for coord in point)
+                for point in dictionary.seed_points
+            ),
+            tuple_length=dictionary.tuple_length,
+            image_name=dictionary.image_name,
+        )
+
+    def build(self) -> HumanSeededDictionary:
+        """Rebuild the dictionary (workers call this once per shard)."""
+        return HumanSeededDictionary(
+            seed_points=tuple(
+                Point.of(*(scalar_from_json(coord) for coord in coords))
+                for coords in self.seed_points
+            ),
+            tuple_length=self.tuple_length,
+            image_name=self.image_name,
+        )
+
+
+def merge_offline_results(
+    shards: Sequence[OfflineAttackResult],
+) -> OfflineAttackResult:
+    """Merge per-shard known-identifier results deterministically.
+
+    Outcomes are concatenated in shard order — shards are contiguous runs
+    of the target list, so this reproduces the serial dataset order —
+    and the modeled hash counters are summed.
+    """
+    if not shards:
+        raise AttackError("no shard results to merge")
+    first = shards[0]
+    return OfflineAttackResult(
+        scheme_name=first.scheme_name,
+        image_name=first.image_name,
+        outcomes=tuple(
+            outcome for shard in shards for outcome in shard.outcomes
+        ),
+        dictionary_bits=first.dictionary_bits,
+        hash_operations_modeled=sum(s.hash_operations_modeled for s in shards),
+    )
+
+
+def merge_stolen_results(
+    shards: Sequence[StolenFileAttackResult],
+) -> StolenFileAttackResult:
+    """Merge per-shard stolen-file results deterministically.
+
+    Shards are contiguous runs of the sorted username list, so shard-order
+    concatenation reproduces the serial (sorted) account order;
+    ``hash_operations`` is a derived sum and needs no merging.
+    """
+    if not shards:
+        raise AttackError("no shard results to merge")
+    first = shards[0]
+    return StolenFileAttackResult(
+        scheme_name=first.scheme_name,
+        guess_budget=first.guess_budget,
+        outcomes=tuple(
+            outcome for shard in shards for outcome in shard.outcomes
+        ),
+    )
+
+
+def _known_identifiers_shard(
+    scheme_spec: SchemeSpec,
+    dictionary_spec: DictionarySpec,
+    password_payloads: Tuple[dict, ...],
+    count_entries: bool,
+) -> OfflineAttackResult:
+    """Worker: serial known-identifier attack on one contiguous shard."""
+    scheme = scheme_spec.build()
+    dictionary = dictionary_spec.build()
+    passwords = [PasswordSample.from_json(payload) for payload in password_payloads]
+    return offline_attack_known_identifiers(
+        scheme, passwords, dictionary, count_entries=count_entries
+    )
+
+
+def _stolen_file_shard(
+    scheme_spec: SchemeSpec,
+    dictionary_spec: DictionarySpec,
+    record_payloads: Tuple[Tuple[str, dict], ...],
+    guess_budget: int,
+) -> StolenFileAttackResult:
+    """Worker: serial password-file grind on one contiguous shard."""
+    scheme = scheme_spec.build()
+    dictionary = dictionary_spec.build()
+    records = {
+        username: StoredPassword.from_json(payload)
+        for username, payload in record_payloads
+    }
+    return offline_attack_stolen_file(
+        scheme, records, dictionary, guess_budget=guess_budget
+    )
+
+
+@dataclass(frozen=True)
+class ShardedAttackRunner:
+    """Offline attacks sharded across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` (the default) resolves to
+        :func:`default_workers`.  With an effective count of 1 — or a
+        workload smaller than the worker count collapsing to 1 shard —
+        the serial attack function is called directly in-process, making
+        ``workers=1`` bit-identical to the serial path by construction.
+
+    The worker pool is created on the first parallel call and reused by
+    later ones (experiment sweeps pay process startup once); use the
+    runner as a context manager, or call :meth:`close`, to tear it down
+    deterministically.
+
+    >>> runner = ShardedAttackRunner(workers=1)
+    >>> runner.effective_workers
+    1
+    """
+
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise AttackError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def effective_workers(self) -> int:
+        """The resolved worker count (CPU-aware when ``workers`` is None)."""
+        return self.workers if self.workers is not None else default_workers()
+
+    # -- attacks -----------------------------------------------------------
+
+    def run_known_identifiers(
+        self,
+        scheme: DiscretizationScheme,
+        passwords: Sequence[PasswordSample],
+        dictionary: HumanSeededDictionary,
+        count_entries: bool = True,
+    ) -> OfflineAttackResult:
+        """Sharded :func:`~repro.attacks.offline.offline_attack_known_identifiers`.
+
+        Identical inputs produce identical results at every worker count —
+        which is also why ``RANDOM_SAFE`` Robust schemes are rejected here
+        *regardless* of worker count (their rng-driven enrollment cannot be
+        replayed across shards; accepting them only when the shard count
+        happens to collapse to 1 would make success host-dependent).  Use
+        the serial :func:`~repro.attacks.offline.offline_attack_known_identifiers`
+        directly for RANDOM_SAFE ablations.
+        """
+        self._reject_random_safe(scheme)
+        passwords = list(passwords)
+        _validate_known_identifier_targets(scheme, passwords, dictionary)
+        shard_count = min(self.effective_workers, len(passwords))
+        if shard_count <= 1:
+            return offline_attack_known_identifiers(
+                scheme, passwords, dictionary, count_entries=count_entries
+            )
+        scheme_spec = SchemeSpec.from_scheme(scheme)
+        dictionary_spec = DictionarySpec.from_dictionary(dictionary)
+        tasks = [
+            (
+                scheme_spec,
+                dictionary_spec,
+                tuple(password.to_json() for password in shard),
+                count_entries,
+            )
+            for shard in partition_evenly(passwords, shard_count)
+        ]
+        return merge_offline_results(self._map(_known_identifiers_shard, tasks))
+
+    def run_stolen_file(
+        self,
+        scheme: DiscretizationScheme,
+        stolen: Union[str, Mapping[str, StoredPassword]],
+        dictionary: HumanSeededDictionary,
+        guess_budget: int = 1000,
+    ) -> StolenFileAttackResult:
+        """Sharded :func:`~repro.attacks.offline.offline_attack_stolen_file`.
+
+        The stolen-record map is partitioned over its sorted usernames —
+        the serial iteration order — so the merged outcome tuple matches
+        the serial result exactly at any worker count.  The grind never
+        enrolls, so even ``RANDOM_SAFE`` Robust schemes shard fine
+        (``locate`` is selection-independent).
+        """
+        records = (
+            parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
+        )
+        _validate_stolen_records(records, dictionary, guess_budget)
+        usernames = sorted(records)
+        shard_count = min(self.effective_workers, len(usernames))
+        if shard_count <= 1:
+            return offline_attack_stolen_file(
+                scheme, records, dictionary, guess_budget=guess_budget
+            )
+        scheme_spec = SchemeSpec.from_scheme(scheme, for_enrollment=False)
+        dictionary_spec = DictionarySpec.from_dictionary(dictionary)
+        tasks = [
+            (
+                scheme_spec,
+                dictionary_spec,
+                tuple((username, records[username].to_json()) for username in shard),
+                guess_budget,
+            )
+            for shard in partition_evenly(usernames, shard_count)
+        ]
+        return merge_stolen_results(self._map(_stolen_file_shard, tasks))
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _reject_random_safe(scheme: DiscretizationScheme) -> None:
+        """Reject rng-driven enrollment consistently, at every worker count."""
+        from repro.core.robust import GridSelection, RobustDiscretization
+
+        if (
+            isinstance(scheme, RobustDiscretization)
+            and scheme.selection is GridSelection.RANDOM_SAFE
+        ):
+            raise AttackError(
+                "cannot shard a RANDOM_SAFE robust scheme: its rng is "
+                "process-local state and cannot be replayed deterministically "
+                "across workers (use the serial attack for RANDOM_SAFE)"
+            )
+
+    def _map(self, worker, tasks):
+        """Run one worker task per shard; re-raise failures as AttackError.
+
+        The pool is created lazily and reused across ``run_*`` calls (the
+        :class:`HumanSeededDictionary.seed_array` cache idiom: stashed in
+        ``__dict__`` of the frozen dataclass), so experiment sweeps making
+        many attack calls pay worker startup once, not per call.  A broken
+        pool is discarded so the next call starts fresh.
+
+        ``future.result()`` re-raises worker exceptions in the caller, so a
+        dying worker (or a broken pool) fails the whole attack immediately
+        rather than hanging the merge.
+        """
+        pool = self.__dict__.get("_pool")
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.effective_workers)
+            self.__dict__["_pool"] = pool
+        try:
+            futures = [pool.submit(worker, *task) for task in tasks]
+            return [future.result() for future in futures]
+        except AttackError:
+            raise
+        except Exception as exc:
+            if isinstance(exc, BrokenExecutor):
+                self.close()
+            raise AttackError(f"parallel attack worker failed: {exc}") from exc
+
+    def close(self) -> None:
+        """Shut down the reused worker pool (safe to call repeatedly).
+
+        Without an explicit close the pool is torn down when the runner is
+        garbage-collected; ``with ShardedAttackRunner(...) as runner:``
+        scopes it deterministically.
+        """
+        pool = self.__dict__.pop("_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedAttackRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -9,6 +9,8 @@ Subcommands:
   study;
 * ``repro demo`` — the quickstart: enroll and verify a password under both
   schemes;
+* ``repro attack`` — the §5.1 known-identifier dictionary attack on the
+  simulated field study, sharded across worker processes (``--workers``);
 * ``repro store create/login/dump/attack`` — operate a persistent password
   store on a backend URI (``memory:``, ``sqlite:PATH``, ``jsonl:PATH``,
   ``shards:sqlite:PREFIX{0..N}.db``): enroll a simulated population
@@ -81,6 +83,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("demo", help="enroll/verify a password under both schemes")
 
+    attack_top = sub.add_parser(
+        "attack",
+        help="known-identifier dictionary attack, sharded across processes",
+    )
+    attack_top.add_argument(
+        "--scheme",
+        choices=["centered", "robust", "static"],
+        default="centered",
+        help="discretization scheme (default: centered)",
+    )
+    attack_top.add_argument(
+        "--image",
+        choices=["cars", "pool"],
+        default="cars",
+        help="canonical study image (default: cars)",
+    )
+    attack_top.add_argument(
+        "--tolerance", type=int, default=9, help="pixel tolerance r (default: 9)"
+    )
+    attack_top.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: one per schedulable CPU)",
+    )
+    attack_top.add_argument(
+        "--victims",
+        type=int,
+        default=None,
+        help="attack only the first N dataset passwords (default: all)",
+    )
+
     store_parser = sub.add_parser(
         "store", help="operate a password store on a backend URI"
     )
@@ -134,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=500,
         help="hash-guess budget per account (default: 500)",
+    )
+    attack_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: one per schedulable CPU)",
     )
 
     serve_parser = sub.add_parser(
@@ -423,8 +463,48 @@ def _cmd_store_dump(uri: str) -> int:
     return 0
 
 
-def _cmd_store_attack(uri: str, budget: int) -> int:
-    from repro.attacks.offline import offline_attack_stolen_file
+def _cmd_attack(
+    scheme_name: str,
+    image: str,
+    tolerance: int,
+    workers: Optional[int],
+    victims: Optional[int],
+) -> int:
+    from repro.attacks.parallel import ShardedAttackRunner
+    from repro.errors import ReproError
+    from repro.experiments.common import default_dataset, default_dictionary
+
+    if victims is not None and victims < 1:
+        print(f"error: --victims must be >= 1, got {victims}", file=sys.stderr)
+        return 2
+    try:
+        scheme = _scheme_named(scheme_name, tolerance)
+        passwords = default_dataset().passwords_on(image)
+        if victims is not None:
+            passwords = passwords[:victims]
+        dictionary = default_dictionary(image)
+        runner = ShardedAttackRunner(workers=workers)
+        result = runner.run_known_identifiers(scheme, passwords, dictionary)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    used = min(runner.effective_workers, result.attacked)
+    print(
+        f"known-identifier attack on {image!r} under {result.scheme_name}: "
+        f"{result.attacked} passwords, {result.dictionary_bits:.1f}-bit "
+        f"dictionary, {used} worker(s)"
+    )
+    print(
+        f"cracked {result.cracked}/{result.attacked} "
+        f"({result.cracked_fraction:.1%}), mean matching entries "
+        f"{result.mean_matching_entries:.1f}, modeled hashes "
+        f"{result.hash_operations_modeled:,}"
+    )
+    return 0
+
+
+def _cmd_store_attack(uri: str, budget: int, workers: Optional[int]) -> int:
+    from repro.attacks.parallel import ShardedAttackRunner
     from repro.errors import ReproError
     from repro.experiments.common import default_dictionary
     from repro.passwords.storage import backend_from_uri
@@ -438,7 +518,8 @@ def _cmd_store_attack(uri: str, budget: int) -> int:
         store = _store_for_backend(backend)
         payload = backend.dump()  # the theft: any backend, same artifact
         dictionary = default_dictionary(backend.get_meta("image"))
-        result = offline_attack_stolen_file(
+        runner = ShardedAttackRunner(workers=workers)
+        result = runner.run_stolen_file(
             store.system.scheme, payload, dictionary, guess_budget=budget
         )
     except ReproError as exc:
@@ -448,7 +529,8 @@ def _cmd_store_attack(uri: str, budget: int) -> int:
         backend.close()
     print(
         f"stolen file from {uri}: {result.attacked} records, "
-        f"budget {budget} guesses/record under {result.scheme_name}"
+        f"budget {budget} guesses/record under {result.scheme_name}, "
+        f"{min(runner.effective_workers, result.attacked)} worker(s)"
     )
     for outcome in result.outcomes:
         status = "CRACKED" if outcome.cracked else "survived"
@@ -593,6 +675,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args.out, args.experiments)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "attack":
+        return _cmd_attack(
+            args.scheme, args.image, args.tolerance, args.workers, args.victims
+        )
     if args.command == "store":
         if args.store_command == "create":
             return _cmd_store_create(
@@ -603,7 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.store_command == "dump":
             return _cmd_store_dump(args.uri)
         if args.store_command == "attack":
-            return _cmd_store_attack(args.uri, args.budget)
+            return _cmd_store_attack(args.uri, args.budget, args.workers)
     if args.command == "serve":
         return _cmd_serve(
             args.uri, args.host, args.port, args.max_batch, args.flush_interval

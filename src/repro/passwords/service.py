@@ -144,7 +144,9 @@ class VerificationService:
         self._max_batch = max_batch
         self._pending: List[Tuple[str, Sequence[Point], _AccountMaterial]] = []
         self._materials: Dict[str, _AccountMaterial] = {}
-        self._kernel = store.system.scheme.batch()
+        # Pinned to numpy: flush interleaves kernel output with per-row
+        # hashing and throttle bookkeeping on the host.
+        self._kernel = store.system.scheme.batch(xp=np)
 
     @property
     def store(self) -> PasswordStore:

@@ -211,3 +211,46 @@ class TestEnumerateAll:
         dictionary = HumanSeededDictionary.from_lab_passwords(lab)
         with pytest.raises(AttackError):
             next(dictionary.enumerate_all())
+
+
+class TestInjectiveCountMemoization:
+    def test_position_permutation_invariance(self):
+        """The permanent is invariant under position order — so is the cache key."""
+        match_sets = [[0, 1, 2], [1, 2], [0, 4], [3], [2, 3, 4]]
+        base = HumanSeededDictionary.count_injective_assignments(match_sets)
+        for permuted in itertools.permutations(match_sets):
+            assert (
+                HumanSeededDictionary.count_injective_assignments(list(permuted))
+                == base
+            )
+
+    def test_singleton_and_empty_short_circuits(self):
+        """Peeling singletons / zeroing empties agrees with brute force."""
+        cases = [
+            [[0], [0, 1], [1, 2], [2, 3], [3, 4]],  # chained singletons
+            [[4], [4], [0, 1], [1, 2], [2, 3]],  # conflicting singletons -> 0
+            [[0, 1], [], [2, 3], [3, 4], [4, 5]],  # empty position -> 0
+            [[0], [1], [2], [3], [4]],  # fully forced -> 1
+        ]
+        for match_sets in cases:
+            expected = brute_force(match_sets, 8, len(match_sets))
+            assert (
+                HumanSeededDictionary.count_injective_assignments(match_sets)
+                == expected
+            )
+
+    def test_cache_hits_do_not_change_results(self):
+        from repro.attacks.dictionary import _count_injective_cached
+
+        match_sets = [[0, 1, 5], [1, 2], [2, 3, 5], [3, 4], [4, 0]]
+        first = HumanSeededDictionary.count_injective_assignments(match_sets)
+        info_before = _count_injective_cached.cache_info()
+        second = HumanSeededDictionary.count_injective_assignments(match_sets)
+        info_after = _count_injective_cached.cache_info()
+        assert first == second == brute_force(match_sets, 6, 5)
+        assert info_after.hits == info_before.hits + 1
+
+    def test_duplicate_indices_within_a_position_are_deduplicated(self):
+        assert HumanSeededDictionary.count_injective_assignments(
+            [[0, 0, 1], [1, 1]]
+        ) == HumanSeededDictionary.count_injective_assignments([[0, 1], [1]])

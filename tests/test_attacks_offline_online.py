@@ -375,3 +375,50 @@ class TestOnlineAttack:
             online_attack(store, dictionary, guess_budget=0)
         with pytest.raises(AttackError):
             online_attack(store, dictionary, usernames=(), guess_budget=5)
+
+
+class TestExpectedGuessRank:
+    def _result(self):
+        """Small attack whose dictionary size and match counts are known."""
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        target = password_at(0, points)
+        seeds = tuple(points) + tuple(Point.xy(600, 20 + 30 * i) for i in range(2))
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        return (
+            offline_attack_known_identifiers(scheme, [target], dictionary),
+            dictionary,
+        )
+
+    def test_dictionary_entries_recovers_exact_size(self):
+        result, dictionary = self._result()
+        assert result.dictionary_entries == dictionary.entry_count
+
+    def test_formula_matches_docstring(self):
+        """expected_guess_rank is (N+1)/(m+1), not raw m."""
+        result, dictionary = self._result()
+        outcome = result.outcomes[0]
+        assert outcome.cracked and outcome.matching_entries >= 1
+        n, m = dictionary.entry_count, outcome.matching_entries
+        assert result.expected_guess_rank(outcome) == (n + 1) / (m + 1)
+        # Sanity bounds: at least 1 guess, at most the whole dictionary + 1.
+        assert 1.0 <= result.expected_guess_rank(outcome) <= n + 1
+
+    def test_uncracked_password_costs_the_whole_dictionary(self):
+        result, dictionary = self._result()
+        from repro.attacks.offline import PasswordAttackOutcome
+
+        survivor = PasswordAttackOutcome(
+            password_id=7, cracked=False, matching_entries=0
+        )
+        assert result.expected_guess_rank(survivor) == dictionary.entry_count + 1
+
+    def test_negative_match_count_rejected(self):
+        result, _ = self._result()
+        from repro.attacks.offline import PasswordAttackOutcome
+
+        bad = PasswordAttackOutcome(password_id=1, cracked=True, matching_entries=-1)
+        with pytest.raises(AttackError):
+            result.expected_guess_rank(bad)

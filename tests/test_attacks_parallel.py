@@ -1,0 +1,299 @@
+"""Tests for the process-sharded parallel attack engine.
+
+The load-bearing property is *determinism*: any worker count must produce
+results bit-identical to the serial attack functions — same outcome
+tuples, same aggregate counters — across all three schemes.  Alongside
+it: worker failures must surface as :class:`AttackError` in the caller
+(never hang the merge), and the picklable specs must rebuild schemes and
+dictionaries exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.offline import (
+    offline_attack_known_identifiers,
+    offline_attack_stolen_file,
+)
+from repro.attacks.parallel import (
+    DictionarySpec,
+    SchemeSpec,
+    ShardedAttackRunner,
+    default_workers,
+    merge_offline_results,
+    merge_stolen_results,
+    partition_evenly,
+)
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import GridSelection, RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.store import PasswordStore
+from repro.study.dataset import PasswordSample
+from repro.study.image import cars_image
+
+SCHEMES = [
+    CenteredDiscretization.for_pixel_tolerance(2, 9),
+    RobustDiscretization.for_pixel_tolerance(2, 9),
+    StaticGridScheme(dim=2, cell_size=19),
+]
+
+
+def _passwords(count=7):
+    """Small spread-out password set on the cars image."""
+    return [
+        PasswordSample(
+            password_id=pid,
+            user_id=pid,
+            image_name="cars",
+            points=tuple(
+                Point.xy(40 + 50 * ((pid + i) % 9), 45 + 35 * ((pid * 2 + i) % 8))
+                for i in range(5)
+            ),
+        )
+        for pid in range(count)
+    ]
+
+
+def _dictionary(passwords):
+    """Seed pool: the first two passwords' points plus noise → some cracks."""
+    seeds = []
+    for password in passwords[:2]:
+        seeds.extend(password.points)
+    seeds.extend(Point.xy(7 + 11 * i, 310) for i in range(4))
+    return HumanSeededDictionary(
+        seed_points=tuple(seeds), tuple_length=5, image_name="cars"
+    )
+
+
+def _stolen_store(scheme, accounts):
+    system = PassPointsSystem(image=cars_image(), scheme=scheme)
+    store = PasswordStore(system=system)
+    for username, points in accounts.items():
+        store.create_account(username, points)
+    return store
+
+
+class TestPartitionEvenly:
+    def test_concatenation_reproduces_input(self):
+        items = list(range(11))
+        for shards in (1, 2, 3, 4, 11):
+            parts = partition_evenly(items, shards)
+            assert len(parts) == shards
+            assert [x for part in parts for x in part] == items
+            assert all(parts)  # no empty shard
+            sizes = [len(part) for part in parts]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            partition_evenly([1, 2], 0)
+        with pytest.raises(AttackError):
+            partition_evenly([1, 2], 3)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+    def test_scheme_spec_rebuilds_equivalently(self, scheme):
+        """Rebuilt schemes enroll pixel points to identical discretizations."""
+        rebuilt = SchemeSpec.from_scheme(scheme).build()
+        assert type(rebuilt) is type(scheme)
+        assert rebuilt.dim == scheme.dim
+        assert rebuilt.cell_size == scheme.cell_size
+        for point in (Point.xy(123, 45), Point.xy(0, 0), Point.xy(614, 471)):
+            assert rebuilt.enroll(point) == scheme.enroll(point)
+
+    def test_scheme_spec_preserves_robust_selection(self):
+        scheme = RobustDiscretization(
+            2, 9, selection=GridSelection.FIRST_SAFE
+        )
+        rebuilt = SchemeSpec.from_scheme(scheme).build()
+        assert rebuilt.selection is GridSelection.FIRST_SAFE
+
+    def test_random_safe_rejected_for_enrollment_only(self):
+        scheme = RobustDiscretization(
+            2, 9, selection=GridSelection.RANDOM_SAFE, rng=lambda: 0.5
+        )
+        with pytest.raises(AttackError, match="RANDOM_SAFE"):
+            SchemeSpec.from_scheme(scheme)
+        # Locate-only workloads normalize the policy away: locate never
+        # consults the selection, so the rebuilt scheme behaves identically.
+        rebuilt = SchemeSpec.from_scheme(scheme, for_enrollment=False).build()
+        assert rebuilt.selection is GridSelection.MOST_CENTERED
+        assert rebuilt.cell_size == scheme.cell_size
+
+    def test_unknown_scheme_and_kind_rejected(self):
+        with pytest.raises(AttackError):
+            SchemeSpec.from_scheme(object())  # type: ignore[arg-type]
+        with pytest.raises(AttackError):
+            SchemeSpec(kind="nope", dim=2).build()
+
+    def test_dictionary_spec_roundtrip(self):
+        dictionary = _dictionary(_passwords())
+        rebuilt = DictionarySpec.from_dictionary(dictionary).build()
+        assert rebuilt == dictionary
+        assert rebuilt.entry_count == dictionary.entry_count
+
+
+class TestShardDeterminism:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+    def test_known_identifiers_identical_across_worker_counts(self, scheme):
+        """workers ∈ {1, 2, 4} ⇒ identical OfflineAttackResult."""
+        passwords = _passwords(7)
+        dictionary = _dictionary(passwords)
+        serial = offline_attack_known_identifiers(scheme, passwords, dictionary)
+        for workers in (1, 2, 4):
+            runner = ShardedAttackRunner(workers=workers)
+            result = runner.run_known_identifiers(scheme, passwords, dictionary)
+            assert result == serial
+        assert serial.cracked >= 1  # the seeded targets actually fall
+
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+    def test_stolen_file_identical_across_worker_counts(self, scheme):
+        """workers ∈ {1, 2, 4} ⇒ identical StolenFileAttackResult."""
+        passwords = _passwords(5)
+        dictionary = _dictionary(passwords)
+        store = _stolen_store(
+            scheme,
+            {f"user{p.password_id}": list(p.points) for p in passwords},
+        )
+        payload = store.dump_records()
+        serial = offline_attack_stolen_file(
+            scheme, payload, dictionary, guess_budget=40
+        )
+        for workers in (1, 2, 4):
+            runner = ShardedAttackRunner(workers=workers)
+            result = runner.run_stolen_file(
+                scheme, payload, dictionary, guess_budget=40
+            )
+            assert result == serial
+
+    def test_merge_reassembles_serial_result(self):
+        """Merging shard-run serial results equals the one-shot serial run."""
+        passwords = _passwords(6)
+        dictionary = _dictionary(passwords)
+        scheme = SCHEMES[0]
+        whole = offline_attack_known_identifiers(scheme, passwords, dictionary)
+        parts = [
+            offline_attack_known_identifiers(scheme, shard, dictionary)
+            for shard in partition_evenly(passwords, 3)
+        ]
+        assert merge_offline_results(parts) == whole
+
+    def test_merge_validation(self):
+        with pytest.raises(AttackError):
+            merge_offline_results([])
+        with pytest.raises(AttackError):
+            merge_stolen_results([])
+
+
+class TestWorkerFailure:
+    def test_worker_exception_surfaces_as_attack_error(self):
+        """A failure inside a worker raises AttackError — it never hangs."""
+        robust = RobustDiscretization.for_pixel_tolerance(2, 9)
+        passwords = _passwords(4)
+        dictionary = _dictionary(passwords)
+        store = _stolen_store(
+            robust, {f"user{p.password_id}": list(p.points) for p in passwords}
+        )
+        payload = store.dump_records()
+        # Attacking robust-enrolled records with a centered scheme blows up
+        # only inside the worker (the pre-flight checks pass: 2-D scheme,
+        # matching click counts) — the kernel rejects the public material.
+        centered = CenteredDiscretization.for_pixel_tolerance(2, 9)
+        with pytest.raises(AttackError):
+            ShardedAttackRunner(workers=2).run_stolen_file(
+                centered, payload, dictionary, guess_budget=10
+            )
+
+    def test_random_safe_rejected_at_every_worker_count(self):
+        """Not just when forking happens — success must not be host-dependent."""
+        scheme = RobustDiscretization(
+            2, 9, selection=GridSelection.RANDOM_SAFE, rng=lambda: 0.5
+        )
+        passwords = _passwords(4)
+        for workers in (1, 2):
+            with pytest.raises(AttackError, match="RANDOM_SAFE"):
+                ShardedAttackRunner(workers=workers).run_known_identifiers(
+                    scheme, passwords, _dictionary(passwords)
+                )
+
+    def test_random_safe_stolen_file_shards_fine(self):
+        """The grind never enrolls, so rng-selection schemes shard anyway."""
+        scheme = RobustDiscretization(
+            2, 9, selection=GridSelection.RANDOM_SAFE, rng=lambda: 0.5
+        )
+        passwords = _passwords(4)
+        dictionary = _dictionary(passwords)
+        store = _stolen_store(
+            scheme, {f"user{p.password_id}": list(p.points) for p in passwords}
+        )
+        payload = store.dump_records()
+        serial = offline_attack_stolen_file(
+            scheme, payload, dictionary, guess_budget=30
+        )
+        for workers in (1, 2, 4):
+            result = ShardedAttackRunner(workers=workers).run_stolen_file(
+                scheme, payload, dictionary, guess_budget=30
+            )
+            assert result == serial
+
+    def test_input_validation_matches_serial(self):
+        passwords = _passwords(4)
+        dictionary = _dictionary(passwords)
+        runner = ShardedAttackRunner(workers=2)
+        with pytest.raises(AttackError):
+            ShardedAttackRunner(workers=0)
+        with pytest.raises(AttackError):
+            runner.run_known_identifiers(SCHEMES[0], [], dictionary)
+        with pytest.raises(AttackError):
+            runner.run_known_identifiers(
+                StaticGridScheme(dim=3, cell_size=19), passwords, dictionary
+            )
+        mixed = passwords[:3] + [
+            PasswordSample(
+                password_id=99,
+                user_id=99,
+                image_name="pool",
+                points=passwords[0].points,
+            )
+        ]
+        with pytest.raises(AttackError):
+            runner.run_known_identifiers(SCHEMES[0], mixed, dictionary)
+        with pytest.raises(AttackError):
+            runner.run_stolen_file(SCHEMES[0], "{}", dictionary)
+        with pytest.raises(AttackError):
+            runner.run_stolen_file(
+                SCHEMES[0], {}, dictionary, guess_budget=0
+            )
+
+
+class TestDefaults:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_effective_workers(self):
+        assert ShardedAttackRunner(workers=3).effective_workers == 3
+        assert ShardedAttackRunner().effective_workers == default_workers()
+
+    def test_pool_reused_across_calls_and_closed(self):
+        """Consecutive parallel calls share one executor; close() drops it."""
+        passwords = _passwords(6)
+        dictionary = _dictionary(passwords)
+        with ShardedAttackRunner(workers=2) as runner:
+            first = runner.run_known_identifiers(
+                SCHEMES[0], passwords, dictionary
+            )
+            pool = runner.__dict__.get("_pool")
+            assert pool is not None
+            second = runner.run_known_identifiers(
+                SCHEMES[0], passwords, dictionary
+            )
+            assert runner.__dict__.get("_pool") is pool
+            assert first == second
+        assert runner.__dict__.get("_pool") is None
+        runner.close()  # idempotent

@@ -189,3 +189,25 @@ class TestDemo:
         robust_line = next(l for l in out.splitlines() if "robust" in l)
         assert "14px-off login: False" in centered_line
         assert "14px-off login: True" in robust_line
+
+
+class TestAttackCommand:
+    def test_known_identifier_attack_runs_sharded(self, capsys):
+        assert main(
+            ["attack", "--victims", "6", "--workers", "2", "--tolerance", "9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "known-identifier attack" in out
+        assert "2 worker(s)" in out
+        assert "cracked" in out
+
+    def test_store_attack_accepts_workers_flag(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'attack.db'}"
+        assert main(["store", "create", uri, "--users", "4"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "attack", uri, "--budget", "10", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stolen file" in out
+        assert "2 worker(s)" in out
