@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench attack-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -32,6 +32,11 @@ serve-bench:
 ## Parallel attack gate only; regenerates benchmarks/reports/attack_throughput.txt.
 attack-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_attacks.py -q
+
+## Defense-layer gate (neutral cell < 5% serving cost); regenerates
+## benchmarks/reports/defense_matrix.txt with the full defense/attack matrix.
+defense-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_defense.py -q
 
 ## Execute every example end-to-end.
 examples:

@@ -1,0 +1,144 @@
+"""Benchmark: the neutral defense cell must be free.
+
+The ISSUE-6 defender-side gate: a store deployed with
+``DefenseConfig.none()`` — every knob off — must serve the batched login
+stream at no more than **5%** cost against the undefended store that the
+prior serving gates (``test_bench_store.py``, ``test_bench_serving.py``)
+price.  The defense layer's hot-path checks are hoisted per flush, so
+the neutral cell runs the same instruction stream as the seed code; this
+gate keeps it that way.
+
+The full defense/attack matrix sweep is archived alongside the gate in
+``benchmarks/reports/defense_matrix.txt`` — per cell, the attacker's
+cost per cracked account on the online and stolen-file paths, and the
+defender's verification/refusal cost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.attacks.economics import defense_matrix_sweep, render_defense_matrix
+from repro.core import CenteredDiscretization
+from repro.geometry.point import Point
+from repro.passwords import (
+    DefenseConfig,
+    LockoutPolicy,
+    PassPointsSystem,
+    PasswordStore,
+    VerificationService,
+    VirtualClock,
+)
+from repro.study.image import cars_image
+
+ATTEMPTS = 6_000
+ACCOUNTS = 25
+ROUNDS = 5  # best-of, interleaved, to shield the 5% gate from noise
+OVERHEAD_CEILING = 0.05
+
+
+def _workload():
+    image = cars_image()
+    rng = np.random.default_rng(2008)
+
+    def password():
+        return [
+            Point.xy(int(x), int(y))
+            for x, y in zip(
+                rng.integers(30, image.width - 30, size=5),
+                rng.integers(30, image.height - 30, size=5),
+            )
+        ]
+
+    accounts = {f"user{i}": password() for i in range(ACCOUNTS)}
+    stream = []
+    names = sorted(accounts)
+    for _ in range(ATTEMPTS):
+        username = names[int(rng.integers(ACCOUNTS))]
+        points = accounts[username]
+        if rng.random() < 0.25:
+            attempt = [Point.xy(int(p.x) - 25, int(p.y) + 25) for p in points]
+        else:
+            attempt = list(points)
+        stream.append((username, attempt))
+    return accounts, stream
+
+
+def _fresh_service(accounts, **defense_kwargs):
+    system = PassPointsSystem(
+        image=cars_image(),
+        scheme=CenteredDiscretization.for_pixel_tolerance(2, 9),
+    )
+    store = PasswordStore(
+        system=system, policy=LockoutPolicy(max_failures=None), **defense_kwargs
+    )
+    for username, points in accounts.items():
+        store.create_account(username, points)
+    return VerificationService(store, max_batch=1024)
+
+
+def _time_run(accounts, stream, **defense_kwargs):
+    service = _fresh_service(accounts, **defense_kwargs)
+    start = time.perf_counter()
+    outcomes = service.login_many(stream)
+    seconds = time.perf_counter() - start
+    return seconds, outcomes
+
+
+def test_neutral_cell_serving_cost(reports_dir, capsys):
+    """DefenseConfig.none() costs < 5% batched serving throughput."""
+    accounts, stream = _workload()
+    neutral = dict(defense=DefenseConfig.none(), clock=VirtualClock())
+
+    # Warm both paths (kernel dispatch, account material), then interleave
+    # timed rounds so drift hits both stores alike.
+    _time_run(accounts, stream[:200])
+    _time_run(accounts, stream[:200], **neutral)
+    plain_best = neutral_best = None
+    for _ in range(ROUNDS):
+        plain_seconds, plain_outcomes = _time_run(accounts, stream)
+        neutral_seconds, neutral_outcomes = _time_run(accounts, stream, **neutral)
+        plain_best = min(plain_best or plain_seconds, plain_seconds)
+        neutral_best = min(neutral_best or neutral_seconds, neutral_seconds)
+    # Not just fast — identical: same decisions, never challenged.
+    assert [o.status for o in neutral_outcomes] == [
+        o.status for o in plain_outcomes
+    ]
+    assert all(not o.captcha for o in neutral_outcomes)
+
+    overhead = neutral_best / plain_best - 1.0
+    matrix = defense_matrix_sweep()
+    lines = [
+        f"defense layer cost — {ATTEMPTS:,}-attempt batched stream, "
+        f"{ACCOUNTS} accounts, best of {ROUNDS} interleaved rounds",
+        "",
+        f"  undefended store : {plain_best:.3f} s "
+        f"({ATTEMPTS / plain_best:,.0f} logins/s)",
+        f"  neutral cell     : {neutral_best:.3f} s "
+        f"({ATTEMPTS / neutral_best:,.0f} logins/s)",
+        f"  overhead         : {overhead:+.2%} (gate: < {OVERHEAD_CEILING:.0%})",
+        "",
+        render_defense_matrix(matrix),
+        "",
+        "Gate: a store deployed with DefenseConfig.none() must match the",
+        "undefended baseline within 5% on the batched serving path (and",
+        "decide identically).  The matrix above prices every non-neutral",
+        "cell: online/offline attacker cost per cracked account vs the",
+        "defender's verification cost.  See benchmarks/test_bench_defense.py.",
+    ]
+    text = "\n".join(lines)
+    with capsys.disabled():
+        print()
+        print(text)
+    with open(
+        os.path.join(reports_dir, "defense_matrix.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(text + "\n")
+
+    assert overhead < OVERHEAD_CEILING, (
+        f"neutral defense cell costs {overhead:.2%} serving throughput "
+        f"(gate: < {OVERHEAD_CEILING:.0%})"
+    )

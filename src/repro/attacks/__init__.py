@@ -22,8 +22,12 @@ from repro.attacks.divide_conquer import (
 )
 from repro.attacks.economics import (
     CrackingCostEstimate,
+    DefenseCell,
+    default_defense_cells,
+    defense_matrix_sweep,
     expected_guesses_to_crack,
     offline_cracking_cost,
+    render_defense_matrix,
     summarize_attack_economics,
 )
 from repro.attacks.hotspot import (
@@ -49,7 +53,7 @@ from repro.attacks.offline import (
     offline_attack_stolen_file,
     parse_password_file,
 )
-from repro.attacks.online import OnlineAttackResult, online_attack
+from repro.attacks.online import AccountOutcome, OnlineAttackResult, online_attack
 from repro.attacks.parallel import (
     DictionarySpec,
     SchemeSpec,
@@ -62,7 +66,12 @@ from repro.attacks.parallel import (
 from repro.attacks.shoulder import ShoulderSurfResult, shoulder_surf_attack
 
 __all__ = [
+    "AccountOutcome",
     "CrackingCostEstimate",
+    "DefenseCell",
+    "default_defense_cells",
+    "defense_matrix_sweep",
+    "render_defense_matrix",
     "HarvestedHotspot",
     "HumanSeededDictionary",
     "LeakageRanking",

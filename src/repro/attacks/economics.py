@@ -13,24 +13,45 @@ Turns the paper's security comparisons into operational numbers:
 These close the loop between the paper's bit-counting arguments and the
 concrete question a deployer asks: "how long does a stolen password file
 survive?"
+
+The **defense matrix** (:func:`defense_matrix_sweep`, CLI ``repro
+defense-matrix``) extends the loop to deployment countermeasures: every
+:class:`~repro.passwords.defense.DefenseConfig` cell is run against both
+the online attack (live, throttled interface) and the stolen-file grind,
+and the report prices each cell on two axes — attacker cost per cracked
+account, defender verification-throughput cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.dictionary import HumanSeededDictionary
-from repro.attacks.offline import OfflineAttackResult, hash_only_work_factor
+from repro.attacks.offline import (
+    OfflineAttackResult,
+    hash_only_work_factor,
+    offline_attack_stolen_file,
+)
+from repro.attacks.online import online_attack
 from repro.core.scheme import DiscretizationScheme
 from repro.crypto.hashing import Hasher
-from repro.errors import AttackError
+from repro.errors import AttackError, RateLimitError
+from repro.geometry.point import Point
+from repro.passwords.defense import DefenseConfig, VirtualClock
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.store import PasswordStore
 
 __all__ = [
     "expected_guesses_to_crack",
     "CrackingCostEstimate",
     "offline_cracking_cost",
     "summarize_attack_economics",
+    "DefenseCell",
+    "DEFENSE_MATRIX_PEPPER",
+    "default_defense_cells",
+    "defense_matrix_sweep",
+    "render_defense_matrix",
 ]
 
 #: A mid-range GPU's SHA-256 throughput, order of magnitude (hashes/second).
@@ -124,19 +145,22 @@ def summarize_attack_economics(
     """Combine an attack outcome with its cost model.
 
     Returns crackable fraction, mean/median expected guesses for the
-    crackable passwords, and the wall-clock budget to fully process the
-    attacked set.
+    crackable passwords, the wall-clock budget to fully process the
+    attacked set, and the **per-cracked-account** attacker cost.
+
+    Per-account cost is priced off
+    :meth:`~repro.attacks.offline.OfflineAttackResult.expected_guess_rank`
+    (``(N+1)/(m+1)`` expected guesses until the first hit), *not* the
+    full-dictionary budget: an attacker stops at the first match, so
+    billing each cracked account the whole enumeration
+    (``hashes_per_password``) overstates the per-account price by orders
+    of magnitude for popular passwords.
     """
-    expectations = []
-    for outcome in result.outcomes:
-        if outcome.cracked and outcome.matching_entries > 0:
-            expectations.append(
-                expected_guesses_to_crack(
-                    outcome.matching_entries, result.hash_operations_modeled
-                    // max(1, result.attacked)
-                )
-            )
-    expectations = [e for e in expectations if e is not None]
+    expectations = [
+        result.expected_guess_rank(outcome)
+        for outcome in result.outcomes
+        if outcome.cracked and outcome.matching_entries > 0
+    ]
     expectations.sort()
     mean_guesses = (
         sum(expectations) / len(expectations) if expectations else None
@@ -144,6 +168,14 @@ def summarize_attack_economics(
     median_guesses = (
         expectations[len(expectations) // 2] if expectations else None
     )
+    if mean_guesses is None:
+        hashes_per_cracked = None
+        hours_per_cracked = None
+    else:
+        hashes_per_cracked = (
+            mean_guesses * estimate.identifier_multiplier * estimate.hash_iterations
+        )
+        hours_per_cracked = hashes_per_cracked / estimate.hash_rate / 3600.0
     return {
         "scheme": result.scheme_name,
         "image": result.image_name,
@@ -155,4 +187,308 @@ def summarize_attack_economics(
         "hashes_per_password": estimate.hashes_per_password,
         "hours_per_password": estimate.hours_per_password,
         "hours_total": estimate.hours_per_password * result.attacked,
+        "expected_hashes_per_cracked_account": hashes_per_cracked,
+        "expected_hours_per_cracked_account": hours_per_cracked,
     }
+
+
+# ---------------------------------------------------------------------------
+# Defense/attack scenario matrix
+# ---------------------------------------------------------------------------
+
+#: The sweep's stand-in server secret (any non-empty bytes behave alike:
+#: the stolen file fails closed without it).
+DEFENSE_MATRIX_PEPPER = b"defense-matrix-pepper"
+
+
+@dataclass(frozen=True)
+class DefenseCell:
+    """One named deployment configuration in the defense matrix."""
+
+    name: str
+    config: DefenseConfig
+
+
+def default_defense_cells() -> Tuple[DefenseCell, ...]:
+    """The standard sweep: every knob alone, plus representative combos.
+
+    17 cells — the undefended baseline, three slow-hash tiers, pepper,
+    two CAPTCHA thresholds, two rate-limit windows, two lockout caps,
+    and five multi-knob deployments up to the kitchen sink.
+    """
+    pepper = DEFENSE_MATRIX_PEPPER
+    strict_rl = {"rate_limit_window": 30.0, "rate_limit_max": 3}
+    lenient_rl = {"rate_limit_window": 60.0, "rate_limit_max": 30}
+    return (
+        DefenseCell("none", DefenseConfig()),
+        DefenseCell("hash_cost_4", DefenseConfig(hash_cost_factor=4)),
+        DefenseCell("hash_cost_16", DefenseConfig(hash_cost_factor=16)),
+        DefenseCell("hash_cost_64", DefenseConfig(hash_cost_factor=64)),
+        DefenseCell("pepper", DefenseConfig(pepper=pepper)),
+        DefenseCell("captcha_2", DefenseConfig(captcha_after=2)),
+        DefenseCell("captcha_5", DefenseConfig(captcha_after=5)),
+        DefenseCell("rate_limit_strict", DefenseConfig(**strict_rl)),
+        DefenseCell("rate_limit_lenient", DefenseConfig(**lenient_rl)),
+        DefenseCell(
+            "lockout_1",
+            DefenseConfig(lockout_policy=LockoutPolicy(max_failures=1)),
+        ),
+        DefenseCell(
+            "lockout_10",
+            DefenseConfig(lockout_policy=LockoutPolicy(max_failures=10)),
+        ),
+        DefenseCell(
+            "pepper+hash_cost_16",
+            DefenseConfig(hash_cost_factor=16, pepper=pepper),
+        ),
+        DefenseCell(
+            "captcha_2+rate_limit_strict",
+            DefenseConfig(captcha_after=2, **strict_rl),
+        ),
+        DefenseCell(
+            "hash_cost_16+rate_limit_lenient",
+            DefenseConfig(hash_cost_factor=16, **lenient_rl),
+        ),
+        DefenseCell(
+            "pepper+captcha_2",
+            DefenseConfig(pepper=pepper, captcha_after=2),
+        ),
+        DefenseCell(
+            "hash_cost_4+lockout_10",
+            DefenseConfig(
+                hash_cost_factor=4,
+                lockout_policy=LockoutPolicy(max_failures=10),
+            ),
+        ),
+        DefenseCell(
+            "kitchen_sink",
+            DefenseConfig(
+                hash_cost_factor=16,
+                pepper=pepper,
+                captcha_after=2,
+                lockout_policy=LockoutPolicy(max_failures=10),
+                **strict_rl,
+            ),
+        ),
+    )
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe cost: ``inf`` (nothing compromised) becomes ``None``."""
+    return None if value == float("inf") else value
+
+
+def _sweep_dictionary(tuple_length: int = 5) -> HumanSeededDictionary:
+    """A small deterministic seed pool on the *cars* image.
+
+    12 well-separated points (every pairwise gap exceeds the r=9 cells of
+    all three schemes), so a dictionary entry matches an enrolled password
+    iff it *is* that password — crack ranks are exact and scheme-stable.
+    """
+    seeds = tuple(
+        Point.xy(40 + 75 * (i % 4), 60 + 100 * (i // 4)) for i in range(12)
+    )
+    return HumanSeededDictionary(
+        seed_points=seeds, tuple_length=tuple_length, image_name="cars"
+    )
+
+
+#: Dictionary ranks at which the sweep's accounts are enrolled: three
+#: within easy online reach, three that only the offline grind (or a
+#: patient online attacker) can reach.
+_ACCOUNT_RANKS = (0, 2, 6, 18, 60, 150)
+
+
+def _build_store(
+    system, config: DefenseConfig, passwords: Dict[str, Sequence[Point]]
+) -> PasswordStore:
+    """A fresh store on a virtual clock, enrolled with the population."""
+    store = PasswordStore(
+        system=system,
+        policy=LockoutPolicy(max_failures=None),
+        defense=config,
+        clock=VirtualClock(),
+    )
+    for username in sorted(passwords):
+        store.create_account(username, list(passwords[username]))
+    return store
+
+
+def _legit_traffic_cost(
+    system,
+    config: DefenseConfig,
+    passwords: Dict[str, Sequence[Point]],
+    logins_per_account: int = 4,
+    spacing_seconds: float = 10.0,
+) -> dict:
+    """Defender-side cost of the cell: what the defense does to real users.
+
+    Replays a well-behaved traffic pattern — every account logging in
+    correctly every *spacing_seconds* — and reports how many of those
+    legitimate attempts the defense refused (throttled) or challenged
+    (CAPTCHA), alongside the modeled relative verification cost
+    (``hash_cost_factor`` — each verification pays k× the hash work, the
+    throughput tax gated in ``benchmarks/test_bench_defense.py``).
+    """
+    store = _build_store(system, config, passwords)
+    accepted = throttled = challenged = 0
+    attempts = 0
+    for _ in range(logins_per_account):
+        for username in sorted(passwords):
+            attempts += 1
+            if store.captcha_required(username):
+                challenged += 1
+            try:
+                if store.login(username, list(passwords[username])):
+                    accepted += 1
+            except RateLimitError:
+                throttled += 1
+        store.clock.advance(spacing_seconds)
+    return {
+        "relative_hash_cost": float(config.hash_cost_factor),
+        "legit_attempts": attempts,
+        "legit_accepted": accepted,
+        "legit_throttled": throttled,
+        "legit_captcha_challenged": challenged,
+    }
+
+
+def defense_matrix_sweep(
+    scheme: Optional[DiscretizationScheme] = None,
+    cells: Optional[Sequence[DefenseCell]] = None,
+    online_guess_budget: int = 30,
+    offline_guess_budget: int = 200,
+    attempt_seconds: float = 1.0,
+    captcha_solve_seconds: Optional[float] = None,
+) -> dict:
+    """Run every defense cell against the online and stolen-file attacks.
+
+    For each cell a fixed six-account population (passwords planted at
+    known dictionary ranks, three inside the online budget and three
+    beyond it) is enrolled under the cell's
+    :class:`~repro.passwords.defense.DefenseConfig`, then attacked twice:
+
+    * **online** — :func:`~repro.attacks.online.online_attack` through the
+      live interface on a virtual clock, so CAPTCHA walls, rate-limit
+      waits and lockouts land as simulated attacker seconds;
+    * **offline** — the password file is stolen via ``dump_records`` and
+      ground with :func:`~repro.attacks.offline.offline_attack_stolen_file`
+      (without the pepper, which lives in server config, not the file).
+
+    The returned report is machine-readable: per cell, attacker cost per
+    cracked account on both paths (``None`` when the cell priced the
+    attack out entirely) and the defender's verification-throughput cost.
+    """
+    from repro.core.centered import CenteredDiscretization
+    from repro.passwords.passpoints import PassPointsSystem
+    from repro.study.image import cars_image
+
+    if scheme is None:
+        scheme = CenteredDiscretization.for_pixel_tolerance(2, 9)
+    matrix = tuple(cells) if cells is not None else default_defense_cells()
+    if not matrix:
+        raise AttackError("defense matrix needs at least one cell")
+    if online_guess_budget < 1 or offline_guess_budget < 1:
+        raise AttackError("guess budgets must be >= 1")
+
+    dictionary = _sweep_dictionary()
+    entries = list(dictionary.prioritized_entries(max(_ACCOUNT_RANKS) + 1))
+    passwords = {
+        f"user{i}": entries[rank] for i, rank in enumerate(_ACCOUNT_RANKS)
+    }
+    image = cars_image()
+    system = PassPointsSystem(image=image, scheme=scheme)
+
+    reports: List[dict] = []
+    for cell in matrix:
+        config = cell.config
+        # Online: the live interface, with every countermeasure active.
+        online_store = _build_store(system, config, passwords)
+        online = online_attack(
+            online_store,
+            dictionary,
+            guess_budget=online_guess_budget,
+            attempt_seconds=attempt_seconds,
+            captcha_solve_seconds=captcha_solve_seconds,
+        )
+        # Offline: steal the file from a pristine deployment and grind.
+        stolen = _build_store(system, config, passwords).dump_records()
+        offline = offline_attack_stolen_file(
+            scheme, stolen, dictionary, guess_budget=offline_guess_budget
+        )
+        defender = _legit_traffic_cost(system, config, passwords)
+        reports.append(
+            {
+                "name": cell.name,
+                "defense": config.describe(),
+                "spec": config.to_spec(),
+                "online": {
+                    "attacked": len(online.outcomes),
+                    "compromised": online.compromised,
+                    "compromised_fraction": online.compromised_fraction,
+                    "locked_fraction": online.locked_fraction,
+                    "captcha_walled_fraction": online.captcha_walled_fraction,
+                    "total_guesses": online.total_guesses,
+                    "attacker_seconds": online.attacker_seconds,
+                    "seconds_per_compromise": _finite(
+                        online.seconds_per_compromise
+                    ),
+                },
+                "offline": {
+                    "attacked": offline.attacked,
+                    "cracked": offline.cracked,
+                    "cracked_fraction": offline.cracked_fraction,
+                    "hash_operations": offline.hash_operations,
+                    "hash_units": offline.hash_units,
+                    "hash_units_per_crack": _finite(offline.hash_units_per_crack),
+                },
+                "defender": defender,
+            }
+        )
+    return {
+        "meta": {
+            "scheme": scheme.name,
+            "accounts": len(passwords),
+            "account_ranks": list(_ACCOUNT_RANKS),
+            "online_guess_budget": online_guess_budget,
+            "offline_guess_budget": offline_guess_budget,
+            "attempt_seconds": attempt_seconds,
+            "captcha_solve_seconds": captcha_solve_seconds,
+            "cells": len(reports),
+        },
+        "cells": reports,
+    }
+
+
+def render_defense_matrix(report: dict) -> str:
+    """Human-readable table for a :func:`defense_matrix_sweep` report.
+
+    One row per cell: online and offline compromise counts, attacker cost
+    per cracked account on each path (``-`` when the attack came up
+    empty), and the defender's relative verification cost.
+    """
+    meta = report["meta"]
+    header = (
+        f"defense matrix — scheme={meta['scheme']} accounts={meta['accounts']} "
+        f"online_budget={meta['online_guess_budget']} "
+        f"offline_budget={meta['offline_guess_budget']}"
+    )
+    columns = (
+        f"{'cell':<32} {'on.crk':>6} {'s/crack':>9} "
+        f"{'off.crk':>7} {'units/crack':>11} {'def.cost':>8}"
+    )
+    lines = [header, columns, "-" * len(columns)]
+    for cell in report["cells"]:
+        online = cell["online"]
+        offline = cell["offline"]
+        seconds = online["seconds_per_compromise"]
+        units = offline["hash_units_per_crack"]
+        lines.append(
+            f"{cell['name']:<32} "
+            f"{online['compromised']:>6d} "
+            f"{('%.1f' % seconds) if seconds is not None else '-':>9} "
+            f"{offline['cracked']:>7d} "
+            f"{('%.1f' % units) if units is not None else '-':>11} "
+            f"{cell['defender']['relative_hash_cost']:>8.0f}"
+        )
+    return "\n".join(lines)

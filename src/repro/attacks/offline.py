@@ -221,11 +221,18 @@ def offline_attack_known_identifiers(
 
 @dataclass(frozen=True, slots=True)
 class StolenAccountOutcome:
-    """Hash-grinding outcome for one stolen account record."""
+    """Hash-grinding outcome for one stolen account record.
+
+    ``hash_units`` is the iterated-hash work the guesses cost:
+    ``guesses_hashed × record.hasher.iterations``.  Records enrolled under
+    a ``hash_cost_factor=k`` defense self-describe k× the iterations, so
+    the grind bill scales by k automatically.
+    """
 
     username: str
     cracked: bool
     guesses_hashed: int
+    hash_units: int = 0
 
 
 @dataclass(frozen=True)
@@ -263,6 +270,25 @@ class StolenFileAttackResult:
     def hash_operations(self) -> int:
         """Hashes the attacker actually computed (early-stop included)."""
         return sum(o.guesses_hashed for o in self.outcomes)
+
+    @property
+    def hash_units(self) -> int:
+        """Iterated-hash work actually paid (guesses × per-record iterations)."""
+        return sum(o.hash_units for o in self.outcomes)
+
+    @property
+    def hash_units_per_crack(self) -> float:
+        """Attacker grind cost per cracked record; ``inf`` when none cracked.
+
+        The defense-matrix sweep's offline cost-per-compromise axis: a
+        ``hash_cost_factor=k`` deployment multiplies it by ~k, and a
+        pepper withheld from the stolen material drives it to ``inf``
+        (the grind fails closed — no guess can match the keyed digest).
+        """
+        cracked = self.cracked
+        if cracked == 0:
+            return float("inf")
+        return self.hash_units / cracked
 
 
 def parse_password_file(payload: str) -> Dict[str, StoredPassword]:
@@ -321,6 +347,7 @@ def offline_attack_stolen_file(
     stolen: Union[str, Mapping[str, StoredPassword]],
     dictionary: HumanSeededDictionary,
     guess_budget: int = 1000,
+    pepper: bytes = b"",
 ) -> StolenFileAttackResult:
     """Grind a stolen password file with popularity-ordered guesses.
 
@@ -336,6 +363,12 @@ def offline_attack_stolen_file(
 
     *stolen* is either the JSON payload itself or an already-parsed
     ``{username: StoredPassword}`` mapping.
+
+    *pepper* is the deployment's secret pepper **if the attacker also
+    stole it** (server-config compromise).  The password file itself never
+    contains it, so by default the grind against a peppered deployment
+    fails closed: every candidate digest misses the keyed outer hash and
+    nothing cracks, at full grind cost.
     """
     records = parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
     _validate_stolen_records(records, dictionary, guess_budget)
@@ -368,14 +401,19 @@ def offline_attack_stolen_file(
             located = kernel.locate(chunk_points, tiled_public).reshape(reps, -1)
             for row in located:
                 hashed += 1
-                if stored.record.matches(tuple(int(v) for v in row)):
+                if stored.record.matches(
+                    tuple(int(v) for v in row), pepper=pepper
+                ):
                     cracked = True
                     break
             if cracked:
                 break
         outcomes.append(
             StolenAccountOutcome(
-                username=username, cracked=cracked, guesses_hashed=hashed
+                username=username,
+                cracked=cracked,
+                guesses_hashed=hashed,
+                hash_units=hashed * stored.record.hasher.iterations,
             )
         )
     return StolenFileAttackResult(

@@ -11,30 +11,57 @@ The attacker submits dictionary entries — best-first by seed-point
 popularity — through the normal login flow until the account succumbs, the
 guess budget runs out, or the throttle locks the account.  Smaller grid
 squares force guesses closer to the real click-points, so at equal r the
-attack does markedly worse against Centered Discretization (same phenomenon
-as the offline Figure-8 gap, with the lockout cap on top).
+attack does markedly worse against Centered Discretization (same
+phenomenon as the offline Figure-8 gap, with the lockout cap on top).
+
+Deployment countermeasures (:class:`~repro.passwords.defense.DefenseConfig`)
+are modelled as **attacker throughput penalties**, accounted in simulated
+seconds per account:
+
+* every evaluated attempt costs ``attempt_seconds`` (network round-trip plus
+  the server's hash; a ``hash_cost_factor`` deployment makes the server-side
+  share k× larger, but the round-trip usually dominates online);
+* a **rate limit** refusal costs the ``retry_after`` wait before the same
+  guess is retried — the attacker loses wall-clock, not budget;
+* a **CAPTCHA** challenge either stops the automated attacker cold
+  (``captcha_solve_seconds=None`` → the account is *captcha-walled*) or
+  costs the human-solver price per challenged attempt;
+* **lockout** ends the account's attack exactly as before.
+
+Rate-limited stores must carry an advanceable clock
+(:class:`~repro.passwords.defense.VirtualClock`) so the simulation can wait
+without sleeping; attacking a rate-limited store on a real monotonic clock
+is rejected eagerly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import AttackError, LockoutError
+from repro.errors import AttackError, LockoutError, RateLimitError
 from repro.passwords.store import PasswordStore
 from repro.attacks.dictionary import HumanSeededDictionary
 
-__all__ = ["OnlineAttackResult", "online_attack"]
+__all__ = ["AccountOutcome", "OnlineAttackResult", "online_attack"]
 
 
 @dataclass(frozen=True, slots=True)
 class AccountOutcome:
-    """Outcome of attacking one account online."""
+    """Outcome of attacking one account online.
+
+    ``attacker_seconds`` is the simulated wall-clock the attacker spent on
+    this account (attempt round-trips + rate-limit waits + CAPTCHA solves);
+    ``captcha_walled`` marks accounts abandoned at a CAPTCHA challenge the
+    attacker could not solve.
+    """
 
     username: str
     compromised: bool
     guesses_used: int
     locked_out: bool
+    attacker_seconds: float = 0.0
+    captcha_walled: bool = False
 
 
 @dataclass(frozen=True)
@@ -68,9 +95,35 @@ class OnlineAttackResult:
         return sum(1 for o in self.outcomes if o.locked_out) / len(self.outcomes)
 
     @property
+    def captcha_walled_fraction(self) -> float:
+        """Fraction of accounts abandoned at an unsolvable CAPTCHA."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.captcha_walled) / len(
+            self.outcomes
+        )
+
+    @property
     def total_guesses(self) -> int:
         """Total login attempts the attacker spent."""
         return sum(o.guesses_used for o in self.outcomes)
+
+    @property
+    def attacker_seconds(self) -> float:
+        """Total simulated attacker wall-clock across all accounts."""
+        return sum(o.attacker_seconds for o in self.outcomes)
+
+    @property
+    def seconds_per_compromise(self) -> float:
+        """Attacker cost per cracked account, in simulated seconds.
+
+        ``inf`` when nothing was compromised — the defense priced the
+        attack out entirely.
+        """
+        compromised = self.compromised
+        if compromised == 0:
+            return float("inf")
+        return self.attacker_seconds / compromised
 
 
 def online_attack(
@@ -78,13 +131,17 @@ def online_attack(
     dictionary: HumanSeededDictionary,
     usernames: Sequence[str] | None = None,
     guess_budget: int = 100,
+    attempt_seconds: float = 1.0,
+    captcha_solve_seconds: Optional[float] = None,
 ) -> OnlineAttackResult:
     """Attack accounts through the live, throttled login interface.
 
     Parameters
     ----------
     store:
-        The deployed service (with its lockout policy active).
+        The deployed service (its lockout policy *and*
+        :class:`~repro.passwords.defense.DefenseConfig` are all active —
+        the attacker faces exactly the defender's rules).
     dictionary:
         Seed dictionary; entries are tried best-first by popularity.
     usernames:
@@ -92,12 +149,28 @@ def online_attack(
     guess_budget:
         Maximum login attempts per account the attacker is willing to spend
         (rate limits make online guesses expensive).
+    attempt_seconds:
+        Simulated cost of one evaluated login attempt.
+    captcha_solve_seconds:
+        Price of solving one CAPTCHA challenge (e.g. a human-solver
+        service).  ``None`` (default) models a purely automated attacker:
+        the first challenge walls the account off.
     """
     if guess_budget < 1:
         raise AttackError(f"guess_budget must be >= 1, got {guess_budget}")
+    if attempt_seconds < 0:
+        raise AttackError(f"attempt_seconds must be >= 0, got {attempt_seconds}")
     targets = tuple(usernames) if usernames is not None else store.usernames
     if not targets:
         raise AttackError("no accounts to attack")
+    defense = getattr(store, "defense", None)
+    advance = getattr(store.clock, "advance", None) if defense is not None else None
+    if defense is not None and defense.rate_limited and advance is None:
+        raise AttackError(
+            "online attack against a rate-limited store needs an advanceable "
+            "store clock (PasswordStore(clock=VirtualClock())) so waits can "
+            "be simulated instead of slept"
+        )
 
     # The guess sequence is identical for every account (the attacker has
     # one dictionary), so materialize it once.
@@ -106,17 +179,36 @@ def online_attack(
     outcomes: List[AccountOutcome] = []
     for username in targets:
         used = 0
+        seconds = 0.0
         compromised = False
         locked = False
+        walled = False
         for guess in guesses:
-            try:
-                used += 1
-                if store.login(username, list(guess)):
-                    compromised = True
+            if defense is not None and store.captcha_required(username):
+                if captcha_solve_seconds is None:
+                    walled = True
                     break
-            except LockoutError:
-                used -= 1  # the refused attempt never executed
-                locked = True
+                seconds += captcha_solve_seconds
+            attempt = list(guess)
+            while True:
+                try:
+                    used += 1
+                    seconds += attempt_seconds
+                    if store.login(username, attempt):
+                        compromised = True
+                    break
+                except RateLimitError as refusal:
+                    # Refused before evaluation: the guess is not spent,
+                    # but the window wait is.
+                    used -= 1
+                    seconds += refusal.retry_after - attempt_seconds
+                    advance(refusal.retry_after)
+                except LockoutError:
+                    used -= 1  # the refused attempt never executed
+                    seconds -= attempt_seconds
+                    locked = True
+                    break
+            if compromised or locked:
                 break
         if not locked and not compromised:
             locked = store.is_locked(username)
@@ -126,6 +218,8 @@ def online_attack(
                 compromised=compromised,
                 guesses_used=used,
                 locked_out=locked,
+                attacker_seconds=seconds,
+                captcha_walled=walled,
             )
         )
     return OnlineAttackResult(guess_budget=guess_budget, outcomes=tuple(outcomes))

@@ -306,6 +306,7 @@ def _stolen_file_shard(
     dictionary_spec: DictionarySpec,
     record_payloads: Tuple[Tuple[str, dict], ...],
     guess_budget: int,
+    pepper: bytes,
 ) -> StolenFileAttackResult:
     """Worker: serial password-file grind on one contiguous shard."""
     scheme = scheme_spec.build()
@@ -315,7 +316,7 @@ def _stolen_file_shard(
         for username, payload in record_payloads
     }
     return offline_attack_stolen_file(
-        scheme, records, dictionary, guess_budget=guess_budget
+        scheme, records, dictionary, guess_budget=guess_budget, pepper=pepper
     )
 
 
@@ -399,6 +400,7 @@ class ShardedAttackRunner:
         stolen: Union[str, Mapping[str, StoredPassword]],
         dictionary: HumanSeededDictionary,
         guess_budget: int = 1000,
+        pepper: bytes = b"",
     ) -> StolenFileAttackResult:
         """Sharded :func:`~repro.attacks.offline.offline_attack_stolen_file`.
 
@@ -406,7 +408,8 @@ class ShardedAttackRunner:
         the serial iteration order — so the merged outcome tuple matches
         the serial result exactly at any worker count.  The grind never
         enrolls, so even ``RANDOM_SAFE`` Robust schemes shard fine
-        (``locate`` is selection-independent).
+        (``locate`` is selection-independent).  *pepper* (a compromised
+        server secret, if any) is forwarded verbatim to every shard.
         """
         records = (
             parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
@@ -416,7 +419,7 @@ class ShardedAttackRunner:
         shard_count = min(self.effective_workers, len(usernames))
         if shard_count <= 1:
             return offline_attack_stolen_file(
-                scheme, records, dictionary, guess_budget=guess_budget
+                scheme, records, dictionary, guess_budget=guess_budget, pepper=pepper
             )
         scheme_spec = SchemeSpec.from_scheme(scheme, for_enrollment=False)
         dictionary_spec = DictionarySpec.from_dictionary(dictionary)
@@ -426,6 +429,7 @@ class ShardedAttackRunner:
                 dictionary_spec,
                 tuple((username, records[username].to_json()) for username in shard),
                 guess_budget,
+                pepper,
             )
             for shard in partition_evenly(usernames, shard_count)
         ]

@@ -20,7 +20,16 @@ Subcommands:
   login protocol (micro-batched verification under the hood);
 * ``repro flood`` — self-hosted load generation: start a server on an
   ephemeral port, flood it with concurrent clients, report throughput and
-  p50/p95 latency.
+  p50/p95 latency;
+* ``repro defense-matrix`` — sweep every DefenseConfig cell against the
+  online attack and the stolen-file grind, pricing attacker cost per
+  cracked account against defender verification cost.
+
+Deployments take a ``--defense`` spec (``store create``, ``serve``) of the
+form ``hash_cost=K,pepper=hex:HEX,captcha_after=N,rate_limit=WINDOW:MAX,
+lockout=N|none``; ``store create`` persists it in backend meta (which
+``dump`` — the stolen artifact — never includes), so reopened stores
+verify under the deployment they enrolled with.
 """
 
 from __future__ import annotations
@@ -142,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
     create_parser.add_argument(
         "--users", type=int, default=10, help="accounts to enroll (default: 10)"
     )
+    create_parser.add_argument(
+        "--defense",
+        default=None,
+        help=(
+            "defense spec, e.g. 'hash_cost=16,pepper=hex:a1b2,captcha_after=3,"
+            "rate_limit=30:5,lockout=10' (default: none; persisted in backend "
+            "meta and re-applied on every reopen)"
+        ),
+    )
 
     login_parser = store_sub.add_parser(
         "login", help="one throttled login attempt against a store"
@@ -175,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: one per schedulable CPU)",
     )
+    attack_parser.add_argument(
+        "--pepper",
+        default=None,
+        help=(
+            "hex-encoded server pepper, if the attacker stole the server "
+            "config too (default: file-only theft — a peppered store then "
+            "fails closed and nothing cracks)"
+        ),
+    )
 
     serve_parser = sub.add_parser(
         "serve", help="serve a store over TCP (asyncio JSONL protocol)"
@@ -191,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--flush-interval", type=float, default=0.0,
         help="flush deadline in seconds; 0 = next event-loop pass (default)",
+    )
+    serve_parser.add_argument(
+        "--defense",
+        default=None,
+        help=(
+            "override the store's persisted defense spec for this serving "
+            "run (same syntax as 'store create --defense')"
+        ),
     )
 
     flood_parser = sub.add_parser(
@@ -222,6 +257,41 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["centered", "robust", "static"],
         default="centered",
         help="scheme when enrolling a fresh backend (default: centered)",
+    )
+
+    matrix_parser = sub.add_parser(
+        "defense-matrix",
+        help="sweep defense cells against online and stolen-file attacks",
+    )
+    matrix_parser.add_argument(
+        "--scheme",
+        choices=["centered", "robust", "static"],
+        default="centered",
+        help="discretization scheme (default: centered)",
+    )
+    matrix_parser.add_argument(
+        "--tolerance", type=int, default=9, help="pixel tolerance r (default: 9)"
+    )
+    matrix_parser.add_argument(
+        "--online-budget", type=int, default=30,
+        help="online guesses per account (default: 30)",
+    )
+    matrix_parser.add_argument(
+        "--offline-budget", type=int, default=200,
+        help="offline grind guesses per record (default: 200)",
+    )
+    matrix_parser.add_argument(
+        "--captcha-solve-seconds", type=float, default=None,
+        help=(
+            "price the attacker pays a CAPTCHA-solving service per "
+            "challenge (default: unsolvable — challenges wall the attack)"
+        ),
+    )
+    matrix_parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    matrix_parser.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
     )
     return parser
 
@@ -333,9 +403,15 @@ def _scheme_named(name: str, tolerance: int):
     return StaticGridScheme(dim=2, cell_size=2 * tolerance + 1)
 
 
-def _store_for_backend(backend):
-    """Reconstruct the deployed store from a backend's persisted meta."""
+def _store_for_backend(backend, defense_spec: Optional[str] = None):
+    """Reconstruct the deployed store from a backend's persisted meta.
+
+    The persisted ``defense`` spec (if any) is re-applied so records
+    enrolled under a pepper / slow-hash deployment verify correctly; a
+    non-``None`` *defense_spec* overrides it for this process.
+    """
     from repro.errors import StoreError
+    from repro.passwords.defense import DefenseConfig
     from repro.passwords.store import PasswordStore
     from repro.study.image import cars_image, pool_image
 
@@ -349,42 +425,55 @@ def _store_for_backend(backend):
     image = {"cars": cars_image, "pool": pool_image}[backend.get_meta("image")]()
     from repro.passwords.passpoints import PassPointsSystem
 
+    if defense_spec is None:
+        defense_spec = backend.get_meta("defense") or ""
+    defense = DefenseConfig.from_spec(defense_spec)
     system = PassPointsSystem(image=image, scheme=scheme)
-    return PasswordStore(system=system, backend=backend)
+    return PasswordStore(system=system, backend=backend, defense=defense)
 
 
 def _cmd_store_create(
-    uri: str, scheme_name: str, tolerance: int, image_name: str, users: int
+    uri: str,
+    scheme_name: str,
+    tolerance: int,
+    image_name: str,
+    users: int,
+    defense_spec: Optional[str] = None,
 ) -> int:
     from repro.errors import ReproError
     from repro.experiments.common import default_dataset
+    from repro.passwords.defense import DefenseConfig
     from repro.passwords.passpoints import PassPointsSystem
     from repro.passwords.storage import backend_from_uri
     from repro.passwords.store import PasswordStore
     from repro.study.image import cars_image, pool_image
 
     try:
+        defense = DefenseConfig.from_spec(defense_spec or "")
         backend = backend_from_uri(uri)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # A reopened backend must be resumed under the deployment it was
-    # created with: records enrolled under one scheme are unverifiable
-    # under another, so a mismatch is refused rather than overwritten.
+    # created with: records enrolled under one scheme (or one defense's
+    # pepper / hash-cost) are unverifiable under another, so a mismatch
+    # is refused rather than overwritten.
     existing = backend.get_meta("scheme")
     if existing is not None:
-        requested = (scheme_name, str(tolerance), image_name)
+        requested = (scheme_name, str(tolerance), image_name, defense.to_spec())
         persisted = (
             existing,
             backend.get_meta("tolerance_px"),
             backend.get_meta("image"),
+            backend.get_meta("defense") or "",
         )
         if requested != persisted:
             print(
                 f"{backend.uri} was created with scheme={persisted[0]} "
-                f"tolerance={persisted[1]} image={persisted[2]}; refusing to "
+                f"tolerance={persisted[1]} image={persisted[2]} "
+                f"defense={persisted[3] or 'none'!r}; refusing to "
                 f"re-create it as scheme={scheme_name} tolerance={tolerance} "
-                f"image={image_name}",
+                f"image={image_name} defense={defense.to_spec() or 'none'!r}",
                 file=sys.stderr,
             )
             backend.close()
@@ -393,9 +482,11 @@ def _cmd_store_create(
         backend.put_meta("scheme", scheme_name)
         backend.put_meta("tolerance_px", str(tolerance))
         backend.put_meta("image", image_name)
+        if not defense.is_neutral:
+            backend.put_meta("defense", defense.to_spec())
     image = {"cars": cars_image, "pool": pool_image}[image_name]()
     system = PassPointsSystem(image=image, scheme=_scheme_named(scheme_name, tolerance))
-    store = PasswordStore(system=system, backend=backend)
+    store = PasswordStore(system=system, backend=backend, defense=defense)
     samples = default_dataset().passwords_on(image_name)[:users]
     enrolled = skipped = 0
     for sample in samples:
@@ -405,10 +496,11 @@ def _cmd_store_create(
             continue
         store.create_account(username, list(sample.points))
         enrolled += 1
+    defended = "" if defense.is_neutral else f", defense {defense.to_spec()!r}"
     print(
         f"{backend.uri}: enrolled {enrolled} new accounts under "
         f"{system.scheme.name} ({skipped} already present, "
-        f"{len(backend)} total)"
+        f"{len(backend)} total{defended})"
     )
     backend.close()
     return 0
@@ -503,12 +595,19 @@ def _cmd_attack(
     return 0
 
 
-def _cmd_store_attack(uri: str, budget: int, workers: Optional[int]) -> int:
+def _cmd_store_attack(
+    uri: str, budget: int, workers: Optional[int], pepper_hex: Optional[str] = None
+) -> int:
     from repro.attacks.parallel import ShardedAttackRunner
     from repro.errors import ReproError
     from repro.experiments.common import default_dictionary
     from repro.passwords.storage import backend_from_uri
 
+    try:
+        pepper = bytes.fromhex(pepper_hex) if pepper_hex else b""
+    except ValueError:
+        print(f"error: --pepper {pepper_hex!r} is not valid hex", file=sys.stderr)
+        return 2
     try:
         backend = backend_from_uri(uri)
     except ReproError as exc:
@@ -520,7 +619,7 @@ def _cmd_store_attack(uri: str, budget: int, workers: Optional[int]) -> int:
         dictionary = default_dictionary(backend.get_meta("image"))
         runner = ShardedAttackRunner(workers=workers)
         result = runner.run_stolen_file(
-            store.system.scheme, payload, dictionary, guess_budget=budget
+            store.system.scheme, payload, dictionary, guess_budget=budget, pepper=pepper
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -539,11 +638,21 @@ def _cmd_store_attack(uri: str, budget: int, workers: Optional[int]) -> int:
         f"cracked {result.cracked}/{result.attacked} "
         f"({result.cracked_fraction:.0%}) with {result.hash_operations} hashes"
     )
+    if result.cracked == 0 and store.defense.pepper and not pepper:
+        print(
+            "note: store records are peppered; without --pepper the grind "
+            "fails closed"
+        )
     return 0
 
 
 def _cmd_serve(
-    uri: str, host: str, port: int, max_batch: int, flush_interval: float
+    uri: str,
+    host: str,
+    port: int,
+    max_batch: int,
+    flush_interval: float,
+    defense_spec: Optional[str] = None,
 ) -> int:
     import asyncio
 
@@ -557,7 +666,7 @@ def _cmd_serve(
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        store = _store_for_backend(backend)
+        store = _store_for_backend(backend, defense_spec=defense_spec)
         server = LoginServer(
             store,
             host=host,
@@ -571,7 +680,8 @@ def _cmd_serve(
             bound_host, bound_port = server.address
             print(
                 f"serving {backend.uri} on {bound_host}:{bound_port} "
-                f"(JSONL ops: login/enroll/stats/ping; Ctrl-C to stop)",
+                f"(JSONL ops: login/enroll/stats/ping; "
+                f"defense: {store.defense.describe()}; Ctrl-C to stop)",
                 flush=True,
             )
             await server.serve_forever()
@@ -661,6 +771,45 @@ def _cmd_flood(
     return 0
 
 
+def _cmd_defense_matrix(
+    scheme_name: Optional[str],
+    tolerance: int,
+    online_budget: int,
+    offline_budget: int,
+    captcha_solve_seconds: Optional[float],
+    as_json: bool,
+    out_path: Optional[str],
+) -> int:
+    import json
+
+    from repro.attacks.economics import defense_matrix_sweep, render_defense_matrix
+    from repro.errors import ReproError
+
+    try:
+        scheme = (
+            _scheme_named(scheme_name, tolerance) if scheme_name is not None else None
+        )
+        report = defense_matrix_sweep(
+            scheme=scheme,
+            online_guess_budget=online_budget,
+            offline_guess_budget=offline_budget,
+            captcha_solve_seconds=captcha_solve_seconds,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_defense_matrix(report))
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {out_path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -682,17 +831,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "store":
         if args.store_command == "create":
             return _cmd_store_create(
-                args.uri, args.scheme, args.tolerance, args.image, args.users
+                args.uri,
+                args.scheme,
+                args.tolerance,
+                args.image,
+                args.users,
+                args.defense,
             )
         if args.store_command == "login":
             return _cmd_store_login(args.uri, args.user, args.points)
         if args.store_command == "dump":
             return _cmd_store_dump(args.uri)
         if args.store_command == "attack":
-            return _cmd_store_attack(args.uri, args.budget, args.workers)
+            return _cmd_store_attack(args.uri, args.budget, args.workers, args.pepper)
     if args.command == "serve":
         return _cmd_serve(
-            args.uri, args.host, args.port, args.max_batch, args.flush_interval
+            args.uri,
+            args.host,
+            args.port,
+            args.max_batch,
+            args.flush_interval,
+            args.defense,
+        )
+    if args.command == "defense-matrix":
+        return _cmd_defense_matrix(
+            args.scheme,
+            args.tolerance,
+            args.online_budget,
+            args.offline_budget,
+            args.captcha_solve_seconds,
+            args.json,
+            args.out,
         )
     if args.command == "flood":
         return _cmd_flood(

@@ -24,10 +24,24 @@ from typing import Iterable
 from repro.crypto.encoding import Encodable, encode_scalars
 from repro.errors import ParameterError
 
-__all__ = ["Hasher", "DEFAULT_ALGORITHM", "added_security_bits"]
+__all__ = ["Hasher", "DEFAULT_ALGORITHM", "added_security_bits", "peppered_hex"]
 
 #: Hash algorithm used unless overridden; any :mod:`hashlib` name works.
 DEFAULT_ALGORITHM = "sha256"
+
+
+def peppered_hex(algorithm: str, pepper: bytes, inner_hex: str) -> str:
+    """Outer keyed hash binding a server-side *pepper* over an inner digest.
+
+    ``H(pepper || inner_digest)`` — the stored form of a peppered record's
+    digest.  The pepper stays in server configuration (it is *not* part of
+    the record, unlike the salt), so a stolen password file cannot verify
+    candidate guesses: the attacker can compute inner digests but not the
+    stored outer ones.  See :class:`~repro.passwords.defense.DefenseConfig`.
+    """
+    if not isinstance(pepper, bytes):
+        raise ParameterError(f"pepper must be bytes, got {type(pepper).__name__}")
+    return hashlib.new(algorithm, pepper + bytes.fromhex(inner_hex)).hexdigest()
 
 
 def added_security_bits(iterations: int) -> float:

@@ -20,11 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
+import hmac
+
 from repro.crypto.encoding import Encodable, scalar_from_json, scalar_to_json
-from repro.crypto.hashing import Hasher
+from repro.crypto.hashing import Hasher, peppered_hex
 from repro.errors import VerificationError
 
-__all__ = ["VerificationRecord", "make_record", "combine_material"]
+__all__ = [
+    "VerificationRecord",
+    "combine_material",
+    "make_record",
+    "peppered_record",
+]
 
 
 def combine_material(
@@ -62,10 +69,21 @@ class VerificationRecord:
     digest: str
     hasher: Hasher
 
-    def matches(self, secret: Iterable[Encodable]) -> bool:
-        """Whether *secret* index material reproduces the stored digest."""
+    def matches(self, secret: Iterable[Encodable], pepper: bytes = b"") -> bool:
+        """Whether *secret* index material reproduces the stored digest.
+
+        For a record created by :func:`peppered_record`, the verifier must
+        supply the deployment's *pepper*: the stored digest is the outer
+        ``H(pepper || inner)`` form, so without the pepper every candidate
+        fails — exactly the fail-closed behavior a stolen password file
+        gives an attacker who did not also steal the server config.
+        """
         material = combine_material(self.public, tuple(secret))
-        return self.hasher.verify_scalars(material, self.digest)
+        if not pepper:
+            return self.hasher.verify_scalars(material, self.digest)
+        inner = self.hasher.hash_scalars(material)
+        outer = peppered_hex(self.hasher.algorithm, pepper, inner)
+        return hmac.compare_digest(outer, self.digest)
 
     def to_json(self) -> dict:
         """JSON-serializable representation."""
@@ -104,3 +122,21 @@ def make_record(
     material = combine_material(public, secret)
     digest = hasher.hash_scalars(material)
     return VerificationRecord(tuple(public), digest, hasher)
+
+
+def peppered_record(
+    record: VerificationRecord, pepper: bytes
+) -> VerificationRecord:
+    """Rewrap a record's digest as ``H(pepper || inner_digest)``.
+
+    Public material, salt and hashing parameters are unchanged (they stay
+    in the password file as usual); only the digest is replaced by its
+    peppered outer form.  Verify with ``matches(secret, pepper=...)``.
+    """
+    if not pepper:
+        raise VerificationError("peppered_record needs a non-empty pepper")
+    return VerificationRecord(
+        public=record.public,
+        digest=peppered_hex(record.hasher.algorithm, pepper, record.digest),
+        hasher=record.hasher,
+    )

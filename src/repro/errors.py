@@ -58,3 +58,16 @@ class AttackError(ReproError, ValueError):
 
 class LockoutError(ReproError, RuntimeError):
     """An online login was refused because the account is locked out."""
+
+
+class RateLimitError(ReproError, RuntimeError):
+    """An online login was refused by a per-account rate-limit window.
+
+    ``retry_after`` reports the seconds until the account's sliding window
+    frees a slot — the wait an attacker (or a legitimate client) must pay
+    before the next attempt is evaluated.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -8,6 +8,12 @@ per-user salting and online throttling.
 
 from repro.passwords.blonder import BlonderSystem
 from repro.passwords.ccp import CCPSystem, next_image_index
+from repro.passwords.defense import (
+    DefenseConfig,
+    RateLimiter,
+    VirtualClock,
+    apply_pepper,
+)
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.pccp import PCCPSystem, ViewportSelectionModel
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
@@ -35,6 +41,7 @@ __all__ = [
     "BlonderSystem",
     "CCPSystem",
     "ClickSpace3D",
+    "DefenseConfig",
     "JsonlBackend",
     "LockoutPolicy",
     "LoginOutcome",
@@ -42,6 +49,7 @@ __all__ = [
     "PCCPSystem",
     "PassPointsSystem",
     "PasswordStore",
+    "RateLimiter",
     "SQLiteBackend",
     "ShardedBackend",
     "Space3DSystem",
@@ -49,6 +57,8 @@ __all__ = [
     "StoredPassword",
     "VerificationService",
     "ViewportSelectionModel",
+    "VirtualClock",
+    "apply_pepper",
     "backend_from_uri",
     "enroll_password",
     "locate_secrets",

@@ -1,0 +1,310 @@
+"""Deployment defense knobs: the server-side countermeasure matrix.
+
+The paper's security analysis (§5.1) treats the verifier as a fixed
+fast-hash oracle guarded by a lockout policy.  Real deployments turn more
+knobs, and each knob changes the *attack economics* rather than the
+scheme: slow hashes multiply the per-guess cost of a stolen-file grind,
+a pepper makes the stolen file useless on its own, CAPTCHAs and rate
+limits throttle the online guessing channel.  :class:`DefenseConfig`
+names those knobs in one frozen, serializable object so a deployment —
+and every attack simulation against it — can be described as a single
+cell of a defense/attack matrix (see
+:func:`repro.attacks.economics.defense_matrix_sweep`).
+
+Enforcement points (each knob is enforced exactly once):
+
+=====================  ====================================================
+knob                   enforcement point
+=====================  ====================================================
+``hash_cost_factor``   enrollment: the per-user hasher's iteration count is
+                       multiplied, so every verification *and* every
+                       attacker guess pays the factor (the record
+                       self-describes its cost, like a bcrypt cost prefix)
+``pepper``             enrollment/verification: an outer keyed hash over
+                       the inner digest
+                       (:func:`repro.crypto.records.peppered_record`); the
+                       pepper is **never** written to the password file, so
+                       a stolen dump fails closed
+``captcha_after``      serving: attempts on an account with that many
+                       consecutive failures are flagged as
+                       CAPTCHA-challenged; automated attackers stall or pay
+                       a human-solver cost (:mod:`repro.attacks.online`)
+``rate_limit_*``       store/serving: a sliding per-account window refuses
+                       attempts over the cap with
+                       :class:`~repro.errors.RateLimitError` (scalar) or a
+                       ``"throttled"`` outcome (batched)
+``lockout_policy``     store: overrides the store's
+                       :class:`~repro.passwords.policy.LockoutPolicy`
+=====================  ====================================================
+
+``DefenseConfig.none()`` is the **neutral cell**: every knob off, and the
+store/service behavior bit-identical to the undefended deployment —
+property-tested in ``tests/test_defense_matrix.py`` across all schemes,
+backends and serving paths, so every other cell is an auditable delta
+from the reproduced paper rather than a fork of it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.crypto.records import peppered_record
+from repro.errors import ParameterError
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.system import StoredPassword
+
+__all__ = ["DefenseConfig", "RateLimiter", "VirtualClock", "apply_pepper"]
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """One cell of the defense matrix: a deployment's countermeasures.
+
+    Parameters
+    ----------
+    hash_cost_factor:
+        Multiplier on the system hasher's iteration count — the
+        bcrypt/argon2-style "slow hash" knob.  ``1`` is the paper's fast
+        salted hash.
+    pepper:
+        Site-wide secret bound into every stored digest through an outer
+        keyed hash.  Lives in server configuration, never in the password
+        file: a stolen dump cannot verify guesses without it.
+    captcha_after:
+        Consecutive failures after which further attempts on the account
+        are CAPTCHA-challenged (``None`` disables).
+    rate_limit_window / rate_limit_max:
+        Sliding-window online rate limit: at most ``rate_limit_max``
+        evaluated attempts per account per ``rate_limit_window`` seconds.
+        Both set or both ``None``.
+    lockout_policy:
+        Overrides the store's lockout policy for this deployment
+        (``None`` keeps the store's own policy — the neutral setting).
+    """
+
+    hash_cost_factor: int = 1
+    pepper: bytes = b""
+    captcha_after: Optional[int] = None
+    rate_limit_window: Optional[float] = None
+    rate_limit_max: Optional[int] = None
+    lockout_policy: Optional[LockoutPolicy] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.hash_cost_factor, int) or self.hash_cost_factor < 1:
+            raise ParameterError(
+                f"hash_cost_factor must be an int >= 1, got {self.hash_cost_factor!r}"
+            )
+        if not isinstance(self.pepper, bytes):
+            raise ParameterError(
+                f"pepper must be bytes, got {type(self.pepper).__name__}"
+            )
+        if self.captcha_after is not None and self.captcha_after < 1:
+            raise ParameterError(
+                f"captcha_after must be >= 1 or None, got {self.captcha_after}"
+            )
+        if (self.rate_limit_window is None) != (self.rate_limit_max is None):
+            raise ParameterError(
+                "rate_limit_window and rate_limit_max must be set together"
+            )
+        if self.rate_limit_window is not None and self.rate_limit_window <= 0:
+            raise ParameterError(
+                f"rate_limit_window must be > 0, got {self.rate_limit_window}"
+            )
+        if self.rate_limit_max is not None and self.rate_limit_max < 1:
+            raise ParameterError(
+                f"rate_limit_max must be >= 1, got {self.rate_limit_max}"
+            )
+
+    # -- classification ------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "DefenseConfig":
+        """The neutral cell: no defenses beyond the store's own policy."""
+        return cls()
+
+    @property
+    def is_neutral(self) -> bool:
+        """Whether every knob is off (bit-identical to the undefended store)."""
+        return (
+            self.hash_cost_factor == 1
+            and not self.pepper
+            and self.captcha_after is None
+            and self.rate_limit_window is None
+            and self.lockout_policy is None
+        )
+
+    @property
+    def rate_limited(self) -> bool:
+        """Whether the sliding-window rate limit is enabled."""
+        return self.rate_limit_window is not None
+
+    # -- reporting -----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe summary for stats endpoints (the pepper is redacted)."""
+        if self.lockout_policy is None:
+            lockout: object = "default"
+        else:
+            lockout = {"max_failures": self.lockout_policy.max_failures}
+        return {
+            "neutral": self.is_neutral,
+            "hash_cost_factor": self.hash_cost_factor,
+            "pepper": bool(self.pepper),
+            "captcha_after": self.captcha_after,
+            "rate_limit_window": self.rate_limit_window,
+            "rate_limit_max": self.rate_limit_max,
+            "lockout": lockout,
+        }
+
+    # -- spec round-trip -----------------------------------------------------
+
+    def to_spec(self) -> str:
+        """Canonical ``key=value,...`` string (inverse of :meth:`from_spec`).
+
+        The neutral config serializes to the empty string; the pepper is
+        hex-encoded so arbitrary bytes survive the round trip.  This is
+        the form the CLI persists in storage meta, so a reopened backend
+        is served under the defenses it was enrolled with.
+        """
+        parts = []
+        if self.hash_cost_factor != 1:
+            parts.append(f"hash_cost={self.hash_cost_factor}")
+        if self.pepper:
+            parts.append(f"pepper=hex:{self.pepper.hex()}")
+        if self.captcha_after is not None:
+            parts.append(f"captcha_after={self.captcha_after}")
+        if self.rate_limit_window is not None:
+            parts.append(
+                f"rate_limit={self.rate_limit_window:g}:{self.rate_limit_max}"
+            )
+        if self.lockout_policy is not None:
+            cap = self.lockout_policy.max_failures
+            parts.append(f"lockout={'none' if cap is None else cap}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DefenseConfig":
+        """Parse a ``key=value,...`` spec (empty/blank = neutral).
+
+        Keys: ``hash_cost=K``, ``pepper=TEXT`` (or ``pepper=hex:HEX``),
+        ``captcha_after=N``, ``rate_limit=WINDOW:MAX``, ``lockout=N|none``.
+        """
+        spec = (spec or "").strip()
+        if not spec:
+            return cls()
+        kwargs: dict = {}
+        try:
+            for part in spec.split(","):
+                key, _, value = part.strip().partition("=")
+                if not value:
+                    raise ValueError(f"missing value in {part!r}")
+                if key == "hash_cost":
+                    kwargs["hash_cost_factor"] = int(value)
+                elif key == "pepper":
+                    if value.startswith("hex:"):
+                        kwargs["pepper"] = bytes.fromhex(value[4:])
+                    else:
+                        kwargs["pepper"] = value.encode("utf-8")
+                elif key == "captcha_after":
+                    kwargs["captcha_after"] = int(value)
+                elif key == "rate_limit":
+                    window, _, cap = value.partition(":")
+                    kwargs["rate_limit_window"] = float(window)
+                    kwargs["rate_limit_max"] = int(cap)
+                elif key == "lockout":
+                    cap_value = None if value == "none" else int(value)
+                    kwargs["lockout_policy"] = LockoutPolicy(max_failures=cap_value)
+                else:
+                    raise ValueError(f"unknown defense knob {key!r}")
+        except (ValueError, TypeError) as exc:
+            raise ParameterError(f"malformed defense spec {spec!r}: {exc}") from exc
+        return cls(**kwargs)
+
+
+class VirtualClock:
+    """A deterministic, manually-advanced clock for rate-limit simulation.
+
+    The store's rate limiter reads time through an injectable ``clock``
+    callable; tests and attack simulations inject a ``VirtualClock`` so
+    sliding windows roll deterministically (the online attack *advances*
+    it to model the time an attacker spends waiting out the limit).
+
+    >>> clock = VirtualClock()
+    >>> clock(); clock.advance(2.5); clock()
+    0.0
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        """The current virtual time, in seconds."""
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ParameterError(f"cannot advance by {seconds} (< 0) seconds")
+        self.now += seconds
+        return self.now
+
+
+class RateLimiter:
+    """Sliding-window admission control for one account.
+
+    Tracks the timestamps of *evaluated* attempts; an attempt arriving
+    when ``max_attempts`` timestamps sit inside the trailing ``window``
+    seconds is refused without being evaluated (and without consuming a
+    slot).  Refusals report how long until the oldest slot frees.
+    """
+
+    __slots__ = ("window", "max_attempts", "_stamps")
+
+    def __init__(self, window: float, max_attempts: int) -> None:
+        if window <= 0:
+            raise ParameterError(f"window must be > 0, got {window}")
+        if max_attempts < 1:
+            raise ParameterError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.window = float(window)
+        self.max_attempts = int(max_attempts)
+        self._stamps: Deque[float] = deque()
+
+    def admit(self, now: float) -> Optional[float]:
+        """Admit an attempt at time *now*, or refuse it.
+
+        Returns ``None`` when admitted (the slot is consumed), else the
+        seconds until the next slot frees (``retry_after``).
+        """
+        stamps = self._stamps
+        horizon = now - self.window
+        while stamps and stamps[0] <= horizon:
+            stamps.popleft()
+        if len(stamps) >= self.max_attempts:
+            return stamps[0] + self.window - now
+        stamps.append(now)
+        return None
+
+    @property
+    def in_window(self) -> int:
+        """Attempts currently counted against the window (may include stale)."""
+        return len(self._stamps)
+
+
+def apply_pepper(stored: StoredPassword, pepper: bytes) -> StoredPassword:
+    """Re-bind an enrolled record's digest under a server-side pepper.
+
+    The returned record stores ``H(pepper || inner_digest)`` in place of
+    the inner digest; the salt, public material and hashing parameters are
+    untouched, so the password file reveals nothing about the pepper and
+    cannot be ground offline without it (preimage resistance).
+    """
+    if not pepper:
+        raise ParameterError("apply_pepper needs a non-empty pepper")
+    return StoredPassword(
+        scheme_name=stored.scheme_name,
+        publics=stored.publics,
+        record=peppered_record(stored.record, pepper),
+    )

@@ -86,10 +86,16 @@ class PassPointsSystem:
             )
         return self.enroll(sample.points)
 
-    def verify(self, stored: StoredPassword, points: Sequence[Point]) -> bool:
-        """Check a login attempt; ``False`` on mismatch."""
+    def verify(
+        self, stored: StoredPassword, points: Sequence[Point], pepper: bytes = b""
+    ) -> bool:
+        """Check a login attempt; ``False`` on mismatch.
+
+        *pepper* is required for records enrolled under a peppered
+        deployment (see :class:`~repro.passwords.defense.DefenseConfig`).
+        """
         self._validate_points(points)
-        return verify_password(self.scheme, stored, points)
+        return verify_password(self.scheme, stored, points, pepper=pepper)
 
     def with_salt(self, salt: bytes) -> "PassPointsSystem":
         """A copy of the system salted for one user account."""

@@ -53,8 +53,10 @@ __all__ = ["LoginOutcome", "VerificationService"]
 
 #: Attempt statuses, in the vocabulary of the scalar path: ``accept`` /
 #: ``reject`` mirror ``PasswordStore.login`` returning True/False;
-#: ``locked`` mirrors it raising ``LockoutError``.
-ACCEPT, REJECT, LOCKED = "accept", "reject", "locked"
+#: ``locked`` mirrors it raising ``LockoutError``; ``throttled`` mirrors
+#: it raising ``RateLimitError`` (refused by the defense's rate-limit
+#: window, not evaluated, no slot consumed).
+ACCEPT, REJECT, LOCKED, THROTTLED = "accept", "reject", "locked", "throttled"
 
 #: Cache of canonical byte encodings for small secret indices (cell
 #: indices are tiny ints, so the hit rate in a login flood is ~100%).
@@ -79,13 +81,22 @@ class LoginOutcome:
     username:
         The account the attempt targeted.
     status:
-        ``"accept"``, ``"reject"``, or ``"locked"`` (the attempt was
-        refused without being evaluated, as the scalar path's
-        :class:`~repro.errors.LockoutError`).
+        ``"accept"``, ``"reject"``, ``"locked"`` (refused without being
+        evaluated, as the scalar path's
+        :class:`~repro.errors.LockoutError`), or ``"throttled"`` (refused
+        by the defense rate limit, as the scalar path's
+        :class:`~repro.errors.RateLimitError`).
+    captcha:
+        Whether the attempt was CAPTCHA-challenged — the account had
+        accrued ``captcha_after`` consecutive failures *before* this
+        attempt (see :class:`~repro.passwords.defense.DefenseConfig`).
+        Advisory for human clients; a hard wall for the automated
+        attackers in :mod:`repro.attacks.online`.
     """
 
     username: str
     status: str
+    captcha: bool = False
 
     @property
     def accepted(self) -> bool:
@@ -96,6 +107,11 @@ class LoginOutcome:
     def locked(self) -> bool:
         """Whether the attempt was refused because the account is locked."""
         return self.status == LOCKED
+
+    @property
+    def throttled(self) -> bool:
+        """Whether the attempt was refused by the rate-limit window."""
+        return self.status == THROTTLED
 
 
 @dataclass(frozen=True)
@@ -295,6 +311,13 @@ class VerificationService:
         throttles: Dict[str, object] = {}  # local cache of the store's objects
         encodings = _INT_ENCODINGS
         compare_digest = hmac.compare_digest
+        # Defense knobs, hoisted: with the neutral DefenseConfig every
+        # branch below is pre-decided False and the loop body is the same
+        # instruction stream as the undefended service.
+        defense = store.defense
+        pepper = defense.pepper
+        captcha_after = defense.captcha_after
+        rate_limited = defense.rate_limited
         for start in range(0, len(pending), self._max_batch):
             chunk = pending[start : start + self._max_batch]
             points = self._chunk_points(chunk)
@@ -310,8 +333,23 @@ class VerificationService:
                 throttle = throttles.get(username)
                 if throttle is None:
                     throttle = throttles[username] = store.throttle_for(username)
+                # Challenge state is read *before* this attempt is decided,
+                # matching the scalar store.captcha_required() query order.
+                captcha = (
+                    captcha_after is not None
+                    and throttle.failures >= captcha_after
+                )
                 if throttle.locked:
-                    outcomes.append(LoginOutcome(username=username, status=LOCKED))
+                    outcomes.append(
+                        LoginOutcome(username=username, status=LOCKED, captcha=captcha)
+                    )
+                    continue
+                if rate_limited and store.rate_limit_admit(username) is not None:
+                    outcomes.append(
+                        LoginOutcome(
+                            username=username, status=THROTTLED, captcha=captcha
+                        )
+                    )
                     continue
                 data = material.prefix + b"".join(
                     [encodings.get(v) or _encode_int(v) for v in secrets]
@@ -319,13 +357,22 @@ class VerificationService:
                 current = material.hash_new(material.salt + data).digest()
                 for _ in range(material.rounds - 1):
                     current = material.hash_new(current).digest()
+                if pepper:
+                    # The outer keyed form of peppered_record: the stored
+                    # digest is H(pepper || inner), and `current` here is
+                    # exactly the inner digest bytes.
+                    current = material.hash_new(pepper + current).digest()
                 ok = compare_digest(current.hex(), material.digest)
                 before = (throttle.failures, throttle.locked)
                 throttle.record(ok)
                 if (throttle.failures, throttle.locked) != before:
                     store._persist_throttle(username)
                 outcomes.append(
-                    LoginOutcome(username=username, status=ACCEPT if ok else REJECT)
+                    LoginOutcome(
+                        username=username,
+                        status=ACCEPT if ok else REJECT,
+                        captcha=captcha,
+                    )
                 )
         return outcomes
 

@@ -20,11 +20,14 @@ is :class:`~repro.passwords.service.VerificationService`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.errors import StoreError
+from repro.crypto.hashing import Hasher
+from repro.errors import RateLimitError, StoreError
 from repro.geometry.point import Point
+from repro.passwords.defense import DefenseConfig, RateLimiter, apply_pepper
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
 from repro.passwords.storage import MemoryBackend, StorageBackend
@@ -55,6 +58,12 @@ class PasswordStore:
     system: PassPointsSystem
     policy: LockoutPolicy = LockoutPolicy()
     backend: StorageBackend = field(default_factory=MemoryBackend)
+    # Deployment countermeasures; DefenseConfig() is the neutral cell
+    # (bit-identical to the undefended store, property-tested in
+    # tests/test_defense_matrix.py).  The clock feeds the rate-limit
+    # windows only — inject a VirtualClock for deterministic simulation.
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
+    clock: Callable[[], float] = time.monotonic
     # In-process caches over the backend.  The store assumes it is the
     # sole writer of its backend while open (same assumption the
     # throttle cache already makes); durable backends are re-read only
@@ -62,6 +71,69 @@ class PasswordStore:
     # does not re-parse records per attempt.
     _throttles: Dict[str, AccountThrottle] = field(default_factory=dict)
     _record_cache: Dict[str, StoredPassword] = field(default_factory=dict)
+    _rate_limiters: Dict[str, RateLimiter] = field(default_factory=dict)
+    _hardened_cache: Optional[PassPointsSystem] = field(default=None, repr=False)
+
+    # -- defense -------------------------------------------------------------
+
+    @property
+    def effective_policy(self) -> LockoutPolicy:
+        """The lockout policy in force: the defense override, else the store's."""
+        return self.defense.lockout_policy or self.policy
+
+    def _hardened_system(self) -> PassPointsSystem:
+        """The system with the slow-hash cost factor applied (cached).
+
+        ``hash_cost_factor`` multiplies the hasher's iteration count at
+        enrollment time, so the stored record self-describes its cost
+        (like a bcrypt cost prefix) and every verification *and* attacker
+        guess pays the factor.  Factor 1 returns the system untouched —
+        the neutral path allocates nothing.
+        """
+        factor = self.defense.hash_cost_factor
+        if factor == 1:
+            return self.system
+        if self._hardened_cache is None:
+            hasher = self.system.hasher
+            self._hardened_cache = replace(
+                self.system,
+                hasher=Hasher(
+                    hasher.algorithm, hasher.iterations * factor, hasher.salt
+                ),
+            )
+        return self._hardened_cache
+
+    def rate_limit_admit(self, username: str) -> Optional[float]:
+        """Consume one rate-limit slot, or report the wait until one frees.
+
+        Returns ``None`` when the attempt is admitted (or the deployment
+        has no rate limit); otherwise the ``retry_after`` seconds.  Shared
+        by the scalar :meth:`login` path and the batched
+        :class:`~repro.passwords.service.VerificationService`, so both
+        enforce the identical sliding window.
+        """
+        defense = self.defense
+        if defense.rate_limit_window is None:
+            return None
+        limiter = self._rate_limiters.get(username)
+        if limiter is None:
+            limiter = self._rate_limiters[username] = RateLimiter(
+                defense.rate_limit_window, defense.rate_limit_max
+            )
+        return limiter.admit(self.clock())
+
+    def captcha_required(self, username: str) -> bool:
+        """Whether the account's next attempt is CAPTCHA-challenged.
+
+        True once ``captcha_after`` consecutive failures have accrued (and
+        the knob is enabled).  The store still evaluates challenged
+        attempts — a human solves the CAPTCHA and proceeds — but automated
+        attackers stall here (see :mod:`repro.attacks.online`).
+        """
+        after = self.defense.captcha_after
+        if after is None:
+            return False
+        return self.throttle_for(username).failures >= after
 
     # -- accounts -----------------------------------------------------------
 
@@ -71,16 +143,18 @@ class PasswordStore:
         return username.encode("utf-8")
 
     def _salted_system(self, username: str) -> PassPointsSystem:
-        return self.system.with_salt(self.salt_for(username))
+        return self._hardened_system().with_salt(self.salt_for(username))
 
     def create_account(self, username: str, points: Sequence[Point]) -> None:
         """Register an account with a graphical password."""
         if username in self.backend:
             raise StoreError(f"account {username!r} already exists")
         stored = self._salted_system(username).enroll(points)
+        if self.defense.pepper:
+            stored = apply_pepper(stored, self.defense.pepper)
         self.backend.put(username, stored)
         self._record_cache[username] = stored
-        throttle = AccountThrottle(self.policy)
+        throttle = AccountThrottle(self.effective_policy)
         self._throttles[username] = throttle
         self.backend.put_throttle(username, throttle.state())
 
@@ -89,6 +163,7 @@ class PasswordStore:
         self.backend.delete(username)
         self._throttles.pop(username, None)
         self._record_cache.pop(username, None)
+        self._rate_limiters.pop(username, None)
 
     @property
     def usernames(self) -> tuple:
@@ -118,9 +193,9 @@ class PasswordStore:
             raise StoreError(f"unknown account {username!r}")
         state = self.backend.get_throttle(username)
         if state is None:
-            throttle = AccountThrottle(self.policy)
+            throttle = AccountThrottle(self.effective_policy)
         else:
-            throttle = AccountThrottle.from_state(self.policy, state)
+            throttle = AccountThrottle.from_state(self.effective_policy, state)
         self._throttles[username] = throttle
         return throttle
 
@@ -134,16 +209,32 @@ class PasswordStore:
         """One throttled login attempt.
 
         Raises :class:`~repro.errors.LockoutError` when the account is
-        locked; otherwise records the outcome with the throttle and returns
-        the verification result.
+        locked and :class:`~repro.errors.RateLimitError` when the defense's
+        rate-limit window is exhausted (a refused attempt consumes no slot
+        and is never evaluated); otherwise records the outcome with the
+        throttle and returns the verification result.
         """
         stored = self.record_for(username)
         throttle = self.throttle_for(username)
         throttle.check()
-        ok = self._salted_system(username).verify(stored, points)
+        retry = self.rate_limit_admit(username)
+        if retry is not None:
+            raise RateLimitError(
+                f"account {username!r} rate-limited", retry_after=retry
+            )
+        ok = self._verify(username, stored, points)
         throttle.record(ok)
         self._persist_throttle(username)
         return ok
+
+    def _verify(
+        self, username: str, stored: StoredPassword, points: Sequence[Point]
+    ) -> bool:
+        """Pepper-aware verification against one account's record."""
+        system = self._salted_system(username)
+        if self.defense.pepper:
+            return system.verify(stored, points, pepper=self.defense.pepper)
+        return system.verify(stored, points)
 
     def is_locked(self, username: str) -> bool:
         """Whether the account is currently locked out."""
@@ -169,7 +260,8 @@ class PasswordStore:
         self.backend.load(payload)
         self._throttles = {}
         self._record_cache = {}
+        self._rate_limiters = {}
         for username in self.backend.usernames():
-            throttle = AccountThrottle(self.policy)
+            throttle = AccountThrottle(self.effective_policy)
             self._throttles[username] = throttle
             self.backend.put_throttle(username, throttle.state())

@@ -140,13 +140,16 @@ def verify_password(
     scheme: DiscretizationScheme,
     stored: StoredPassword,
     points: Sequence[Point],
+    pepper: bytes = b"",
 ) -> bool:
     """Check a login attempt against a stored password.
 
     Exactly the deployed flow: discretize under stored public material,
     hash, compare digests.  Returns ``False`` for any well-formed mismatch;
     raises :class:`~repro.errors.VerificationError` only for structural
-    problems (wrong click count).
+    problems (wrong click count).  *pepper* must be supplied for records
+    enrolled under a peppered deployment
+    (:func:`repro.passwords.defense.apply_pepper`).
     """
     secrets = locate_secrets(scheme, stored, points)
-    return stored.record.matches(_flatten(secrets))
+    return stored.record.matches(_flatten(secrets), pepper=pepper)

@@ -8,7 +8,11 @@ batch).  Operations:
 
 ``{"op": "login", "id": 1, "user": "u7", "points": [[x, y], ...]}``
     One throttled login attempt.  Response
-    ``{"id": 1, "ok": true, "status": "accept" | "reject" | "locked"}``.
+    ``{"id": 1, "ok": true, "status": "accept" | "reject" | "locked" |
+    "throttled"}``; a ``"captcha": true`` field is added when the
+    deployment's :class:`~repro.passwords.defense.DefenseConfig` has
+    challenged the attempt (absent otherwise, so the neutral-defense
+    protocol is byte-identical to the undefended one).
 ``{"op": "enroll", "id": 2, "user": "new", "points": [[x, y], ...]}``
     Register an account (scalar path, like the sync service).
 ``{"op": "stats", "id": 3}``
@@ -139,6 +143,8 @@ class LoginServer:
                 points = parse_points(request.get("points"))
                 outcome = await self.service.login(str(request.get("user")), points)
                 response = {"id": request_id, "ok": True, "status": outcome.status}
+                if outcome.captcha:
+                    response["captcha"] = True
             elif op == "enroll":
                 points = parse_points(request.get("points"))
                 self.service.service.enroll(str(request.get("user")), points)
@@ -155,6 +161,9 @@ class LoginServer:
                     "size_flushes": stats.size_flushes,
                     "largest_batch": stats.largest_batch,
                     "mean_batch": round(stats.mean_batch, 2),
+                    "throttled": stats.throttled,
+                    "captcha_challenged": stats.captcha_challenged,
+                    "defense": self.service.store.defense.describe(),
                 }
             elif op == "ping":
                 response = {"id": request_id, "ok": True, "status": "pong"}

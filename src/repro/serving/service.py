@@ -59,6 +59,12 @@ class ServiceStats:
         calls).
     largest_batch:
         Largest number of attempts decided by a single flush.
+    throttled:
+        Attempts refused by the defense rate-limit window (always 0 under
+        the neutral :class:`~repro.passwords.defense.DefenseConfig`).
+    captcha_challenged:
+        Attempts that carried a CAPTCHA challenge (always 0 when the
+        ``captcha_after`` knob is off).
     """
 
     submitted: int = 0
@@ -66,6 +72,8 @@ class ServiceStats:
     flushes: int = 0
     size_flushes: int = 0
     largest_batch: int = 0
+    throttled: int = 0
+    captcha_challenged: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -120,6 +128,9 @@ class AsyncVerificationService:
         self._pending_attempts = 0
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self.stats = ServiceStats()
+        # Neutral deployments skip the per-outcome defense bookkeeping in
+        # _flush_now entirely — the hot path stays the undefended one.
+        self._count_defense = not store.defense.is_neutral
         # Image bounds hoisted out of the per-submit hot path.
         image = getattr(store.system, "image", None)
         if image is not None:
@@ -261,6 +272,12 @@ class AsyncVerificationService:
                     future.set_exception(exc)
             return
         self.stats.decided += len(outcomes)
+        if self._count_defense:
+            for outcome in outcomes:
+                if outcome.throttled:
+                    self.stats.throttled += 1
+                if outcome.captcha:
+                    self.stats.captcha_challenged += 1
         offset = 0
         for future, count in waiters:
             if count == 1:

@@ -1,0 +1,803 @@
+"""Defense/attack matrix tests: DefenseConfig knobs against the baseline.
+
+The ISSUE-6 acceptance criterion has two halves:
+
+* **Neutral cell == undefended baseline, bit for bit.**  A store built
+  with ``DefenseConfig.none()`` must produce byte-identical password
+  files and identical decision sequences to a store built with no
+  defense argument at all — across all three schemes, three storage
+  backends, and the scalar / batched / async serving paths.  Every other
+  cell of the matrix is then an auditable delta from the reproduced
+  paper rather than a fork of it.
+
+* **Each knob moves exactly the axis it claims.**  Pepper withheld from
+  the stolen file drives offline cracks to zero; ``hash_cost_factor=k``
+  multiplies the grind cost by exactly k; rate limits and CAPTCHAs tax
+  the online channel; the sharded attack engine stays bit-identical at
+  any worker count under every cell.
+
+Async tests are plain ``async def`` functions executed by the stdlib
+``asyncio.run`` harness in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.economics import (
+    CrackingCostEstimate,
+    DefenseCell,
+    default_defense_cells,
+    defense_matrix_sweep,
+    render_defense_matrix,
+    summarize_attack_economics,
+)
+from repro.attacks.offline import (
+    OfflineAttackResult,
+    PasswordAttackOutcome,
+    offline_attack_stolen_file,
+)
+from repro.attacks.online import online_attack
+from repro.attacks.parallel import ShardedAttackRunner
+from repro.cli import main
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.errors import (
+    AttackError,
+    LockoutError,
+    ParameterError,
+    RateLimitError,
+)
+from repro.geometry.point import Point
+from repro.passwords.defense import DefenseConfig, RateLimiter, VirtualClock
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.service import VerificationService
+from repro.passwords.storage import backend_from_uri
+from repro.passwords.store import PasswordStore
+from repro.serving import AsyncVerificationService, LoginServer
+from repro.study.image import cars_image
+
+SCHEMES = {
+    "centered": lambda: CenteredDiscretization.for_pixel_tolerance(2, 9),
+    "robust": lambda: RobustDiscretization.for_pixel_tolerance(2, 9),
+    "static": lambda: StaticGridScheme(dim=2, cell_size=19),
+}
+
+#: The acceptance-criterion backend matrix.
+BACKENDS = ["memory", "sqlite", "shards"]
+
+PEPPER = b"\xa1\xb2\xc3"
+
+
+def make_backend(kind: str, tmp_path, tag: str):
+    if kind == "memory":
+        return backend_from_uri("memory:")
+    if kind == "sqlite":
+        return backend_from_uri(f"sqlite:{tmp_path / tag}.db")
+    return backend_from_uri(f"shards:sqlite:{tmp_path / tag}-s{{0..2}}.db")
+
+
+def build_system(scheme_name: str) -> PassPointsSystem:
+    return PassPointsSystem(image=cars_image(), scheme=SCHEMES[scheme_name]())
+
+
+def seeded_dictionary() -> HumanSeededDictionary:
+    """12 well-separated seed points on cars: entry == password, exactly."""
+    seeds = [Point.xy(40 + 75 * (i % 4), 60 + 100 * (i // 4)) for i in range(12)]
+    return HumanSeededDictionary(
+        seed_points=seeds, tuple_length=5, image_name="cars"
+    )
+
+
+def planted_passwords(count: int = 4, ranks=(0, 1, 3, 8)):
+    """Account passwords planted at known dictionary ranks."""
+    dictionary = seeded_dictionary()
+    entries = list(dictionary.prioritized_entries(max(ranks) + 1))
+    passwords = {
+        f"user{i}": list(entries[rank]) for i, rank in enumerate(ranks[:count])
+    }
+    return dictionary, passwords
+
+
+def planted_store(system, config: DefenseConfig, passwords) -> PasswordStore:
+    store = PasswordStore(
+        system=system,
+        policy=LockoutPolicy(max_failures=None),
+        defense=config,
+        clock=VirtualClock(),
+    )
+    for username in sorted(passwords):
+        store.create_account(username, passwords[username])
+    return store
+
+
+def mixed_stream(rng, accounts, image, length):
+    """Deterministic attempt stream: exact, jittered, wrong, random."""
+    names = sorted(accounts)
+    stream = []
+    for _ in range(length):
+        username = names[int(rng.integers(len(names)))]
+        points = accounts[username]
+        kind = int(rng.integers(3))
+        if kind == 0:
+            attempt = list(points)
+        elif kind == 1:
+            attempt = [
+                Point.xy(int(p.x) + int(rng.integers(-4, 5)),
+                         int(p.y) + int(rng.integers(-4, 5)))
+                for p in points
+            ]
+        else:
+            attempt = [Point.xy(int(p.x) - 25, int(p.y) + 25) for p in points]
+        stream.append((username, attempt))
+    return stream
+
+
+def scalar_statuses(store, stream, with_captcha=False):
+    """Decision sequence of the scalar login loop, defense errors mapped."""
+    statuses, captchas = [], []
+    for username, attempt in stream:
+        captchas.append(store.captcha_required(username))
+        try:
+            statuses.append(
+                "accept" if store.login(username, attempt) else "reject"
+            )
+        except LockoutError:
+            statuses.append("locked")
+        except RateLimitError:
+            statuses.append("throttled")
+    if with_captcha:
+        return statuses, captchas
+    return statuses
+
+
+# -- DefenseConfig unit behavior --------------------------------------------
+
+
+class TestDefenseConfig:
+    def test_neutral_and_spec_roundtrip(self):
+        assert DefenseConfig.none().is_neutral
+        assert DefenseConfig.none().to_spec() == ""
+        assert DefenseConfig.from_spec("") == DefenseConfig.none()
+        assert DefenseConfig.from_spec("   ") == DefenseConfig.none()
+        configs = [
+            DefenseConfig(hash_cost_factor=16),
+            DefenseConfig(pepper=PEPPER),
+            DefenseConfig(captcha_after=3),
+            DefenseConfig(rate_limit_window=30.0, rate_limit_max=3),
+            DefenseConfig(lockout_policy=LockoutPolicy(max_failures=None)),
+            DefenseConfig(
+                hash_cost_factor=4,
+                pepper=b"secret",
+                captcha_after=2,
+                rate_limit_window=60.0,
+                rate_limit_max=10,
+                lockout_policy=LockoutPolicy(max_failures=5),
+            ),
+        ]
+        for config in configs:
+            assert not config.is_neutral
+            assert DefenseConfig.from_spec(config.to_spec()) == config
+
+    def test_plaintext_pepper_spec(self):
+        assert DefenseConfig.from_spec("pepper=hunter2").pepper == b"hunter2"
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DefenseConfig(hash_cost_factor=0)
+        with pytest.raises(ParameterError):
+            DefenseConfig(captcha_after=0)
+        with pytest.raises(ParameterError):
+            DefenseConfig(rate_limit_window=30.0)  # max missing
+        with pytest.raises(ParameterError):
+            DefenseConfig(rate_limit_window=0.0, rate_limit_max=3)
+        with pytest.raises(ParameterError):
+            DefenseConfig(rate_limit_window=30.0, rate_limit_max=0)
+        for bad in ("hash_cost=", "zoom=3", "rate_limit=30", "pepper=hex:zz"):
+            with pytest.raises(ParameterError):
+                DefenseConfig.from_spec(bad)
+
+    def test_describe_redacts_pepper(self):
+        description = DefenseConfig(pepper=PEPPER).describe()
+        assert description["pepper"] is True
+        assert PEPPER.hex() not in json.dumps(description)
+
+    def test_rate_limiter_window_rolls(self):
+        limiter = RateLimiter(window=10.0, max_attempts=2)
+        assert limiter.admit(0.0) is None
+        assert limiter.admit(1.0) is None
+        assert limiter.admit(2.0) == pytest.approx(8.0)  # oldest frees at 10
+        assert limiter.admit(10.5) is None  # slot freed, consumed again
+
+
+# -- the tentpole property: neutral cell == undefended, bit for bit ---------
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("backend_kind", BACKENDS)
+def test_neutral_cell_bit_identical_serial_and_batched(
+    scheme_name, backend_kind, tmp_path
+):
+    """DefenseConfig.none() changes nothing: records, decisions, lockouts."""
+    image = cars_image()
+    rng = np.random.default_rng(2008)
+    _, accounts = planted_passwords(count=3, ranks=(0, 1, 3))
+    stream = mixed_stream(rng, accounts, image, 40)
+    policy = LockoutPolicy(max_failures=3)
+
+    def deploy(tag, **defense_kwargs):
+        backend = make_backend(backend_kind, tmp_path, f"{scheme_name}-{tag}")
+        store = PasswordStore(
+            system=build_system(scheme_name),
+            policy=policy,
+            backend=backend,
+            **defense_kwargs,
+        )
+        for username in sorted(accounts):
+            store.create_account(username, accounts[username])
+        return store
+
+    plain = deploy("plain")
+    neutral = deploy("neutral", defense=DefenseConfig.none(), clock=VirtualClock())
+
+    # The stolen artifact is byte-identical: same records, same digests.
+    assert plain.backend.dump() == neutral.backend.dump()
+
+    # The scalar decision/lockout sequence is identical, and no attempt is
+    # ever challenged or throttled.
+    plain_statuses = scalar_statuses(plain, stream)
+    neutral_statuses, neutral_captchas = scalar_statuses(
+        neutral, stream, with_captcha=True
+    )
+    assert neutral_statuses == plain_statuses
+    assert not any(neutral_captchas)
+    assert "throttled" not in neutral_statuses
+    for username in accounts:
+        assert plain.is_locked(username) == neutral.is_locked(username)
+
+    # The batched service agrees with itself and with the scalar loop.
+    plain_batched = deploy("plain-batched")
+    neutral_batched = deploy(
+        "neutral-batched", defense=DefenseConfig.none(), clock=VirtualClock()
+    )
+    plain_outcomes = VerificationService(plain_batched, max_batch=7).login_many(
+        stream
+    )
+    neutral_outcomes = VerificationService(
+        neutral_batched, max_batch=7
+    ).login_many(stream)
+    assert [o.status for o in plain_outcomes] == plain_statuses
+    assert [o.status for o in neutral_outcomes] == plain_statuses
+    assert all(not o.captcha for o in neutral_outcomes)
+    plain.backend.close()
+    neutral.backend.close()
+    plain_batched.backend.close()
+    neutral_batched.backend.close()
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("backend_kind", BACKENDS)
+async def test_neutral_cell_async_matches_undefended(
+    scheme_name, backend_kind, tmp_path
+):
+    """Concurrent interleavings on the neutral cell == undefended scalar."""
+    image = cars_image()
+    rng = np.random.default_rng(1387)
+    _, accounts = planted_passwords(count=3, ranks=(0, 1, 3))
+    policy = LockoutPolicy(max_failures=3)
+
+    backend = make_backend(backend_kind, tmp_path, f"{scheme_name}-async")
+    store = PasswordStore(
+        system=build_system(scheme_name),
+        policy=policy,
+        backend=backend,
+        defense=DefenseConfig.none(),
+        clock=VirtualClock(),
+    )
+    for username in sorted(accounts):
+        store.create_account(username, accounts[username])
+    service = AsyncVerificationService(store, max_batch=6)
+
+    streams = [mixed_stream(rng, accounts, image, 15) for _ in range(2)]
+    yield_plan = [
+        [float(x) < 0.4 for x in rng.random(len(stream))] for stream in streams
+    ]
+    order, statuses = [], {}
+
+    async def client(stream, yields):
+        for position, attempt in enumerate(stream):
+            if yields[position]:
+                await asyncio.sleep(0)
+            future = service.submit(*attempt)
+            index = len(order)
+            order.append(attempt)
+            outcome = await future
+            statuses[index] = (outcome.status, outcome.captcha)
+
+    await asyncio.gather(*(client(s, y) for s, y in zip(streams, yield_plan)))
+    decided = [statuses[index] for index in range(len(order))]
+    assert all(not captcha for _, captcha in decided)
+
+    reference = PasswordStore(system=build_system(scheme_name), policy=policy)
+    for username in sorted(accounts):
+        reference.create_account(username, accounts[username])
+    assert [status for status, _ in decided] == scalar_statuses(reference, order)
+    for username in accounts:
+        assert store.is_locked(username) == reference.is_locked(username)
+    backend.close()
+
+
+# -- single-knob cells: batched/async paths == scalar reference -------------
+
+
+SINGLE_KNOB_SPECS = [
+    "hash_cost=4",
+    f"pepper=hex:{PEPPER.hex()}",
+    "captcha_after=2",
+    "rate_limit=60:4",
+    "lockout=2",
+]
+
+
+@pytest.mark.parametrize("spec", SINGLE_KNOB_SPECS)
+async def test_single_knob_async_matches_scalar_reference(spec, tmp_path):
+    """Each knob alone: randomized interleavings == scalar replay."""
+    image = cars_image()
+    config = DefenseConfig.from_spec(spec)
+    rng = np.random.default_rng(42)
+    _, accounts = planted_passwords(count=3, ranks=(0, 1, 3))
+
+    def deploy():
+        store = PasswordStore(
+            system=build_system("centered"),
+            policy=LockoutPolicy(max_failures=None),
+            defense=config,
+            clock=VirtualClock(),
+        )
+        for username in sorted(accounts):
+            store.create_account(username, accounts[username])
+        return store
+
+    store = deploy()
+    service = AsyncVerificationService(store, max_batch=5)
+    streams = [mixed_stream(rng, accounts, image, 12) for _ in range(2)]
+    yield_plan = [
+        [float(x) < 0.4 for x in rng.random(len(stream))] for stream in streams
+    ]
+    order, decided = [], {}
+
+    async def client(stream, yields):
+        for position, attempt in enumerate(stream):
+            if yields[position]:
+                await asyncio.sleep(0)
+            future = service.submit(*attempt)
+            index = len(order)
+            order.append(attempt)
+            outcome = await future
+            decided[index] = (outcome.status, outcome.captcha)
+
+    await asyncio.gather(*(client(s, y) for s, y in zip(streams, yield_plan)))
+    observed = [decided[index] for index in range(len(order))]
+
+    reference = deploy()
+    statuses, captchas = scalar_statuses(reference, order, with_captcha=True)
+    assert observed == list(zip(statuses, captchas))
+
+
+@pytest.mark.parametrize("spec", SINGLE_KNOB_SPECS)
+def test_single_knob_batched_matches_scalar_reference(spec):
+    """login_many micro-batches decide exactly like the scalar loop."""
+    image = cars_image()
+    config = DefenseConfig.from_spec(spec)
+    rng = np.random.default_rng(7)
+    _, accounts = planted_passwords(count=3, ranks=(0, 1, 3))
+    stream = mixed_stream(rng, accounts, image, 30)
+
+    def deploy():
+        store = PasswordStore(
+            system=build_system("centered"),
+            policy=LockoutPolicy(max_failures=None),
+            defense=config,
+            clock=VirtualClock(),
+        )
+        for username in sorted(accounts):
+            store.create_account(username, accounts[username])
+        return store
+
+    outcomes = VerificationService(deploy(), max_batch=7).login_many(stream)
+    statuses, captchas = scalar_statuses(deploy(), stream, with_captcha=True)
+    assert [(o.status, o.captcha) for o in outcomes] == list(
+        zip(statuses, captchas)
+    )
+
+
+# -- attack-path regressions ------------------------------------------------
+
+
+class TestOfflineDefenses:
+    def test_pepper_withheld_fails_closed(self):
+        dictionary, passwords = planted_passwords()
+        system = build_system("centered")
+        baseline = planted_store(system, DefenseConfig(), passwords)
+        peppered = planted_store(system, DefenseConfig(pepper=PEPPER), passwords)
+
+        reference = offline_attack_stolen_file(
+            system.scheme, baseline.dump_records(), dictionary, guess_budget=60
+        )
+        assert reference.cracked == len(passwords)  # ranks are in budget
+
+        stolen = peppered.dump_records()
+        assert PEPPER.hex() not in stolen  # the file holds no pepper trace
+        blind = offline_attack_stolen_file(
+            system.scheme, stolen, dictionary, guess_budget=60
+        )
+        assert blind.cracked == 0
+        assert all(o.guesses_hashed == 60 for o in blind.outcomes)
+        assert blind.hash_units_per_crack == float("inf")
+
+        # The grind recovers exactly the baseline once the pepper leaks.
+        keyed = offline_attack_stolen_file(
+            system.scheme, stolen, dictionary, guess_budget=60, pepper=PEPPER
+        )
+        assert [(o.username, o.cracked, o.guesses_hashed) for o in keyed.outcomes] \
+            == [(o.username, o.cracked, o.guesses_hashed) for o in reference.outcomes]
+
+    @pytest.mark.parametrize("factor", [4, 16])
+    def test_hash_cost_multiplies_grind_cost(self, factor):
+        dictionary, passwords = planted_passwords()
+        system = build_system("centered")
+        baseline = offline_attack_stolen_file(
+            system.scheme,
+            planted_store(system, DefenseConfig(), passwords).dump_records(),
+            dictionary,
+            guess_budget=60,
+        )
+        hardened = offline_attack_stolen_file(
+            system.scheme,
+            planted_store(
+                system, DefenseConfig(hash_cost_factor=factor), passwords
+            ).dump_records(),
+            dictionary,
+            guess_budget=60,
+        )
+        # Same guesses, k× the iterated-hash work: the knob moves cost only.
+        assert hardened.cracked == baseline.cracked
+        assert [o.guesses_hashed for o in hardened.outcomes] == [
+            o.guesses_hashed for o in baseline.outcomes
+        ]
+        assert hardened.hash_units == factor * baseline.hash_units
+        assert hardened.hash_units_per_crack == pytest.approx(
+            factor * baseline.hash_units_per_crack
+        )
+
+    def test_sharded_bit_identical_under_every_cell(self):
+        """Workers ∈ {1,2,4} agree bit-for-bit in every defense cell."""
+        dictionary, passwords = planted_passwords()
+        system = build_system("centered")
+        for cell in default_defense_cells():
+            stolen = planted_store(system, cell.config, passwords).dump_records()
+            pepper = cell.config.pepper
+            results = [
+                ShardedAttackRunner(workers=workers).run_stolen_file(
+                    system.scheme,
+                    stolen,
+                    dictionary,
+                    guess_budget=25,
+                    pepper=pepper,
+                )
+                for workers in (1, 2, 4)
+            ]
+            serial, two, four = results
+            assert serial.outcomes == two.outcomes == four.outcomes, cell.name
+            assert serial.hash_units == two.hash_units == four.hash_units
+
+
+class TestOnlineDefenses:
+    def _attack(self, config, **kwargs):
+        dictionary, passwords = planted_passwords()
+        store = planted_store(build_system("centered"), config, passwords)
+        return online_attack(
+            store, dictionary, guess_budget=10, **kwargs
+        ), store
+
+    def test_rate_limit_costs_attacker_time(self):
+        baseline, _ = self._attack(DefenseConfig())
+        limited, _ = self._attack(
+            DefenseConfig(rate_limit_window=30.0, rate_limit_max=2)
+        )
+        # Same compromises eventually, but every wait is attacker seconds.
+        assert limited.compromised == baseline.compromised
+        assert limited.attacker_seconds > baseline.attacker_seconds
+        assert limited.seconds_per_compromise > baseline.seconds_per_compromise
+
+    def test_captcha_walls_automated_attacker(self):
+        walled, _ = self._attack(DefenseConfig(captcha_after=1))
+        assert walled.captcha_walled_fraction > 0
+        assert walled.compromised < 4
+        # A human-solver budget buys through the wall, at a price.
+        solved, _ = self._attack(
+            DefenseConfig(captcha_after=1), captcha_solve_seconds=20.0
+        )
+        assert solved.compromised >= walled.compromised
+        assert solved.attacker_seconds > walled.attacker_seconds
+
+    def test_lockout_stops_the_guessing_run(self):
+        locked, store = self._attack(
+            DefenseConfig(lockout_policy=LockoutPolicy(max_failures=1))
+        )
+        assert locked.locked_fraction > 0
+        assert locked.total_guesses < 4 * 10
+        assert any(store.is_locked(username) for username in store.usernames)
+
+    def test_rate_limited_store_needs_advanceable_clock(self):
+        dictionary, passwords = planted_passwords()
+        store = PasswordStore(
+            system=build_system("centered"),
+            policy=LockoutPolicy(max_failures=None),
+            defense=DefenseConfig(rate_limit_window=30.0, rate_limit_max=2),
+        )  # real monotonic clock: the simulation cannot wait it out
+        for username in sorted(passwords):
+            store.create_account(username, passwords[username])
+        with pytest.raises(AttackError):
+            online_attack(store, dictionary, guess_budget=10)
+
+
+# -- economics: per-account cost is the expected guess rank -----------------
+
+
+class TestEconomics:
+    def _result(self, matches, dictionary_entries=99):
+        outcomes = tuple(
+            PasswordAttackOutcome(
+                password_id=i, cracked=m > 0, matching_entries=m
+            )
+            for i, m in enumerate(matches)
+        )
+        return OfflineAttackResult(
+            scheme_name="centered",
+            image_name="cars",
+            outcomes=outcomes,
+            dictionary_bits=float(np.log2(dictionary_entries)),
+            hash_operations_modeled=dictionary_entries * len(outcomes),
+        )
+
+    def test_expected_guess_rank_formula(self):
+        result = self._result([1, 3, 0])
+        # (N+1)/(m+1) with N=99: m=1 → 50, m=3 → 25, m=0 → 100 (sentinel).
+        assert result.expected_guess_rank(result.outcomes[0]) == 50.0
+        assert result.expected_guess_rank(result.outcomes[1]) == 25.0
+        assert result.expected_guess_rank(result.outcomes[2]) == 100.0
+
+    def test_summary_prices_accounts_by_expected_rank(self):
+        result = self._result([1, 3, 0])
+        estimate = CrackingCostEstimate(
+            scheme_name="centered",
+            dictionary_entries=99,
+            identifier_multiplier=2.0,
+            hash_iterations=5,
+            hash_rate=1e6,
+        )
+        summary = summarize_attack_economics(result, estimate)
+        # Mean expected rank over the *cracked* outcomes: (50 + 25) / 2.
+        assert summary["mean_expected_guesses"] == 37.5
+        assert summary["median_expected_guesses"] == 50.0
+        # Per-account cost = rank × multiplier × iterations — NOT the
+        # full-dictionary budget (99 × 2 × 5), which stays in its own key.
+        assert summary["expected_hashes_per_cracked_account"] == 37.5 * 2.0 * 5
+        assert summary["expected_hours_per_cracked_account"] == pytest.approx(
+            37.5 * 2.0 * 5 / 1e6 / 3600.0
+        )
+        assert summary["hashes_per_password"] == 99 * 2.0 * 5
+
+    def test_summary_with_no_cracks(self):
+        summary = summarize_attack_economics(
+            self._result([0, 0]),
+            CrackingCostEstimate(
+                scheme_name="centered",
+                dictionary_entries=99,
+                identifier_multiplier=1.0,
+                hash_iterations=1,
+                hash_rate=1e9,
+            ),
+        )
+        assert summary["mean_expected_guesses"] is None
+        assert summary["expected_hashes_per_cracked_account"] is None
+        assert summary["expected_hours_per_cracked_account"] is None
+
+
+# -- the sweep --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    return defense_matrix_sweep(online_guess_budget=12, offline_guess_budget=160)
+
+
+class TestDefenseMatrixSweep:
+    def _cell(self, report, name):
+        return next(c for c in report["cells"] if c["name"] == name)
+
+    def test_report_shape(self, sweep_report):
+        assert sweep_report["meta"]["cells"] >= 16
+        assert len(sweep_report["cells"]) == sweep_report["meta"]["cells"]
+        json.dumps(sweep_report)  # machine-readable, no inf/bytes leaking
+        for cell in sweep_report["cells"]:
+            assert cell["defense"] == DefenseConfig.from_spec(
+                cell["spec"]
+            ).describe()
+            assert {"attacked", "compromised", "seconds_per_compromise"} \
+                <= set(cell["online"])
+            assert {"cracked", "hash_units_per_crack"} <= set(cell["offline"])
+            assert {"relative_hash_cost", "legit_throttled"} \
+                <= set(cell["defender"])
+
+    def test_neutral_cell_costs_defender_nothing(self, sweep_report):
+        none = self._cell(sweep_report, "none")
+        defender = none["defender"]
+        assert defender["relative_hash_cost"] == 1.0
+        assert defender["legit_throttled"] == 0
+        assert defender["legit_captcha_challenged"] == 0
+        assert defender["legit_accepted"] == defender["legit_attempts"]
+
+    def test_hash_cost_scales_offline_cost_exactly(self, sweep_report):
+        none = self._cell(sweep_report, "none")["offline"]
+        hardened = self._cell(sweep_report, "hash_cost_16")["offline"]
+        assert hardened["cracked"] == none["cracked"] > 0
+        assert hardened["hash_units_per_crack"] == pytest.approx(
+            16 * none["hash_units_per_crack"]
+        )
+
+    def test_pepper_cells_fail_closed_offline(self, sweep_report):
+        for name in ("pepper", "pepper+hash_cost_16", "kitchen_sink"):
+            offline = self._cell(sweep_report, name)["offline"]
+            assert offline["cracked"] == 0
+            assert offline["hash_units_per_crack"] is None
+
+    def test_rate_limit_taxes_online_attacker(self, sweep_report):
+        none = self._cell(sweep_report, "none")["online"]
+        strict = self._cell(sweep_report, "rate_limit_strict")["online"]
+        assert strict["seconds_per_compromise"] > none["seconds_per_compromise"]
+
+    def test_lockout_and_kitchen_sink_shrink_online_compromise(
+        self, sweep_report
+    ):
+        none = self._cell(sweep_report, "none")["online"]
+        for name in ("lockout_1", "kitchen_sink"):
+            online = self._cell(sweep_report, name)["online"]
+            assert online["compromised"] < none["compromised"]
+
+    def test_render_lists_every_cell(self, sweep_report):
+        table = render_defense_matrix(sweep_report)
+        for cell in sweep_report["cells"]:
+            assert cell["name"] in table
+
+
+# -- CLI + protocol ---------------------------------------------------------
+
+
+class TestDefenseCLI:
+    def test_defense_matrix_json_and_out(self, tmp_path, capsys):
+        out = tmp_path / "matrix.json"
+        code = main(
+            [
+                "defense-matrix",
+                "--online-budget", "4",
+                "--offline-budget", "40",
+                "--json",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["meta"]["cells"] >= 16
+        assert json.loads(out.read_text()) == report
+
+    def test_defense_matrix_table(self, capsys):
+        code = main(
+            ["defense-matrix", "--scheme", "robust",
+             "--online-budget", "4", "--offline-budget", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme=robust" in out
+        assert "kitchen_sink" in out
+
+    def test_store_create_defense_roundtrip(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'defended.db'}"
+        spec = f"hash_cost=4,pepper=hex:{PEPPER.hex()}"
+        assert main(["store", "create", uri, "--users", "2",
+                     "--defense", spec]) == 0
+        assert spec in capsys.readouterr().out
+
+        # The spec round-trips through storage meta...
+        backend = backend_from_uri(uri)
+        assert backend.get_meta("defense") == spec
+        assert PEPPER.hex() not in backend.dump()  # ...but not the dump
+        backend.close()
+
+        # Re-creating must match the persisted defense exactly.
+        assert main(["store", "create", uri, "--users", "2"]) == 2
+        assert "refusing" in capsys.readouterr().err
+        assert main(["store", "create", uri, "--users", "2",
+                     "--defense", spec]) == 0
+        assert "2 already present" in capsys.readouterr().out
+
+        # The stolen file fails closed without the pepper...
+        assert main(["store", "attack", uri, "--budget", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cracked 0/2" in out
+        assert "fails closed" in out
+        # ...and the grind resumes when the attacker has it.
+        assert main(["store", "attack", uri, "--budget", "10",
+                     "--pepper", PEPPER.hex()]) == 0
+        assert "fails closed" not in capsys.readouterr().out
+
+    def test_store_attack_rejects_bad_pepper_hex(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'plain.db'}"
+        assert main(["store", "create", uri, "--users", "1"]) == 0
+        capsys.readouterr()
+        assert main(["store", "attack", uri, "--pepper", "zz"]) == 2
+        assert "not valid hex" in capsys.readouterr().err
+
+    def test_store_create_rejects_bad_defense_spec(self, tmp_path, capsys):
+        uri = f"sqlite:{tmp_path / 'bad.db'}"
+        assert main(["store", "create", uri, "--defense", "zoom=3"]) == 2
+        assert "defense" in capsys.readouterr().err
+
+    async def test_server_protocol_reports_defense(self, tmp_path):
+        """JSONL protocol: captcha flag on challenged logins, stats counters."""
+        config = DefenseConfig(
+            captcha_after=1, rate_limit_window=60.0, rate_limit_max=3
+        )
+        _, accounts = planted_passwords(count=1, ranks=(0,))
+        store = PasswordStore(
+            system=build_system("centered"),
+            policy=LockoutPolicy(max_failures=None),
+            defense=config,
+            clock=VirtualClock(),
+        )
+        username, points = next(iter(accounts.items()))
+        store.create_account(username, points)
+        wire_points = [[int(p.x), int(p.y)] for p in points]
+        wrong = [[p[0] + 30, p[1]] for p in wire_points]
+
+        server = await LoginServer(store).start()
+        reader, writer = await asyncio.open_connection(*server.address)
+
+        async def request(payload):
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        first = await request(
+            {"op": "login", "id": 1, "user": username, "points": wrong}
+        )
+        assert first == {"id": 1, "ok": True, "status": "reject"}
+        second = await request(
+            {"op": "login", "id": 2, "user": username, "points": wrong}
+        )
+        assert second["status"] == "reject" and second["captcha"] is True
+        third = await request(
+            {"op": "login", "id": 3, "user": username, "points": wire_points}
+        )
+        assert third["status"] == "accept" and third["captcha"] is True
+        # The fourth attempt in the window is refused, not evaluated.
+        fourth = await request(
+            {"op": "login", "id": 4, "user": username, "points": wire_points}
+        )
+        assert fourth["status"] == "throttled"
+
+        stats = await request({"op": "stats", "id": 5})
+        assert stats["throttled"] == 1
+        assert stats["captcha_challenged"] >= 2
+        assert stats["defense"]["captcha_after"] == 1
+        assert stats["defense"]["neutral"] is False
+        writer.close()
+        await server.aclose()
