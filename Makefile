@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench grind-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -37,6 +37,13 @@ attack-bench:
 ## benchmarks/reports/defense_matrix.txt with the full defense/attack matrix.
 defense-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_defense.py -q
+
+## Million-account stolen-file grind through the work-stealing queue;
+## appends its throughput/straggler section to
+## benchmarks/reports/attack_throughput.txt.
+grind-bench:
+	GRIND_ACCOUNTS=1000000 GRIND_BUDGET=64 GRIND_REPORT=1 \
+		$(PYTHON) examples/grind_million.py
 
 ## Execute every example end-to-end.
 examples:

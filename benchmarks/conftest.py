@@ -15,17 +15,22 @@ import pytest
 
 
 def pytest_report_header(config):
-    """Bench-run context line: worker count and array backend.
+    """Bench-run context line: workers, scheduling mode, array backend.
 
     Archived reports quote throughput numbers; this header (and the
-    matching line inside ``attack_throughput.txt``) makes every bench run
-    self-describing about the hardware and backend that produced it.
+    matching lines inside ``attack_throughput.txt``) makes every bench run
+    self-describing about the hardware, the attack-engine scheduling
+    configuration (``REPRO_ATTACK_MODE`` / ``REPRO_ATTACK_TASK_SIZE``
+    environment overrides included) and the backend that produced it.
     """
     from repro.attacks.parallel import default_workers
     from repro.core.batch import resolve_array_namespace
 
+    mode = os.environ.get("REPRO_ATTACK_MODE", "queue")
+    task_size = os.environ.get("REPRO_ATTACK_TASK_SIZE", "auto")
     return (
-        f"attack engine: {default_workers()} worker(s) schedulable; "
+        f"attack engine: {default_workers()} worker(s) schedulable, "
+        f"mode={mode}, task size={task_size}; "
         f"array backend: {resolve_array_namespace().__name__}"
     )
 

@@ -3,9 +3,10 @@
 Human-seeded dictionaries with exact closed-form crack decisions, offline
 attacks with known grid identifiers (Figures 7–8), the hash-only work-factor
 model, throttled online attacks, hotspot harvesting, shoulder-surfing,
-grid-identifier leakage analysis, and a process-sharded parallel attack
+grid-identifier leakage analysis, and a work-stealing parallel attack
 engine (:mod:`repro.attacks.parallel`) that scales the offline attacks
-across CPU cores with bit-identical results at any worker count.
+across CPU cores — static shards or a dynamic task queue — with
+bit-identical results at any worker count, mode or task size.
 """
 
 from repro.attacks.dictionary import (
@@ -44,6 +45,7 @@ from repro.attacks.leakage import (
     identifier_bits,
 )
 from repro.attacks.offline import (
+    GuessBatch,
     OfflineAttackResult,
     PasswordAttackOutcome,
     StolenAccountOutcome,
@@ -52,12 +54,15 @@ from repro.attacks.offline import (
     offline_attack_known_identifiers,
     offline_attack_stolen_file,
     parse_password_file,
+    prepare_guess_batch,
 )
 from repro.attacks.online import AccountOutcome, OnlineAttackResult, online_attack
 from repro.attacks.parallel import (
+    AttackRunStats,
     DictionarySpec,
     SchemeSpec,
     ShardedAttackRunner,
+    auto_task_size,
     default_workers,
     merge_offline_results,
     merge_stolen_results,
@@ -78,12 +83,16 @@ __all__ = [
     "expected_guesses_to_crack",
     "offline_cracking_cost",
     "summarize_attack_economics",
+    "AttackRunStats",
     "DictionarySpec",
+    "GuessBatch",
     "OfflineAttackResult",
     "OnlineAttackResult",
     "SchemeSpec",
     "ShardedAttackRunner",
+    "auto_task_size",
     "default_workers",
+    "prepare_guess_batch",
     "merge_offline_results",
     "merge_stolen_results",
     "partition_evenly",

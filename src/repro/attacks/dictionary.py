@@ -38,7 +38,12 @@ from repro.errors import AttackError
 from repro.geometry.point import Point
 from repro.study.dataset import PasswordSample
 
-__all__ = ["HumanSeededDictionary", "set_partitions", "partition_moebius_weight"]
+__all__ = [
+    "HumanSeededDictionary",
+    "INJECTIVE_CACHE_MAXSIZE",
+    "set_partitions",
+    "partition_moebius_weight",
+]
 
 
 def set_partitions(items: Sequence[int]) -> Iterator[Tuple[Tuple[int, ...], ...]]:
@@ -78,7 +83,14 @@ def partition_moebius_weight(partition: Tuple[Tuple[int, ...], ...]) -> int:
     return weight
 
 
-@functools.lru_cache(maxsize=4096)
+#: Bound on the injective-count memo.  Long-lived processes (the parallel
+#: engine's pooled workers grinding millions of accounts) would otherwise
+#: grow the memo without limit; 4096 distinct match structures comfortably
+#: covers a whole field-study image while capping the per-process footprint.
+INJECTIVE_CACHE_MAXSIZE = 4096
+
+
+@functools.lru_cache(maxsize=INJECTIVE_CACHE_MAXSIZE)
 def _count_injective_cached(canonical_sets: Tuple[Tuple[int, ...], ...]) -> int:
     """Memoized injective-tuple count for a canonicalized match-set key.
 
@@ -321,6 +333,23 @@ class HumanSeededDictionary:
         """
         key = tuple(sorted(tuple(sorted(set(m))) for m in match_sets))
         return _count_injective_cached(key)
+
+    @staticmethod
+    def assignment_cache_info() -> "functools._CacheInfo":
+        """Hit/miss/size statistics of the injective-count memo.
+
+        The memo is process-wide and bounded at
+        :data:`INJECTIVE_CACHE_MAXSIZE` entries; these stats let tests and
+        long-running attack loops confirm both that the cache is earning
+        its keep (hits on hotspot-heavy images) and that it cannot grow
+        without bound.
+        """
+        return _count_injective_cached.cache_info()
+
+    @staticmethod
+    def assignment_cache_clear() -> None:
+        """Reset the injective-count memo (mainly for test isolation)."""
+        _count_injective_cached.cache_clear()
 
     def matching_entry_count(self, accepts: Callable[[int, Point], bool]) -> int:
         """Exact number of dictionary entries that crack the target."""

@@ -25,7 +25,10 @@ account, defender verification-throughput cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # annotation-only: avoids importing the pool machinery
+    from repro.attacks.parallel import ShardedAttackRunner
 
 from repro.attacks.dictionary import HumanSeededDictionary
 from repro.attacks.offline import (
@@ -360,6 +363,7 @@ def defense_matrix_sweep(
     offline_guess_budget: int = 200,
     attempt_seconds: float = 1.0,
     captcha_solve_seconds: Optional[float] = None,
+    runner: Optional["ShardedAttackRunner"] = None,
 ) -> dict:
     """Run every defense cell against the online and stolen-file attacks.
 
@@ -378,6 +382,13 @@ def defense_matrix_sweep(
     The returned report is machine-readable: per cell, attacker cost per
     cracked account on both paths (``None`` when the cell priced the
     attack out entirely) and the defender's verification-throughput cost.
+
+    *runner* optionally supplies a
+    :class:`~repro.attacks.parallel.ShardedAttackRunner` for the offline
+    leg.  Every cell shares the same scheme, dictionary and guess budget,
+    so the runner reuses one worker pool — and each worker its cached
+    guess-batch arrays — across all 17 cells; results are bit-identical
+    to the serial grind at any worker count or task size.
     """
     from repro.core.centered import CenteredDiscretization
     from repro.passwords.passpoints import PassPointsSystem
@@ -413,9 +424,14 @@ def defense_matrix_sweep(
         )
         # Offline: steal the file from a pristine deployment and grind.
         stolen = _build_store(system, config, passwords).dump_records()
-        offline = offline_attack_stolen_file(
-            scheme, stolen, dictionary, guess_budget=offline_guess_budget
-        )
+        if runner is not None:
+            offline = runner.run_stolen_file(
+                scheme, stolen, dictionary, guess_budget=offline_guess_budget
+            )
+        else:
+            offline = offline_attack_stolen_file(
+                scheme, stolen, dictionary, guess_budget=offline_guess_budget
+            )
         defender = _legit_traffic_cost(system, config, passwords)
         reports.append(
             {

@@ -28,15 +28,19 @@ boundary-to-integer gap, 1/6 px, dwarfs float error).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from functools import partial
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.batch import as_point_array
 from repro.core.scheme import DiscretizationScheme
+from repro.crypto.encoding import encode_scalar
+from repro.crypto.records import VerificationRecord
 from repro.errors import AttackError
 from repro.passwords.system import StoredPassword
 from repro.study.dataset import PasswordSample
@@ -47,6 +51,8 @@ __all__ = [
     "OfflineAttackResult",
     "StolenAccountOutcome",
     "StolenFileAttackResult",
+    "GuessBatch",
+    "prepare_guess_batch",
     "offline_attack_known_identifiers",
     "offline_attack_stolen_file",
     "parse_password_file",
@@ -342,24 +348,188 @@ def _validate_stolen_records(
 GUESS_CHUNK = 128
 
 
+@dataclass(frozen=True)
+class GuessBatch:
+    """Precomputed guess arrays for the stolen-file grind, reusable as-is.
+
+    Enumerating ``prioritized_entries`` and packing their points into a
+    float64 array is pure per-dictionary work — it does not depend on the
+    records under attack — so the grind computes it **once** and reuses it
+    across every account, every task, and (in the parallel engine) every
+    task a worker pulls from the queue.  Slices handed to the kernel are
+    numpy views into :attr:`points` (zero-copy).
+
+    Attributes
+    ----------
+    entries:
+        The prioritized dictionary entries, best-first, already truncated
+        to the guess budget.
+    points:
+        ``(len(entries) × clicks, dim)`` read-only float64 array of every
+        entry's points, concatenated in entry order.
+    clicks:
+        Points per entry (the dictionary's ``tuple_length``).
+    """
+
+    entries: Tuple[Tuple, ...]
+    points: np.ndarray
+    clicks: int
+
+    @property
+    def guesses(self) -> int:
+        """Number of prioritized entries in the batch."""
+        return len(self.entries)
+
+    def point_rows(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy view of the point rows for entries ``start:stop``."""
+        return self.points[start * self.clicks : stop * self.clicks]
+
+
+def prepare_guess_batch(
+    dictionary: HumanSeededDictionary, guess_budget: int, dim: int
+) -> GuessBatch:
+    """Enumerate and pack the grind's guesses once, for reuse everywhere.
+
+    Raises :class:`AttackError` when the dictionary yields no entries.
+    The result is safe to share across accounts, calls and (forked)
+    worker processes: the array is read-only and the entries are frozen.
+    """
+    entries = list(dictionary.prioritized_entries(guess_budget))
+    if not entries:
+        raise AttackError("dictionary yielded no entries")
+    points = as_point_array(
+        [point for entry in entries for point in entry], dim
+    )
+    points.flags.writeable = False
+    return GuessBatch(
+        entries=tuple(entries), points=points, clicks=dictionary.tuple_length
+    )
+
+
+#: Per-process memo of canonical int encodings (``i:len:text`` bytes).
+#: Secret cell indices repeat massively across guesses and accounts, so
+#: the grind's per-guess encoding cost collapses to dict lookups.
+_INT_ENCODINGS: Dict[int, bytes] = {}
+
+
+def _encoded_int(value: int) -> bytes:
+    """Canonical encoding of one int, memoized (see ``encode_scalar``)."""
+    cached = _INT_ENCODINGS.get(value)
+    if cached is None:
+        text = str(value)
+        cached = f"i:{len(text)}:{text}".encode("ascii")
+        _INT_ENCODINGS[value] = cached
+    return cached
+
+
+def _record_matcher(
+    record: VerificationRecord, secret_len: int, pepper: bytes = b""
+) -> Callable[[Sequence[int]], bool]:
+    """Precompiled per-record digest check, bit-identical to ``matches``.
+
+    ``record.matches`` re-encodes the record's public scalars (Fractions
+    included) and re-hashes the shared prefix on **every** guess; at 2¹⁰
+    guesses per account that encoding dominates the grind.  This builds,
+    once per record:
+
+    * the canonical byte prefix (sequence header + encoded publics) via
+      the real :func:`~repro.crypto.encoding.encode_scalar`, so the bytes
+      are identical to ``encode_scalars(combine_material(...))``;
+    * a hash object pre-fed with ``salt + prefix`` whose ``copy()`` is the
+      classic midstate trick — each guess pays only the secret-index
+      suffix, not the whole material;
+
+    and returns a closure mapping a secret index row to the same boolean
+    ``record.matches(row, pepper=pepper)`` produces (iterated hashing and
+    the peppered outer hash included).  Equivalence is pinned by
+    ``tests/test_attacks_offline_online.py``.
+    """
+    hasher = record.hasher
+    total = len(record.public) + secret_len
+    prefix = f"n:{total};".encode("ascii") + b"".join(
+        encode_scalar(value) for value in record.public
+    )
+    constructor = getattr(hashlib, hasher.algorithm, None)
+    if constructor is None:  # non-attribute algorithms (e.g. ripemd160)
+        constructor = partial(hashlib.new, hasher.algorithm)
+    base = constructor(hasher.salt + prefix)
+    rounds = hasher.iterations - 1
+    expected = record.digest
+
+    def matches(secret_row: Sequence[int]) -> bool:
+        state = base.copy()
+        state.update(b"".join(map(_encoded_int, secret_row)))
+        if rounds or pepper:
+            digest = state.digest()
+            for _ in range(rounds):
+                digest = constructor(digest).digest()
+            if pepper:
+                digest = constructor(pepper + digest).digest()
+            return digest.hex() == expected
+        return state.hexdigest() == expected
+
+    return matches
+
+
+def _grind_account(
+    kernel,
+    stored: StoredPassword,
+    guesses: GuessBatch,
+    start: int,
+    stop: int,
+    pepper: bytes = b"",
+) -> Tuple[Optional[int], int]:
+    """Grind one account over guess ranks ``[start, stop)``.
+
+    Returns ``(rank, hashed)``: *rank* is the global index of the first
+    matching entry (``None`` if nothing in the range matches) and *hashed*
+    counts the guesses actually hashed — including the match, exactly the
+    serial early-stop accounting.  Ranks beyond the batch contribute
+    nothing, so queue-mode guess windows clip for free.
+    """
+    stop = min(stop, guesses.guesses)
+    if start >= stop:
+        return None, 0
+    public_rows = kernel.public_rows(stored.publics)
+    matcher = None
+    hashed = 0
+    for chunk_start in range(start, stop, GUESS_CHUNK):
+        chunk_stop = min(chunk_start + GUESS_CHUNK, stop)
+        chunk_points = guesses.point_rows(chunk_start, chunk_stop)
+        reps = chunk_stop - chunk_start
+        if public_rows.ndim == 1:  # robust: flat grid identifiers
+            tiled_public = np.tile(public_rows, reps)
+        else:
+            tiled_public = np.tile(public_rows, (reps, 1))
+        located = kernel.locate(chunk_points, tiled_public).reshape(reps, -1)
+        if matcher is None:
+            matcher = _record_matcher(stored.record, located.shape[1], pepper)
+        for offset, row in enumerate(located.tolist()):
+            hashed += 1
+            if matcher(row):
+                return chunk_start + offset, hashed
+    return None, hashed
+
+
 def offline_attack_stolen_file(
     scheme: DiscretizationScheme,
     stolen: Union[str, Mapping[str, StoredPassword]],
     dictionary: HumanSeededDictionary,
     guess_budget: int = 1000,
     pepper: bytes = b"",
+    guesses: Optional[GuessBatch] = None,
 ) -> StolenFileAttackResult:
     """Grind a stolen password file with popularity-ordered guesses.
 
     For each stolen record the attacker discretizes candidate entries
     under the record's clear public material — one vectorized ``locate``
-    per :data:`GUESS_CHUNK`-guess chunk, broadcasting the record's few
-    public rows with ``np.tile`` instead of materializing a
-    ``budget × clicks`` copy — then pays one salted hash per entry,
-    stopping at the first match (cracked accounts never locate, let alone
-    hash, the chunks behind the early stop).  This is the deployed §5.1
-    threat executed end to end: steal via a backend's ``dump``, attack
-    offline without throttling.
+    per :data:`GUESS_CHUNK`-guess chunk, slicing zero-copy views out of a
+    :class:`GuessBatch` prepared once per run — then pays one salted hash
+    per entry through a precompiled per-record matcher (midstate hashing;
+    bit-identical to ``record.matches``), stopping at the first match:
+    cracked accounts never locate, let alone hash, the chunks behind the
+    early stop.  This is the deployed §5.1 threat executed end to end:
+    steal via a backend's ``dump``, attack offline without throttling.
 
     *stolen* is either the JSON payload itself or an already-parsed
     ``{username: StoredPassword}`` mapping.
@@ -369,17 +539,26 @@ def offline_attack_stolen_file(
     contains it, so by default the grind against a peppered deployment
     fails closed: every candidate digest misses the keyed outer hash and
     nothing cracks, at full grind cost.
+
+    *guesses* optionally supplies a :func:`prepare_guess_batch` result
+    built from the **same dictionary and budget** (callers grinding many
+    password files — the parallel engine's workers, the million-account
+    demo's enrollment waves — prepare once and reuse); by default the
+    batch is prepared here.
     """
     records = parse_password_file(stolen) if isinstance(stolen, str) else dict(stolen)
     _validate_stolen_records(records, dictionary, guess_budget)
 
-    entries = list(dictionary.prioritized_entries(guess_budget))
-    if not entries:
-        raise AttackError("dictionary yielded no entries")
-    clicks = dictionary.tuple_length
-    entry_points = as_point_array(
-        [point for entry in entries for point in entry], scheme.dim
+    batch = (
+        guesses
+        if guesses is not None
+        else prepare_guess_batch(dictionary, guess_budget, scheme.dim)
     )
+    if batch.clicks != dictionary.tuple_length:
+        raise AttackError(
+            f"guess batch has {batch.clicks}-click entries, dictionary "
+            f"tuples have {dictionary.tuple_length}"
+        )
     # Pinned to numpy: the grind tiles public rows with host np.tile and
     # hashes per located row — a device backend would only add transfers.
     kernel = scheme.batch(xp=np)
@@ -387,31 +566,13 @@ def offline_attack_stolen_file(
     outcomes: List[StolenAccountOutcome] = []
     for username in sorted(records):
         stored = records[username]
-        public_rows = kernel.public_rows(stored.publics)
-        cracked = False
-        hashed = 0
-        for start in range(0, len(entries), GUESS_CHUNK):
-            stop = min(start + GUESS_CHUNK, len(entries))
-            chunk_points = entry_points[start * clicks : stop * clicks]
-            reps = stop - start
-            if public_rows.ndim == 1:  # robust: flat grid identifiers
-                tiled_public = np.tile(public_rows, reps)
-            else:
-                tiled_public = np.tile(public_rows, (reps, 1))
-            located = kernel.locate(chunk_points, tiled_public).reshape(reps, -1)
-            for row in located:
-                hashed += 1
-                if stored.record.matches(
-                    tuple(int(v) for v in row), pepper=pepper
-                ):
-                    cracked = True
-                    break
-            if cracked:
-                break
+        rank, hashed = _grind_account(
+            kernel, stored, batch, 0, batch.guesses, pepper
+        )
         outcomes.append(
             StolenAccountOutcome(
                 username=username,
-                cracked=cracked,
+                cracked=rank is not None,
                 guesses_hashed=hashed,
                 hash_units=hashed * stored.record.hasher.iterations,
             )

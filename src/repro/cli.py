@@ -123,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="attack only the first N dataset passwords (default: all)",
     )
+    attack_top.add_argument(
+        "--mode",
+        choices=("static", "queue"),
+        default="queue",
+        help=(
+            "scheduling mode: 'queue' streams small tasks to idle workers "
+            "(robust to skewed per-target cost), 'static' pins one "
+            "contiguous shard per worker (default: queue)"
+        ),
+    )
+    attack_top.add_argument(
+        "--task-size",
+        type=int,
+        default=None,
+        help="targets per queue task (default: auto, ~8 tasks per worker)",
+    )
 
     store_parser = sub.add_parser(
         "store", help="operate a password store on a backend URI"
@@ -192,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: one per schedulable CPU)",
+    )
+    attack_parser.add_argument(
+        "--mode",
+        choices=("static", "queue"),
+        default="queue",
+        help=(
+            "scheduling mode: 'queue' streams small tasks to idle workers "
+            "(robust to early-stopped accounts), 'static' pins one "
+            "contiguous shard per worker (default: queue)"
+        ),
+    )
+    attack_parser.add_argument(
+        "--task-size",
+        type=int,
+        default=None,
+        help="accounts per queue task (default: auto, ~8 tasks per worker)",
     )
     attack_parser.add_argument(
         "--pepper",
@@ -561,6 +593,8 @@ def _cmd_attack(
     tolerance: int,
     workers: Optional[int],
     victims: Optional[int],
+    mode: str = "queue",
+    task_size: Optional[int] = None,
 ) -> int:
     from repro.attacks.parallel import ShardedAttackRunner
     from repro.errors import ReproError
@@ -575,7 +609,7 @@ def _cmd_attack(
         if victims is not None:
             passwords = passwords[:victims]
         dictionary = default_dictionary(image)
-        runner = ShardedAttackRunner(workers=workers)
+        runner = ShardedAttackRunner(workers=workers, mode=mode, task_size=task_size)
         result = runner.run_known_identifiers(scheme, passwords, dictionary)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -596,7 +630,12 @@ def _cmd_attack(
 
 
 def _cmd_store_attack(
-    uri: str, budget: int, workers: Optional[int], pepper_hex: Optional[str] = None
+    uri: str,
+    budget: int,
+    workers: Optional[int],
+    pepper_hex: Optional[str] = None,
+    mode: str = "queue",
+    task_size: Optional[int] = None,
 ) -> int:
     from repro.attacks.parallel import ShardedAttackRunner
     from repro.errors import ReproError
@@ -617,7 +656,7 @@ def _cmd_store_attack(
         store = _store_for_backend(backend)
         payload = backend.dump()  # the theft: any backend, same artifact
         dictionary = default_dictionary(backend.get_meta("image"))
-        runner = ShardedAttackRunner(workers=workers)
+        runner = ShardedAttackRunner(workers=workers, mode=mode, task_size=task_size)
         result = runner.run_stolen_file(
             store.system.scheme, payload, dictionary, guess_budget=budget, pepper=pepper
         )
@@ -826,7 +865,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_demo()
     if args.command == "attack":
         return _cmd_attack(
-            args.scheme, args.image, args.tolerance, args.workers, args.victims
+            args.scheme,
+            args.image,
+            args.tolerance,
+            args.workers,
+            args.victims,
+            args.mode,
+            args.task_size,
         )
     if args.command == "store":
         if args.store_command == "create":
@@ -843,7 +888,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.store_command == "dump":
             return _cmd_store_dump(args.uri)
         if args.store_command == "attack":
-            return _cmd_store_attack(args.uri, args.budget, args.workers, args.pepper)
+            return _cmd_store_attack(
+                args.uri,
+                args.budget,
+                args.workers,
+                args.pepper,
+                args.mode,
+                args.task_size,
+            )
     if args.command == "serve":
         return _cmd_serve(
             args.uri,

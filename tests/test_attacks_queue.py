@@ -1,0 +1,334 @@
+"""Tests for the work-stealing task-queue attack mode.
+
+The tentpole property: **queue mode is bit-identical to serial and to
+static mode** for every worker count, every task size and every defense
+cell — including runs where the guess budget is split into rank windows
+and early-stopped accounts drop out of later waves.  Alongside it: the
+zero-copy guess batch, the precompiled record matcher (midstate hashing)
+that must reproduce ``VerificationRecord.matches`` bit for bit, the
+scheduling telemetry, the ``default_workers`` affinity fallback, the
+bounded injective-count memo, and the defense-matrix sweep's parallel
+offline leg.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.attacks.dictionary import (
+    INJECTIVE_CACHE_MAXSIZE,
+    HumanSeededDictionary,
+)
+from repro.attacks.economics import (
+    default_defense_cells,
+    defense_matrix_sweep,
+)
+from repro.attacks.offline import (
+    GuessBatch,
+    _record_matcher,
+    offline_attack_stolen_file,
+    prepare_guess_batch,
+)
+from repro.attacks.parallel import (
+    ShardedAttackRunner,
+    auto_task_size,
+    default_workers,
+)
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.crypto.hashing import Hasher
+from repro.crypto.records import make_record, peppered_record
+from repro.errors import AttackError
+from repro.geometry.point import Point
+from repro.passwords.defense import DefenseConfig, VirtualClock
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.store import PasswordStore
+from repro.passwords.system import enroll_password
+from repro.study.image import cars_image
+
+SCHEME = CenteredDiscretization.for_pixel_tolerance(2, 9)
+
+
+def _dictionary(tuple_length=5):
+    """12 well-separated seed points → 95,040 exact-rank entries."""
+    seeds = tuple(
+        Point.xy(40 + 75 * (i % 4), 60 + 100 * (i // 4)) for i in range(12)
+    )
+    return HumanSeededDictionary(
+        seed_points=seeds, tuple_length=tuple_length, image_name="cars"
+    )
+
+
+def _planted_records(scheme, dictionary, ranks, survivors=1, budget=512):
+    """Accounts cracked at exactly *ranks*, plus full-budget survivors.
+
+    Victim ``i`` enrolls dictionary entry ``ranks[i]`` verbatim (the
+    well-separated seed pool makes crack ranks exact); survivors enroll
+    the top entry's points shifted far outside every dictionary cell.
+    """
+    entries = list(dictionary.prioritized_entries(max(ranks) + 1 if ranks else 1))
+    records = {}
+    for index, rank in enumerate(ranks):
+        username = f"victim{index:02d}"
+        records[username] = enroll_password(
+            scheme, entries[rank], Hasher(salt=username.encode())
+        )
+    for index in range(survivors):
+        username = f"zsurvivor{index:02d}"
+        points = [
+            Point.xy(int(p.x) + 4096 + index, int(p.y) + 4096)
+            for p in entries[0]
+        ]
+        records[username] = enroll_password(
+            scheme, points, Hasher(salt=username.encode())
+        )
+    return records
+
+
+class TestQueueBitIdentity:
+    @pytest.mark.parametrize(
+        "scheme",
+        [SCHEME, RobustDiscretization.for_pixel_tolerance(2, 9)],
+        ids=lambda s: s.name,
+    )
+    def test_modes_and_sizes_identical_to_serial(self, scheme):
+        """workers × task_size × mode ⇒ one bit-identical result."""
+        dictionary = _dictionary()
+        records = _planted_records(
+            scheme, dictionary, ranks=(0, 3, 17), survivors=2
+        )
+        serial = offline_attack_stolen_file(
+            scheme, records, dictionary, guess_budget=40
+        )
+        assert serial.cracked == 3
+        for workers in (1, 2, 4):
+            for mode, sizes in (
+                ("static", (None,)),
+                ("queue", (None, 1, 7, 128, 10_000)),
+            ):
+                for task_size in sizes:
+                    with ShardedAttackRunner(
+                        workers=workers, mode=mode, task_size=task_size
+                    ) as runner:
+                        result = runner.run_stolen_file(
+                            scheme, records, dictionary, guess_budget=40
+                        )
+                    assert result == serial, (workers, mode, task_size)
+
+    def test_wave_windows_identical_with_random_early_stops(self):
+        """Scarce accounts split the budget into waves; outcomes are exact.
+
+        Victim crack ranks are drawn at random across the whole budget, so
+        accounts drop out in different waves — the parent must reassemble
+        ``guesses_hashed = rank + 1`` from per-window partial grinds.
+        """
+        dictionary = _dictionary()
+        rng = random.Random(7)
+        for trial in range(3):
+            ranks = tuple(sorted(rng.sample(range(500), 4)))
+            records = _planted_records(
+                SCHEME, dictionary, ranks=ranks, survivors=2
+            )
+            serial = offline_attack_stolen_file(
+                SCHEME, records, dictionary, guess_budget=512
+            )
+            by_name = {o.username: o for o in serial.outcomes}
+            for index, rank in enumerate(ranks):
+                assert by_name[f"victim{index:02d}"].guesses_hashed == rank + 1
+            with ShardedAttackRunner(
+                workers=2, mode="queue", task_size=len(records)
+            ) as runner:
+                result = runner.run_stolen_file(
+                    SCHEME, records, dictionary, guess_budget=512
+                )
+                stats = runner.last_stats
+            assert result == serial, f"trial {trial} ranks {ranks}"
+            assert stats.waves > 1, "one account task must trigger rank windows"
+
+    def test_all_defense_cells_identical_and_pool_reused(self):
+        """Queue == serial under all 17 defense cells, one pool for all.
+
+        Each cell enrolls its own population under its ``DefenseConfig``
+        (slow-hash iterations, pepper, the works) and is ground with the
+        cell's pepper — threading the pepper through per-task submissions
+        while the worker-side scheme/dictionary/guess caches stay shared:
+        the run payload is cell-independent, so one executor (and one
+        cached guess batch per worker) must serve the whole sweep.
+        """
+        dictionary = _dictionary()
+        entries = list(dictionary.prioritized_entries(24))
+        image = cars_image()
+        system = PassPointsSystem(image=image, scheme=SCHEME)
+        cells = default_defense_cells()
+        assert len(cells) == 17
+        pools = set()
+        with ShardedAttackRunner(workers=2, mode="queue", task_size=1) as runner:
+            for cell in cells:
+                store = PasswordStore(
+                    system=system,
+                    policy=LockoutPolicy(max_failures=None),
+                    defense=cell.config,
+                    clock=VirtualClock(),
+                )
+                for index, rank in enumerate((0, 5, 21)):
+                    store.create_account(f"user{index}", list(entries[rank]))
+                stolen = store.dump_records()
+                pepper = cell.config.pepper
+                serial = offline_attack_stolen_file(
+                    SCHEME, stolen, dictionary, guess_budget=24, pepper=pepper
+                )
+                result = runner.run_stolen_file(
+                    SCHEME, stolen, dictionary, guess_budget=24, pepper=pepper
+                )
+                assert result == serial, cell.name
+                # With the (stolen) pepper supplied, every cell cracks all
+                # three planted accounts; the sweep is not vacuous.
+                assert serial.cracked == 3, cell.name
+                pools.add(id(runner.__dict__["_pool"]))
+        assert len(pools) == 1, "defense cells must share one worker pool"
+
+
+class TestGuessBatch:
+    def test_prepared_batch_reused_and_validated(self):
+        dictionary = _dictionary()
+        records = _planted_records(SCHEME, dictionary, ranks=(2,), survivors=1)
+        batch = prepare_guess_batch(dictionary, 30, SCHEME.dim)
+        assert isinstance(batch, GuessBatch)
+        assert batch.guesses == 30
+        assert not batch.points.flags.writeable
+        view = batch.point_rows(3, 5)
+        assert np.shares_memory(view, batch.points)  # zero-copy view
+        assert view.shape == (2 * batch.clicks, SCHEME.dim)
+        direct = offline_attack_stolen_file(
+            SCHEME, records, dictionary, guess_budget=30
+        )
+        reused = offline_attack_stolen_file(
+            SCHEME, records, dictionary, guess_budget=30, guesses=batch
+        )
+        assert reused == direct
+        wrong_clicks = GuessBatch(
+            entries=batch.entries, points=batch.points, clicks=3
+        )
+        with pytest.raises(AttackError, match="click"):
+            offline_attack_stolen_file(
+                SCHEME, records, dictionary, guess_budget=30, guesses=wrong_clicks
+            )
+
+    def test_record_matcher_matches_record_exactly(self):
+        """The midstate matcher == ``record.matches`` on every config axis."""
+        public = (Fraction(19, 2), 3, Fraction(-7, 6), 14)
+        secret = (4, 5, -2)
+        near_misses = [(4, 5, -1), (4, 6, -2), (0, 0, 0), (5, 4, -2)]
+        for algorithm in ("sha256", "md5"):
+            for iterations in (1, 3):
+                for pepper in (b"", b"spicy"):
+                    hasher = Hasher(
+                        algorithm=algorithm, iterations=iterations, salt=b"alice"
+                    )
+                    record = make_record(public, secret, hasher=hasher)
+                    if pepper:
+                        record = peppered_record(record, pepper)
+                    matcher = _record_matcher(record, len(secret), pepper)
+                    for candidate in [secret] + near_misses:
+                        assert matcher(candidate) == record.matches(
+                            candidate, pepper=pepper
+                        ), (algorithm, iterations, pepper, candidate)
+                    if pepper:
+                        # Without the pepper the grind must fail closed,
+                        # exactly like the real verifier.
+                        blind = _record_matcher(record, len(secret), b"")
+                        assert not blind(secret)
+                        assert not record.matches(secret)
+
+
+class TestTelemetryAndDefaults:
+    def test_last_stats_for_parallel_and_serial_runs(self):
+        dictionary = _dictionary()
+        records = _planted_records(SCHEME, dictionary, ranks=(0, 3), survivors=2)
+        with ShardedAttackRunner(workers=2, mode="queue", task_size=1) as runner:
+            assert runner.last_stats is None
+            runner.run_stolen_file(SCHEME, records, dictionary, guess_budget=20)
+            stats = runner.last_stats
+        assert stats.mode == "queue"
+        assert stats.workers == 2
+        assert stats.tasks == len(records)
+        assert stats.task_size == 1
+        assert stats.worker_busy and all(
+            seconds >= 0.0 for seconds in stats.worker_busy.values()
+        )
+        assert stats.straggler_ratio >= 1.0
+        serial_runner = ShardedAttackRunner(workers=1)
+        serial_runner.run_stolen_file(
+            SCHEME, records, dictionary, guess_budget=20
+        )
+        serial_stats = serial_runner.last_stats
+        assert serial_stats.mode == "serial"
+        assert serial_stats.workers == serial_stats.tasks == 1
+        assert set(serial_stats.worker_busy) == {os.getpid()}
+
+    def test_runner_configuration_validation(self):
+        with pytest.raises(AttackError, match="mode"):
+            ShardedAttackRunner(mode="stealing")
+        with pytest.raises(AttackError, match="task_size"):
+            ShardedAttackRunner(task_size=0)
+
+    def test_auto_task_size_bounds(self):
+        assert auto_task_size(1, 4) == 1
+        assert auto_task_size(200, 4) == 7  # ~8 tasks per worker
+        assert auto_task_size(10**9, 1) == 8192  # clamped
+        with pytest.raises(AttackError):
+            auto_task_size(0, 4)
+        with pytest.raises(AttackError):
+            auto_task_size(10, 0)
+
+    def test_default_workers_without_sched_getaffinity(self, monkeypatch):
+        """macOS has no ``sched_getaffinity``: fall back to cpu_count."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert default_workers() == 6
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+
+class TestDefenseMatrixRunner:
+    def test_sweep_offline_leg_identical_with_runner(self):
+        """``defense_matrix_sweep(runner=...)`` changes nothing but speed."""
+        cells = default_defense_cells()[:5]
+        baseline = defense_matrix_sweep(
+            cells=cells, online_guess_budget=8, offline_guess_budget=30
+        )
+        with ShardedAttackRunner(workers=2, mode="queue", task_size=2) as runner:
+            parallel = defense_matrix_sweep(
+                cells=cells,
+                online_guess_budget=8,
+                offline_guess_budget=30,
+                runner=runner,
+            )
+        for serial_cell, parallel_cell in zip(
+            baseline["cells"], parallel["cells"]
+        ):
+            assert parallel_cell["offline"] == serial_cell["offline"], (
+                serial_cell["name"]
+            )
+
+
+class TestInjectiveCacheBound:
+    def test_cache_stats_exposed_and_bounded(self):
+        dictionary = _dictionary()
+        HumanSeededDictionary.assignment_cache_clear()
+        info = HumanSeededDictionary.assignment_cache_info()
+        assert info.maxsize == INJECTIVE_CACHE_MAXSIZE
+        assert info.currsize == 0
+        match_sets = [[0, 1, 2], [1, 2, 3], [2, 3, 4], [3, 4, 5], [4, 5, 6]]
+        first = dictionary.count_injective_assignments(match_sets)
+        repeat = dictionary.count_injective_assignments(match_sets)
+        assert first == repeat
+        info = HumanSeededDictionary.assignment_cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+        assert 0 < info.currsize <= INJECTIVE_CACHE_MAXSIZE

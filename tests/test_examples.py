@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "quickstart.py": "edge problem",
     "dictionary_attack.py": "dictionary",
     "field_study_replication.py": "Table 1",
+    "grind_million.py": "stolen-file grind",
     "online_attack_and_ccp.py": "online",
     "password_space_explorer.py": "empirical effective space",
     "storage_backends.py": "durable backend",
