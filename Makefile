@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench grind-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench obs-bench grind-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -37,6 +37,12 @@ attack-bench:
 ## benchmarks/reports/defense_matrix.txt with the full defense/attack matrix.
 defense-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_defense.py -q
+
+## Telemetry overhead gate (instrumented serving >= 95% of the no-op
+## registry) plus the metrics wire round-trip; regenerates
+## benchmarks/reports/obs_overhead.txt.
+obs-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_obs.py -q
 
 ## Million-account stolen-file grind through the work-stealing queue;
 ## appends its throughput/straggler section to

@@ -25,13 +25,16 @@ def pytest_report_header(config):
     """
     from repro.attacks.parallel import default_workers
     from repro.core.batch import resolve_array_namespace
+    from repro.obs import get_registry
 
     mode = os.environ.get("REPRO_ATTACK_MODE", "queue")
     task_size = os.environ.get("REPRO_ATTACK_TASK_SIZE", "auto")
+    obs = "enabled" if get_registry().enabled else "disabled (REPRO_OBS_DISABLED)"
     return (
         f"attack engine: {default_workers()} worker(s) schedulable, "
         f"mode={mode}, task size={task_size}; "
-        f"array backend: {resolve_array_namespace().__name__}"
+        f"array backend: {resolve_array_namespace().__name__}; "
+        f"obs registry: {obs}"
     )
 
 

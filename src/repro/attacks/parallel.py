@@ -83,6 +83,7 @@ from repro.core.scheme import DiscretizationScheme
 from repro.crypto.encoding import scalar_from_json, scalar_to_json
 from repro.errors import AttackError
 from repro.geometry.point import Point
+from repro.obs import MetricsRegistry, get_registry
 from repro.passwords.system import StoredPassword
 from repro.study.dataset import PasswordSample
 
@@ -561,6 +562,12 @@ class ShardedAttackRunner:
         Targets per queue task; ``None`` auto-sizes via
         :func:`auto_task_size` (~8 tasks per worker).  Ignored in static
         mode.
+    registry:
+        Telemetry sink: every ``run_*`` call folds its
+        :class:`AttackRunStats` into ``attack_*`` metrics there (run
+        counters by mode, task/wave totals, worker-busy histogram,
+        straggler-ratio gauge).  ``None`` uses the process default
+        registry; a disabled registry skips publication entirely.
 
     Every mode/size/worker combination produces bit-identical results;
     only wall-clock and the :attr:`last_stats` telemetry differ.
@@ -580,6 +587,9 @@ class ShardedAttackRunner:
     workers: Optional[int] = None
     mode: str = "queue"
     task_size: Optional[int] = None
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -604,6 +614,49 @@ class ShardedAttackRunner:
         attack results themselves are identical across modes.
         """
         return self.__dict__.get("_last_stats")
+
+    def _publish_stats(self, stats: AttackRunStats) -> None:
+        """Stash *stats* as :attr:`last_stats` and fold it into metrics.
+
+        Publishes to the runner's registry (or the process default) under
+        the ``attack_*`` vocabulary: ``attack_runs_total{mode=...}``,
+        ``attack_tasks_total`` / ``attack_waves_total`` counters, the
+        ``attack_worker_busy_seconds`` histogram (one observation per
+        worker pid) and ``attack_workers`` / ``attack_task_size`` /
+        ``attack_straggler_ratio`` gauges describing the latest run.  A
+        disabled registry makes this a stash-only no-op.
+        """
+        self.__dict__["_last_stats"] = stats
+        registry = self.registry if self.registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "attack_runs_total",
+            help="parallel attack runs by executed mode",
+            mode=stats.mode,
+        ).inc()
+        registry.counter(
+            "attack_tasks_total", help="attack tasks dispatched"
+        ).inc(stats.tasks)
+        registry.counter(
+            "attack_waves_total", help="guess-window waves executed"
+        ).inc(stats.waves)
+        registry.gauge(
+            "attack_workers", help="workers used by the latest attack run"
+        ).set(stats.workers)
+        registry.gauge(
+            "attack_task_size", help="targets per task in the latest run"
+        ).set(stats.task_size)
+        registry.gauge(
+            "attack_straggler_ratio",
+            help="max/mean worker busy seconds of the latest run",
+        ).set(stats.straggler_ratio)
+        busy = registry.histogram(
+            "attack_worker_busy_seconds",
+            help="seconds each worker spent inside task bodies",
+        )
+        for seconds in stats.worker_busy.values():
+            busy.observe(seconds)
 
     # -- attacks -----------------------------------------------------------
 
@@ -654,13 +707,15 @@ class ShardedAttackRunner:
         ]
         busy: Dict[int, float] = {}
         results = self._run_tasks(payload, _known_identifiers_task, calls, busy)
-        self.__dict__["_last_stats"] = AttackRunStats(
-            mode=self.mode,
-            workers=workers,
-            tasks=len(calls),
-            task_size=max(len(chunk) for chunk in chunks),
-            waves=1,
-            worker_busy=busy,
+        self._publish_stats(
+            AttackRunStats(
+                mode=self.mode,
+                workers=workers,
+                tasks=len(calls),
+                task_size=max(len(chunk) for chunk in chunks),
+                waves=1,
+                worker_busy=busy,
+            )
         )
         return merge_offline_results([result for _, result in results])
 
@@ -753,13 +808,15 @@ class ShardedAttackRunner:
             pending = [
                 username for username in pending if username not in rank_by_user
             ]
-        self.__dict__["_last_stats"] = AttackRunStats(
-            mode=self.mode,
-            workers=workers,
-            tasks=total_tasks,
-            task_size=task_size,
-            waves=waves_run,
-            worker_busy=busy,
+        self._publish_stats(
+            AttackRunStats(
+                mode=self.mode,
+                workers=workers,
+                tasks=total_tasks,
+                task_size=task_size,
+                waves=waves_run,
+                worker_busy=busy,
+            )
         )
         outcomes = tuple(
             StolenAccountOutcome(
@@ -795,14 +852,16 @@ class ShardedAttackRunner:
             )
 
     def _record_serial_stats(self, targets: int, started: float) -> None:
-        """Stash :class:`AttackRunStats` for an in-process serial run."""
-        self.__dict__["_last_stats"] = AttackRunStats(
-            mode="serial",
-            workers=1,
-            tasks=1,
-            task_size=targets,
-            waves=1,
-            worker_busy={os.getpid(): time.perf_counter() - started},
+        """Publish :class:`AttackRunStats` for an in-process serial run."""
+        self._publish_stats(
+            AttackRunStats(
+                mode="serial",
+                workers=1,
+                tasks=1,
+                task_size=targets,
+                waves=1,
+                worker_busy={os.getpid(): time.perf_counter() - started},
+            )
         )
 
     def _pool_for(self, payload: _RunPayload) -> Tuple[ProcessPoolExecutor, str]:

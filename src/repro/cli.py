@@ -20,7 +20,11 @@ Subcommands:
   login protocol (micro-batched verification under the hood);
 * ``repro flood`` — self-hosted load generation: start a server on an
   ephemeral port, flood it with concurrent clients, report throughput and
-  p50/p95 latency;
+  p50/p95 latency; ``--trace`` additionally records per-flush span trees
+  and prints the queue-wait vs. kernel-time breakdown;
+* ``repro metrics`` — scrape a running ``repro serve`` process's metrics
+  registry over the JSONL protocol (``--json`` snapshot or ``--prom``
+  Prometheus text exposition);
 * ``repro defense-matrix`` — sweep every DefenseConfig cell against the
   online attack and the stolen-file grind, pricing attacker cost per
   cracked account against defender verification cost.
@@ -289,6 +293,36 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["centered", "robust", "static"],
         default="centered",
         help="scheme when enrolling a fresh backend (default: centered)",
+    )
+    flood_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record per-flush span trees on the self-hosted server and "
+            "print the queue-wait vs. kernel-time breakdown"
+        ),
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="scrape a running server's metrics registry over the wire",
+    )
+    metrics_parser.add_argument(
+        "--host", default="127.0.0.1", help="server host (default: 127.0.0.1)"
+    )
+    metrics_parser.add_argument(
+        "--port", type=int, default=7411, help="server port (default: 7411)"
+    )
+    metrics_format = metrics_parser.add_mutually_exclusive_group()
+    metrics_format.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw registry snapshot as JSON (the default)",
+    )
+    metrics_format.add_argument(
+        "--prom",
+        action="store_true",
+        help="emit Prometheus text exposition instead of JSON",
     )
 
     matrix_parser = sub.add_parser(
@@ -719,7 +753,7 @@ def _cmd_serve(
             bound_host, bound_port = server.address
             print(
                 f"serving {backend.uri} on {bound_host}:{bound_port} "
-                f"(JSONL ops: login/enroll/stats/ping; "
+                f"(JSONL ops: login/enroll/stats/metrics/trace/ping; "
                 f"defense: {store.defense.describe()}; Ctrl-C to stop)",
                 flush=True,
             )
@@ -736,6 +770,43 @@ def _cmd_serve(
     return 0
 
 
+def _cmd_metrics(host: str, port: int, as_prom: bool) -> int:
+    import json
+    import socket
+
+    fmt = "prom" if as_prom else "snapshot"
+    request = json.dumps(
+        {"op": "metrics", "id": 1, "format": fmt}, separators=(",", ":")
+    ).encode() + b"\n"
+    try:
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(request)
+            handle = sock.makefile("rb")
+            line = handle.readline()
+    except OSError as exc:
+        print(f"error: cannot scrape {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    if not line:
+        print(f"error: {host}:{port} closed the connection", file=sys.stderr)
+        return 2
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed response: {exc}", file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        print(
+            f"error: server refused metrics: {response.get('message')}",
+            file=sys.stderr,
+        )
+        return 2
+    if as_prom:
+        sys.stdout.write(response.get("prom", ""))
+    else:
+        print(json.dumps(response.get("metrics", {}), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_flood(
     uri: str,
     users: int,
@@ -744,11 +815,13 @@ def _cmd_flood(
     wrong_fraction: float,
     seed: int,
     scheme_name: str,
+    trace: bool = False,
 ) -> int:
     import asyncio
 
     from repro.errors import ReproError
     from repro.experiments.common import default_dataset
+    from repro.obs import MetricsRegistry, SpanTracer
     from repro.passwords.storage import backend_from_uri
     from repro.serving import LoginServer, flood_server, mixed_stream
 
@@ -782,8 +855,16 @@ def _cmd_flood(
             bounds=(image.width, image.height),
         )
 
+        # --trace runs against a dedicated registry/tracer so the span
+        # trees and serving series describe this flood alone, not
+        # whatever else the process published before.
+        tracer = SpanTracer(capacity=1024) if trace else None
+        registry = MetricsRegistry() if trace else None
+
         async def run():
-            server = await LoginServer(store, port=0).start()
+            server = await LoginServer(
+                store, port=0, registry=registry, tracer=tracer
+            ).start()
             bound_host, bound_port = server.address
             print(
                 f"flooding {backend.uri} via {bound_host}:{bound_port} — "
@@ -796,6 +877,8 @@ def _cmd_flood(
             return report, stats
 
         report, stats = asyncio.run(run())
+        if tracer is not None:
+            report.trace = tracer.recent()
         locked = sum(1 for username in accounts if store.is_locked(username))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -807,6 +890,8 @@ def _cmd_flood(
         f"batching: {stats.flushes} flushes, mean batch {stats.mean_batch:.1f}, "
         f"largest {stats.largest_batch}; {locked} account(s) locked out"
     )
+    if trace:
+        print(report.trace_summary())
     return 0
 
 
@@ -924,7 +1009,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.wrong_fraction,
             args.seed,
             args.scheme,
+            args.trace,
         )
+    if args.command == "metrics":
+        return _cmd_metrics(args.host, args.port, args.prom)
     parser.error(f"unhandled command {args.command!r}")
     return 2  # pragma: no cover
 

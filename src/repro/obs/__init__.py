@@ -1,0 +1,66 @@
+"""Unified telemetry: one metrics/tracing vocabulary for the whole stack.
+
+Before this package, each layer kept private telemetry — ``ServiceStats``
+counters on the async service, ``AttackRunStats`` on
+``runner.last_stats``, a hand-rolled ``stats`` op on the TCP server,
+free-text benchmark reports.  ``repro.obs`` replaces none of their
+*semantics* but gives them one shared, machine-readable surface:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — thread-safe
+  counters, gauges and fixed-bucket latency histograms with **exact**
+  p50/p95/p99, snapshot-able to plain dicts and renderable as Prometheus
+  text exposition;
+* :class:`SpanTracer` (:mod:`repro.obs.trace`) — monotonic-clock spans
+  with parent/child nesting, per-span attributes and ring-buffer
+  retention, answering "where did this login spend its time?";
+* :func:`export_snapshot` — the documented diffable artifact for the
+  ablation harness (ROADMAP): snapshot before and after toggling a
+  component, subtract.
+
+Consumers: :class:`~repro.passwords.store.PasswordStore` and
+:class:`~repro.passwords.service.VerificationService` (kernel/hash
+timing, defense counters), :class:`~repro.serving.service.AsyncVerificationService`
+(queue-wait, flush triggers, batch sizes),
+:class:`~repro.serving.server.LoginServer` (``{"op": "metrics"}`` /
+``{"op": "trace"}``, scraped by ``repro metrics``), and
+:class:`~repro.attacks.parallel.ShardedAttackRunner` (task/wave/straggler
+telemetry).  All of them fall back to the process default registry
+(:func:`get_registry`) and accept an explicit ``registry=`` for
+isolation; a disabled registry (``MetricsRegistry(enabled=False)``,
+or ``REPRO_OBS_DISABLED=1`` for the process default) makes every
+instrument a shared no-op — the overhead gate in
+``benchmarks/test_bench_obs.py`` holds the enabled path within 5% of it.
+
+Metric naming conventions live in the "Observability" section of
+``docs/architecture.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    export_snapshot,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import NULL_SPAN, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Span",
+    "SpanTracer",
+    "export_snapshot",
+    "get_registry",
+    "set_registry",
+]

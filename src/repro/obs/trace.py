@@ -1,0 +1,250 @@
+"""Lightweight request tracing: monotonic-clock spans with nesting.
+
+Where :mod:`repro.obs.metrics` answers "what is p99 right now?", this
+module answers "where did *this* login spend its time?": a
+:class:`Span` is one named, timed region with arbitrary attributes, and
+children nest under it (``serving.flush`` → ``serving.kernel`` +
+one ``serving.login`` child per decided attempt, each carrying its
+queue-wait).
+
+Design constraints, in order:
+
+* **cheap when off** — a tracer built with ``enabled=False`` returns the
+  shared :data:`NULL_SPAN` from :meth:`SpanTracer.start`; every method on
+  it is a no-op, so instrumented code never branches on "is tracing on?";
+* **bounded** — finished *root* spans land in a ring buffer
+  (``capacity`` most recent); a long flood retains only its tail, and
+  memory is capped regardless of traffic;
+* **deterministic under test** — the clock is injectable, so a
+  :class:`~repro.passwords.defense.VirtualClock` produces bit-stable
+  span timings in tests (the same idiom the rate-limit windows use).
+
+Spans are explicit-parent rather than implicitly contextual: the serving
+layer's interleaved batches make "current span" ambiguous, so callers
+hold the parent and call :meth:`Span.child`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["Span", "SpanTracer", "NULL_SPAN"]
+
+
+class Span:
+    """One named, timed region of work (use as a context manager or
+    :meth:`finish` explicitly).
+
+    Attributes
+    ----------
+    name:
+        The span's operation name (dotted by convention:
+        ``serving.flush``, ``serving.kernel``).
+    start / end:
+        Clock readings (the tracer's clock; ``end`` is ``None`` while
+        open).
+    attributes:
+        Arbitrary key→value annotations (:meth:`annotate`).
+    children:
+        Nested spans, in creation order.
+    """
+
+    __slots__ = ("name", "start", "end", "attributes", "children", "_tracer", "_root")
+
+    def __init__(self, tracer: "SpanTracer", name: str, start: float, root: bool) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, object] = {}
+        self.children: List[Span] = []
+        self._tracer = tracer
+        self._root = root
+
+    def child(self, name: str, **attributes) -> "Span":
+        """Open a nested span under this one."""
+        span = Span(self._tracer, name, self._tracer.clock(), root=False)
+        if attributes:
+            span.attributes.update(attributes)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach key→value attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end (``None`` while the span is open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def finish(self) -> "Span":
+        """Close the span; a root span is committed to the tracer's ring."""
+        if self.end is None:
+            self.end = self._tracer.clock()
+            if self._root:
+                self._tracer._commit(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: name, timings, attributes, nested children."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """The shared no-op span a disabled tracer hands out.
+
+    Children are itself, annotations vanish, finishing does nothing —
+    instrumented code paths run identically whether tracing is on or off.
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    start = 0.0
+    end: Optional[float] = 0.0
+    attributes: Dict[str, object] = {}
+    children: List["_NullSpan"] = []
+
+    def child(self, name: str, **attributes) -> "_NullSpan":
+        """Returns itself — nested no-ops stay no-ops."""
+        return self
+
+    def annotate(self, **attributes) -> "_NullSpan":
+        """No-op; returns self."""
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def finish(self) -> "_NullSpan":
+        """No-op; returns self."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def to_dict(self) -> dict:
+        """An empty dict."""
+        return {}
+
+
+#: The single shared no-op span (stateless, so one suffices).
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Bounded collector of finished root spans.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size: only this many most-recent *root* spans are
+        retained (children ride along with their root).
+    clock:
+        Zero-argument callable returning seconds — defaults to
+        :func:`time.perf_counter`; inject a
+        :class:`~repro.passwords.defense.VirtualClock` for deterministic
+        tests.
+    enabled:
+        ``False`` makes :meth:`start` return :data:`NULL_SPAN` forever —
+        the zero-overhead path.
+
+    >>> tracer = SpanTracer(capacity=8)
+    >>> with tracer.start("flush") as span:
+    ...     child = span.child("kernel").finish()
+    >>> tracer.recent()[0]["name"]
+    'flush'
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self._capacity = capacity
+        self._enabled = bool(enabled)
+        self._ring: List[Span] = []
+        self._next = 0  # ring write cursor
+        self._finished = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything at all."""
+        return self._enabled
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained root spans."""
+        return self._capacity
+
+    @property
+    def finished_count(self) -> int:
+        """Total root spans ever finished (retained or since evicted)."""
+        return self._finished
+
+    def start(self, name: str, **attributes) -> Span:
+        """Open a new root span (or :data:`NULL_SPAN` when disabled)."""
+        if not self._enabled:
+            return NULL_SPAN
+        span = Span(self, name, self.clock(), root=True)
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    def _commit(self, span: Span) -> None:
+        """Ring-insert one finished root span (called from Span.finish)."""
+        with self._lock:
+            self._finished += 1
+            if len(self._ring) < self._capacity:
+                self._ring.append(span)
+            else:
+                self._ring[self._next] = span
+                self._next = (self._next + 1) % self._capacity
+
+
+    def recent(self, limit: Optional[int] = None) -> List[dict]:
+        """The retained root spans as dicts, oldest first.
+
+        *limit* keeps only the most recent N (``None``: all retained).
+        """
+        with self._lock:
+            ordered = self._ring[self._next:] + self._ring[: self._next]
+        dicts = [span.to_dict() for span in ordered]
+        if limit is not None:
+            dicts = dicts[-limit:]
+        return dicts
+
+    def clear(self) -> None:
+        """Drop every retained span (the finished count keeps climbing)."""
+        with self._lock:
+            self._ring = []
+            self._next = 0

@@ -38,8 +38,10 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import time
+from collections import Counter as _TallyCounter
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +49,7 @@ from repro.core.batch import as_point_array
 from repro.crypto.encoding import encode_scalar
 from repro.errors import DomainError, ParameterError, VerificationError
 from repro.geometry.point import Point
+from repro.obs import LATENCY_BUCKETS, SIZE_BUCKETS, MetricsRegistry, get_registry
 from repro.passwords.store import PasswordStore
 
 __all__ = ["LoginOutcome", "VerificationService"]
@@ -149,11 +152,26 @@ class VerificationService:
         Micro-batch size: pending attempts are verified through the batch
         engine in groups of at most this many attempts per vectorized
         ``locate`` call.
+    registry:
+        :class:`~repro.obs.MetricsRegistry` receiving the service's
+        telemetry — per-micro-batch kernel and hash/decision timings
+        (``service_kernel_seconds`` / ``service_hash_seconds`` /
+        ``service_flush_seconds``), batch-size histogram, per-status
+        decision counters and defense-knob counters.  ``None`` (default)
+        publishes into the process registry
+        (:func:`repro.obs.get_registry`); pass
+        :data:`~repro.obs.NULL_REGISTRY` for the uninstrumented no-op
+        path (gated within 5% in ``benchmarks/test_bench_obs.py``).
 
     >>> # end-to-end usage lives in examples/storage_backends.py
     """
 
-    def __init__(self, store: PasswordStore, max_batch: int = 1024) -> None:
+    def __init__(
+        self,
+        store: PasswordStore,
+        max_batch: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_batch < 1:
             raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
         self._store = store
@@ -163,6 +181,66 @@ class VerificationService:
         # Pinned to numpy: flush interleaves kernel output with per-row
         # hashing and throttle bookkeeping on the host.
         self._kernel = store.system.scheme.batch(xp=np)
+        # Instruments are resolved once; on a disabled registry they are
+        # shared no-ops and the timed branches below are skipped outright.
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._obs_enabled = registry.enabled
+        self._obs_kernel = registry.histogram(
+            "service_kernel_seconds",
+            help="vectorized locate() time per micro-batch",
+        )
+        self._obs_hash = registry.histogram(
+            "service_hash_seconds",
+            help="decision-loop (hash + throttle) time per micro-batch",
+        )
+        self._obs_flush = registry.histogram(
+            "service_flush_seconds", help="whole flush() call time",
+        )
+        self._obs_batch = registry.histogram(
+            "service_batch_size",
+            help="attempts per micro-batch",
+            buckets=SIZE_BUCKETS,
+        )
+        self._obs_status = {
+            status: registry.counter(
+                "service_logins_total",
+                help="batched login decisions by status",
+                status=status,
+            )
+            for status in (ACCEPT, REJECT, LOCKED, THROTTLED)
+        }
+        self._obs_defense = {
+            LOCKED: registry.counter(
+                "defense_refusals_total",
+                help="attempts refused by a defense knob",
+                knob="lockout",
+            ),
+            THROTTLED: registry.counter(
+                "defense_refusals_total", knob="rate_limit",
+            ),
+        }
+        self._obs_captcha = registry.counter(
+            "defense_challenges_total",
+            help="attempts carrying a CAPTCHA challenge",
+            knob="captcha",
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this service publishes into."""
+        return self._registry
+
+    @property
+    def last_flush_timings(self) -> Optional[dict]:
+        """Timing breakdown of the most recent flush (``None`` when the
+        registry is disabled or before the first flush).
+
+        Keys: ``kernel_seconds``, ``hash_seconds``, ``batches``,
+        ``attempts`` — the numbers the async front-end copies onto its
+        per-flush trace span.
+        """
+        return self.__dict__.get("_last_flush_timings")
 
     @property
     def store(self) -> PasswordStore:
@@ -318,13 +396,30 @@ class VerificationService:
         pepper = defense.pepper
         captcha_after = defense.captcha_after
         rate_limited = defense.rate_limited
+        # Telemetry, hoisted likewise: `obs` is False on a disabled
+        # registry and every timed branch below disappears — the
+        # per-attempt loop body is never touched either way.
+        obs = self._obs_enabled
+        perf = time.perf_counter
+        kernel_seconds = hash_seconds = 0.0
+        batches = 0
+        flush_started = perf() if obs else 0.0
         for start in range(0, len(pending), self._max_batch):
             chunk = pending[start : start + self._max_batch]
             points = self._chunk_points(chunk)
             public = np.concatenate(
                 [material.public_rows for _, _, material in chunk], axis=0
             )
-            located = self._kernel.locate(points, public)
+            if obs:
+                batches += 1
+                kernel_started = perf()
+                located = self._kernel.locate(points, public)
+                chunk_started = perf()
+                kernel_seconds += chunk_started - kernel_started
+                self._obs_kernel.observe(chunk_started - kernel_started)
+                self._obs_batch.observe(len(chunk))
+            else:
+                located = self._kernel.locate(points, public)
             offset = 0
             for username, _, material in chunk:
                 clicks = material.clicks
@@ -374,6 +469,33 @@ class VerificationService:
                         captcha=captcha,
                     )
                 )
+            if obs:
+                chunk_seconds = perf() - chunk_started
+                hash_seconds += chunk_seconds
+                self._obs_hash.observe(chunk_seconds)
+        if obs and outcomes:
+            # One registry touch per status per flush, not per attempt:
+            # tally at C speed, then publish.  The captcha pass only runs
+            # when the knob is armed — an undefended flush never looks at
+            # the flag.
+            for status, count in _TallyCounter(
+                [outcome.status for outcome in outcomes]
+            ).items():
+                self._obs_status[status].inc(count)
+                refusal = self._obs_defense.get(status)
+                if refusal is not None:
+                    refusal.inc(count)
+            if captcha_after is not None:
+                captchas = sum(1 for outcome in outcomes if outcome.captcha)
+                if captchas:
+                    self._obs_captcha.inc(captchas)
+            self._obs_flush.observe(perf() - flush_started)
+            self.__dict__["_last_flush_timings"] = {
+                "kernel_seconds": kernel_seconds,
+                "hash_seconds": hash_seconds,
+                "batches": batches,
+                "attempts": len(outcomes),
+            }
         return outcomes
 
     def login_many(

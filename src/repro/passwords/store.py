@@ -25,8 +25,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.crypto.hashing import Hasher
-from repro.errors import RateLimitError, StoreError
+from repro.errors import LockoutError, RateLimitError, StoreError
 from repro.geometry.point import Point
+from repro.obs import MetricsRegistry, get_registry
 from repro.passwords.defense import DefenseConfig, RateLimiter, apply_pepper
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
@@ -64,6 +65,12 @@ class PasswordStore:
     # windows only — inject a VirtualClock for deterministic simulation.
     defense: DefenseConfig = field(default_factory=DefenseConfig)
     clock: Callable[[], float] = time.monotonic
+    # Telemetry: scalar login decisions, verification timing and
+    # defense-knob refusals publish here (None = the process default
+    # registry; a disabled registry makes every publish a no-op).  The
+    # batched VerificationService uses the *same* counter names, so both
+    # paths fold into one vocabulary.
+    registry: Optional[MetricsRegistry] = field(default=None, repr=False)
     # In-process caches over the backend.  The store assumes it is the
     # sole writer of its backend while open (same assumption the
     # throttle cache already makes); durable backends are re-read only
@@ -73,6 +80,55 @@ class PasswordStore:
     _record_cache: Dict[str, StoredPassword] = field(default_factory=dict)
     _rate_limiters: Dict[str, RateLimiter] = field(default_factory=dict)
     _hardened_cache: Optional[PassPointsSystem] = field(default=None, repr=False)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _obs(self) -> Optional[dict]:
+        """Cached scalar-login instruments, or ``None`` when disabled.
+
+        Resolved on first use (stores are built in bulk by tests and
+        experiments that never log in); a disabled registry resolves to
+        ``None`` so :meth:`login` skips every telemetry branch with one
+        cheap identity check.
+        """
+        cached = self.__dict__.get("_obs_instruments", False)
+        if cached is not False:
+            return cached
+        registry = self.registry if self.registry is not None else get_registry()
+        if not registry.enabled:
+            instruments = None
+        else:
+            instruments = {
+                "accept": registry.counter(
+                    "store_logins_total",
+                    help="scalar login decisions by status",
+                    status="accept",
+                ),
+                "reject": registry.counter("store_logins_total", status="reject"),
+                "locked": registry.counter("store_logins_total", status="locked"),
+                "throttled": registry.counter(
+                    "store_logins_total", status="throttled"
+                ),
+                "lockout_refusals": registry.counter(
+                    "defense_refusals_total",
+                    help="attempts refused by a defense knob",
+                    knob="lockout",
+                ),
+                "rate_limit_refusals": registry.counter(
+                    "defense_refusals_total", knob="rate_limit"
+                ),
+                "captcha": registry.counter(
+                    "defense_challenges_total",
+                    help="attempts carrying a CAPTCHA challenge",
+                    knob="captcha",
+                ),
+                "verify_seconds": registry.histogram(
+                    "store_verify_seconds",
+                    help="scalar per-login verification (hash) time",
+                ),
+            }
+        self.__dict__["_obs_instruments"] = instruments
+        return instruments
 
     # -- defense -------------------------------------------------------------
 
@@ -216,13 +272,31 @@ class PasswordStore:
         """
         stored = self.record_for(username)
         throttle = self.throttle_for(username)
-        throttle.check()
+        obs = self._obs()
+        if obs is not None and self.captcha_required(username):
+            obs["captcha"].inc()
+        try:
+            throttle.check()
+        except LockoutError:
+            if obs is not None:
+                obs["locked"].inc()
+                obs["lockout_refusals"].inc()
+            raise
         retry = self.rate_limit_admit(username)
         if retry is not None:
+            if obs is not None:
+                obs["throttled"].inc()
+                obs["rate_limit_refusals"].inc()
             raise RateLimitError(
                 f"account {username!r} rate-limited", retry_after=retry
             )
-        ok = self._verify(username, stored, points)
+        if obs is None:
+            ok = self._verify(username, stored, points)
+        else:
+            started = time.perf_counter()
+            ok = self._verify(username, stored, points)
+            obs["verify_seconds"].observe(time.perf_counter() - started)
+            obs["accept" if ok else "reject"].inc()
         throttle.record(ok)
         self._persist_throttle(username)
         return ok

@@ -38,16 +38,22 @@ __all__ = ["FloodReport", "percentile", "mixed_stream", "flood_service", "flood_
 Attempt = Tuple[str, Sequence[Point]]
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
+def percentile(samples: Sequence[float], q: float) -> Optional[float]:
     """The *q*-quantile (0..1) of *samples* by nearest-rank on a sorted copy.
+
+    Returns ``None`` for an empty sample set (e.g. a flood where every
+    attempt was dropped) — callers render it as ``n/a`` rather than
+    formatting a NaN.
 
     >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
     2.0
+    >>> percentile([], 0.5) is None
+    True
     """
-    if not samples:
-        return float("nan")
     if not 0 <= q <= 1:
         raise ValueError(f"q must be in [0, 1], got {q}")
+    if not samples:
+        return None
     ordered = sorted(samples)
     rank = max(math.ceil(q * len(ordered)), 1) - 1
     return ordered[rank]
@@ -66,6 +72,14 @@ class FloodReport:
     latencies_ms:
         Per-attempt submit→decision latency, milliseconds, in completion
         order (the percentile properties digest it).
+    trace:
+        Completed root-span dicts scraped from the server's
+        :class:`~repro.obs.SpanTracer` when the flood ran with tracing
+        (``repro flood --trace``); ``None`` otherwise.
+        :meth:`trace_summary` digests it.
+
+    The percentile properties return ``None`` when no attempt completed
+    (all-dropped floods) and :meth:`summary` renders them as ``n/a``.
     """
 
     attempts: int
@@ -73,6 +87,7 @@ class FloodReport:
     seconds: float
     tally: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
+    trace: Optional[List[dict]] = None
 
     @property
     def throughput(self) -> float:
@@ -80,19 +95,23 @@ class FloodReport:
         return self.attempts / self.seconds if self.seconds else float("inf")
 
     @property
-    def p50_ms(self) -> float:
-        """Median per-attempt latency in milliseconds."""
+    def p50_ms(self) -> Optional[float]:
+        """Median per-attempt latency in ms (``None`` without samples)."""
         return percentile(self.latencies_ms, 0.50)
 
     @property
-    def p95_ms(self) -> float:
-        """95th-percentile per-attempt latency in milliseconds."""
+    def p95_ms(self) -> Optional[float]:
+        """95th-percentile latency in ms (``None`` without samples)."""
         return percentile(self.latencies_ms, 0.95)
 
     @property
-    def p99_ms(self) -> float:
-        """99th-percentile per-attempt latency in milliseconds."""
+    def p99_ms(self) -> Optional[float]:
+        """99th-percentile latency in ms (``None`` without samples)."""
         return percentile(self.latencies_ms, 0.99)
+
+    @staticmethod
+    def _fmt_ms(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.2f}ms"
 
     def summary(self) -> str:
         """One-line human-readable digest (CLI and example output)."""
@@ -103,8 +122,67 @@ class FloodReport:
         return (
             f"{self.attempts:,} attempts / {self.clients} clients in "
             f"{self.seconds:.2f}s -> {self.throughput:,.0f} logins/s | "
-            f"p50 {self.p50_ms:.2f}ms p95 {self.p95_ms:.2f}ms | {tally}"
+            f"p50 {self._fmt_ms(self.p50_ms)} p95 {self._fmt_ms(self.p95_ms)}"
+            f" | {tally}"
         )
+
+    def trace_summary(self) -> str:
+        """Multi-line digest of the captured spans: where time went.
+
+        Aggregates the ``serving.flush`` root spans (and their
+        ``serving.login`` children) recorded by the server's tracer into
+        a queue-wait vs. kernel-time breakdown, plus per-trigger flush
+        counts and the slowest flushes.  Returns a single explanatory
+        line when the flood ran without ``--trace``.
+        """
+        if not self.trace:
+            return "no trace captured (run with tracing enabled)"
+        flushes = [s for s in self.trace if s.get("name") == "serving.flush"]
+        waits: List[float] = []
+        kernel = 0.0
+        hashing = 0.0
+        triggers: Dict[str, int] = {}
+        for span in flushes:
+            attrs = span.get("attributes", {})
+            trigger = str(attrs.get("trigger", "?"))
+            triggers[trigger] = triggers.get(trigger, 0) + 1
+            kernel += float(attrs.get("kernel_seconds", 0.0) or 0.0)
+            hashing += float(attrs.get("hash_seconds", 0.0) or 0.0)
+            for child in span.get("children", []):
+                wait = child.get("attributes", {}).get("queue_wait_seconds")
+                if wait is not None:
+                    waits.append(float(wait) * 1000.0)
+        trigger_line = ", ".join(
+            f"{count} {name}" for name, count in sorted(triggers.items())
+        )
+        lines = [
+            f"trace: {len(flushes)} flush spans retained"
+            + (f" ({trigger_line})" if trigger_line else ""),
+            (
+                "  queue-wait p50 "
+                f"{self._fmt_ms(percentile(waits, 0.50))} p95 "
+                f"{self._fmt_ms(percentile(waits, 0.95))} p99 "
+                f"{self._fmt_ms(percentile(waits, 0.99))} "
+                f"over {len(waits)} logins"
+            ),
+            (
+                f"  kernel time {kernel * 1000.0:.2f}ms, "
+                f"hash+decide time {hashing * 1000.0:.2f}ms "
+                "across retained flushes"
+            ),
+        ]
+        slowest = sorted(
+            flushes, key=lambda s: s.get("duration", 0.0) or 0.0, reverse=True
+        )[:3]
+        for span in slowest:
+            attrs = span.get("attributes", {})
+            duration = (span.get("duration") or 0.0) * 1000.0
+            lines.append(
+                f"  slow flush: {duration:.2f}ms "
+                f"batch={attrs.get('batch_size', '?')} "
+                f"trigger={attrs.get('trigger', '?')}"
+            )
+        return "\n".join(lines)
 
 
 def mixed_stream(

@@ -16,9 +16,20 @@ batch).  Operations:
 ``{"op": "enroll", "id": 2, "user": "new", "points": [[x, y], ...]}``
     Register an account (scalar path, like the sync service).
 ``{"op": "stats", "id": 3}``
-    Batching counters (submitted/decided/flushes/mean batch) plus account
-    count — a live view of how well the flood is amortizing.
-``{"op": "ping", "id": 4}``
+    Batching counters (submitted/decided/pending/flushes by trigger/mean
+    batch) plus account count — a live view of how well the flood is
+    amortizing.  Since the telemetry PR this is a thin view over the
+    metrics registry's serving series (see ``op: metrics``).
+``{"op": "metrics", "id": 4}``
+    Full :class:`~repro.obs.MetricsRegistry` snapshot — every counter,
+    gauge and histogram (exact p50/p95/p99) the process has published,
+    serving and attack telemetry alike.  Add ``"format": "prom"`` for
+    Prometheus text exposition in a ``"prom"`` field instead.  The CLI
+    scraper is ``repro metrics``.
+``{"op": "trace", "id": 5, "limit": 10}``
+    Recent completed root spans from the server's
+    :class:`~repro.obs.SpanTracer` (empty list when tracing is off).
+``{"op": "ping", "id": 6}``
     Liveness probe.
 
 Failures come back as ``{"id": ..., "ok": false, "error": "<ErrorClass>",
@@ -36,6 +47,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.geometry.point import Point
+from repro.obs import MetricsRegistry, SpanTracer, get_registry
 from repro.passwords.store import PasswordStore
 from repro.serving.service import AsyncVerificationService
 
@@ -77,6 +89,13 @@ class LoginServer:
         self-hosted ``repro flood`` run).
     max_batch / flush_interval:
         Forwarded to the async service (size / deadline flush triggers).
+    registry / tracer:
+        Telemetry sinks, forwarded to the async service.  ``registry``
+        defaults to the process registry (:func:`repro.obs.get_registry`);
+        it backs the ``metrics`` op and the per-op request counters.
+        ``tracer`` is off by default — pass a
+        :class:`~repro.obs.SpanTracer` to record per-flush span trees
+        served by the ``trace`` op (``repro flood --trace`` does this).
     """
 
     def __init__(
@@ -86,14 +105,31 @@ class LoginServer:
         port: int = 0,
         max_batch: int = 256,
         flush_interval: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer
         self.service = AsyncVerificationService(
-            store, max_batch=max_batch, flush_interval=flush_interval
+            store,
+            max_batch=max_batch,
+            flush_interval=flush_interval,
+            registry=self.registry,
+            tracer=tracer,
         )
         self._host = host
         self._port = port
         self._server: Optional[asyncio.base_events.Server] = None
         self.connections_served = 0
+        if self.registry.enabled:
+            self._obs_connections = self.registry.counter(
+                "server_connections_total",
+                help="TCP connections accepted by the login server",
+            )
+            self._obs_requests: dict = {}
+        else:
+            self._obs_connections = None
+            self._obs_requests = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -133,11 +169,26 @@ class LoginServer:
         except ConnectionError:  # client went away mid-response
             pass
 
+    def _count_request(self, op: object) -> None:
+        """Bump ``server_requests_total{op=...}`` (cached per op name)."""
+        if self._obs_requests is None:
+            return
+        key = op if isinstance(op, str) else "invalid"
+        counter = self._obs_requests.get(key)
+        if counter is None:
+            counter = self._obs_requests[key] = self.registry.counter(
+                "server_requests_total",
+                help="protocol requests handled, by op",
+                op=key,
+            )
+        counter.inc()
+
     async def _handle_request(
         self, writer: asyncio.StreamWriter, request: dict
     ) -> None:
         request_id = request.get("id")
         op = request.get("op")
+        self._count_request(op)
         try:
             if op == "login":
                 points = parse_points(request.get("points"))
@@ -150,21 +201,31 @@ class LoginServer:
                 self.service.service.enroll(str(request.get("user")), points)
                 response = {"id": request_id, "ok": True, "status": "enrolled"}
             elif op == "stats":
-                stats = self.service.stats
-                response = {
-                    "id": request_id,
-                    "ok": True,
-                    "accounts": len(self.service.store.usernames),
-                    "submitted": stats.submitted,
-                    "decided": stats.decided,
-                    "flushes": stats.flushes,
-                    "size_flushes": stats.size_flushes,
-                    "largest_batch": stats.largest_batch,
-                    "mean_batch": round(stats.mean_batch, 2),
-                    "throttled": stats.throttled,
-                    "captcha_challenged": stats.captcha_challenged,
-                    "defense": self.service.store.defense.describe(),
-                }
+                response = {"id": request_id, "ok": True}
+                response.update(self.service.stats_view())
+                response["accounts"] = len(self.service.store.usernames)
+                response["defense"] = self.service.store.defense.describe()
+            elif op == "metrics":
+                if request.get("format") == "prom":
+                    response = {
+                        "id": request_id,
+                        "ok": True,
+                        "prom": self.registry.render_prometheus(),
+                    }
+                else:
+                    response = {
+                        "id": request_id,
+                        "ok": True,
+                        "metrics": self.registry.snapshot(),
+                    }
+            elif op == "trace":
+                limit = request.get("limit")
+                spans = (
+                    self.tracer.recent(limit if isinstance(limit, int) else None)
+                    if self.tracer is not None
+                    else []
+                )
+                response = {"id": request_id, "ok": True, "spans": spans}
             elif op == "ping":
                 response = {"id": request_id, "ok": True, "status": "pong"}
             else:
@@ -194,6 +255,8 @@ class LoginServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
+        if self._obs_connections is not None:
+            self._obs_connections.inc()
         # Only in-flight requests are tracked: completed tasks remove
         # themselves, so a long-lived pipelining connection doesn't
         # accumulate one Task object per request it ever made.

@@ -30,11 +30,13 @@ alone), so one malformed request can never poison the shared batch.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import DomainError, ParameterError
 from repro.geometry.point import Point
+from repro.obs import SIZE_BUCKETS, MetricsRegistry, SpanTracer, get_registry
 from repro.passwords.service import LoginOutcome, VerificationService
 from repro.passwords.store import PasswordStore
 
@@ -54,9 +56,12 @@ class ServiceStats:
     flushes:
         Number of batch flushes executed.
     size_flushes:
-        Flushes triggered by the ``max_batch`` size trigger (the rest were
-        deadline flushes or explicit :meth:`~AsyncVerificationService.drain`
-        calls).
+        Flushes triggered by the ``max_batch`` size trigger.
+    deadline_flushes:
+        Flushes triggered by the ``flush_interval`` deadline timer (the
+        remainder, ``flushes - size_flushes - deadline_flushes``, were
+        explicit :meth:`~AsyncVerificationService.drain` calls) — lets a
+        flood run distinguish size- from deadline-triggered batching.
     largest_batch:
         Largest number of attempts decided by a single flush.
     throttled:
@@ -71,6 +76,7 @@ class ServiceStats:
     decided: int = 0
     flushes: int = 0
     size_flushes: int = 0
+    deadline_flushes: int = 0
     largest_batch: int = 0
     throttled: int = 0
     captcha_challenged: int = 0
@@ -100,6 +106,19 @@ class AsyncVerificationService:
         batch arrives.  ``0.0`` (default) flushes on the next event-loop
         pass — every coroutine that submits during the current tick shares
         one kernel call.
+    registry:
+        :class:`~repro.obs.MetricsRegistry` receiving the serving-layer
+        telemetry (queue-wait histogram, flush-trigger counters, batch
+        sizes) and, through the inner sync service, the kernel/hash
+        timings.  ``None`` (default) publishes into the process registry;
+        pass :data:`~repro.obs.NULL_REGISTRY` for the no-op path.
+    tracer:
+        Optional :class:`~repro.obs.SpanTracer`.  When enabled, every
+        flush emits a ``serving.flush`` root span (annotated with the
+        trigger, batch size and kernel/hash seconds) with one
+        ``serving.login`` child per parked submit carrying its queue
+        wait — the ``repro flood --trace`` surface.  ``None`` disables
+        tracing entirely.
 
     Use it from a running event loop::
 
@@ -112,12 +131,17 @@ class AsyncVerificationService:
         store: PasswordStore,
         max_batch: int = 256,
         flush_interval: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if flush_interval < 0:
             raise ParameterError(
                 f"flush_interval must be >= 0, got {flush_interval}"
             )
-        self._service = VerificationService(store, max_batch=max_batch)
+        registry = registry if registry is not None else get_registry()
+        self._service = VerificationService(
+            store, max_batch=max_batch, registry=registry
+        )
         self._max_batch = max_batch
         self._flush_interval = flush_interval
         # Parked callers: ``(future, n)`` — the future resolves to one
@@ -137,6 +161,54 @@ class AsyncVerificationService:
             self._bounds = (image.width, image.height, image.name)
         else:
             self._bounds = None
+        # Telemetry.  Instruments resolve once; on a disabled registry
+        # with no tracer, submit/flush skip every telemetry branch (the
+        # `_track_times` flag) so the hot path matches the PR-3 shape.
+        self._registry = registry
+        self._obs_enabled = registry.enabled
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._track_times = self._obs_enabled or self._tracer is not None
+        # Queue waits and span timings share one clock; the tracer's wins
+        # so an injected VirtualClock stays authoritative in tests.
+        self._now = self._tracer.clock if self._tracer else time.perf_counter
+        self._submit_times: List[float] = []
+        self._obs_submitted = registry.counter(
+            "serving_submitted_total",
+            help="attempts accepted by submit() (published at flush)",
+        )
+        self._obs_decided = registry.counter(
+            "serving_decided_total", help="attempts whose future resolved"
+        )
+        self._obs_flush_trigger = {
+            trigger: registry.counter(
+                "serving_flushes_total",
+                help="batch flushes by trigger",
+                trigger=trigger,
+            )
+            for trigger in ("size", "deadline", "drain")
+        }
+        self._obs_queue_wait = registry.histogram(
+            "serving_queue_wait_seconds",
+            help="submit-to-flush wait per parked request",
+        )
+        self._obs_batch_size = registry.histogram(
+            "serving_batch_size",
+            help="attempts decided per flush",
+            buckets=SIZE_BUCKETS,
+        )
+        self._obs_largest = registry.gauge(
+            "serving_largest_batch", help="largest single flush so far"
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this service publishes into."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Optional[SpanTracer]:
+        """The span tracer, if tracing is enabled (else ``None``)."""
+        return self._tracer
 
     @property
     def store(self) -> PasswordStore:
@@ -182,14 +254,19 @@ class AsyncVerificationService:
         """Apply the flush triggers after an enqueue (hot path)."""
         if self._pending_attempts >= self._max_batch:
             self.stats.size_flushes += 1
-            self._flush_now()
+            self._flush_now("size")
         elif self._flush_handle is None:
             if self._flush_interval <= 0:
-                self._flush_handle = loop.call_soon(self._flush_now)
+                self._flush_handle = loop.call_soon(self._deadline_flush)
             else:
                 self._flush_handle = loop.call_later(
-                    self._flush_interval, self._flush_now
+                    self._flush_interval, self._deadline_flush
                 )
+
+    def _deadline_flush(self) -> None:
+        """Timer-fired flush (the deadline trigger, counted as such)."""
+        self.stats.deadline_flushes += 1
+        self._flush_now("deadline")
 
     def submit(self, username: str, points: Sequence[Point]) -> asyncio.Future:
         """Enqueue one attempt; the returned future resolves to its
@@ -212,6 +289,8 @@ class AsyncVerificationService:
         self._waiters.append((future, 1))
         self._pending_attempts += 1
         self.stats.submitted += 1
+        if self._track_times:
+            self._submit_times.append(self._now())
         self._arm_or_fire(loop)
         return future
 
@@ -236,6 +315,8 @@ class AsyncVerificationService:
         self._waiters.append((future, len(attempts)))
         self._pending_attempts += len(attempts)
         self.stats.submitted += len(attempts)
+        if self._track_times:
+            self._submit_times.append(self._now())
         self._arm_or_fire(loop)
         return future
 
@@ -245,25 +326,33 @@ class AsyncVerificationService:
 
     # -- flushing -------------------------------------------------------------
 
-    def _flush_now(self) -> None:
+    def _flush_now(self, trigger: str = "drain") -> None:
         """Decide every pending attempt and resolve its future.
 
         Futures are resolved positionally against the sync service's
         submission-order outcome list.  A failure inside the batched
         decision (which per-request validation should have made
         impossible) is propagated to every parked caller rather than
-        swallowed.
+        swallowed.  *trigger* (``"size"`` / ``"deadline"`` / ``"drain"``)
+        only feeds telemetry.
         """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
         waiters, self._waiters = self._waiters, []
+        times, self._submit_times = self._submit_times, []
         batch_size, self._pending_attempts = self._pending_attempts, 0
         if not waiters:
             return
         self.stats.flushes += 1
         if batch_size > self.stats.largest_batch:
             self.stats.largest_batch = batch_size
+        tracer = self._tracer
+        span = (
+            tracer.start("serving.flush", trigger=trigger, batch_size=batch_size)
+            if tracer
+            else None
+        )
         try:
             outcomes = self._service.flush()
         except Exception as exc:  # pragma: no cover - defensive
@@ -272,6 +361,33 @@ class AsyncVerificationService:
                     future.set_exception(exc)
             return
         self.stats.decided += len(outcomes)
+        if self._track_times:
+            now = self._now()
+            if self._obs_enabled:
+                self._obs_flush_trigger[trigger].inc()
+                # The submitted counter is published here, per flush, not
+                # per submit — between flushes ``stats_view()`` carries
+                # the live ``pending_count`` instead.
+                self._obs_submitted.inc(batch_size)
+                self._obs_decided.inc(len(outcomes))
+                self._obs_batch_size.observe(batch_size)
+                self._obs_largest.set_max(batch_size)
+                self._obs_queue_wait.observe_many(
+                    [now - submitted_at for submitted_at in times]
+                )
+            if span is not None:
+                timings = self._service.last_flush_timings
+                if timings is not None:
+                    span.annotate(**timings)
+                for (_, count), submitted_at in zip(waiters, times):
+                    child = span.child(
+                        "serving.login",
+                        attempts=count,
+                        queue_wait_seconds=now - submitted_at,
+                    )
+                    child.start = submitted_at
+                    child.end = now
+                span.finish()
         if self._count_defense:
             for outcome in outcomes:
                 if outcome.throttled:
@@ -295,3 +411,29 @@ class AsyncVerificationService:
         self._flush_now()
         if waiters:
             await asyncio.gather(*waiters, return_exceptions=True)
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats_view(self) -> dict:
+        """The legacy batching counters as one JSON-safe dict.
+
+        This is the server's ``{"op": "stats"}`` payload: the
+        :class:`ServiceStats` fields plus the live ``pending_count`` —
+        kept as a *view* over the same quantities the registry publishes
+        (``serving_submitted_total``, ``serving_flushes_total{trigger=…}``
+        and friends; the equivalence is property-tested in
+        ``tests/test_obs.py``), so dashboards can consume either surface.
+        """
+        stats = self.stats
+        return {
+            "submitted": stats.submitted,
+            "decided": stats.decided,
+            "pending_count": self.pending_count,
+            "flushes": stats.flushes,
+            "size_flushes": stats.size_flushes,
+            "deadline_flushes": stats.deadline_flushes,
+            "largest_batch": stats.largest_batch,
+            "mean_batch": round(stats.mean_batch, 2),
+            "throttled": stats.throttled,
+            "captcha_challenged": stats.captcha_challenged,
+        }

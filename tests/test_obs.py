@@ -1,0 +1,669 @@
+"""Tests for the unified telemetry layer (``repro.obs``).
+
+Covers the metrics registry (counters/gauges/histograms with exact
+quantiles, Prometheus exposition, disabled no-op path), the span tracer
+(nesting, ring retention, VirtualClock determinism), and the acceptance
+criterion: registry counters must equal the legacy ``ServiceStats``
+fields across randomized concurrent interleavings for all three schemes
+on memory / sqlite / sharded-sqlite backends — plus the server's
+``stats`` / ``metrics`` / ``trace`` wire surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks.dictionary import HumanSeededDictionary
+from repro.attacks.parallel import ShardedAttackRunner
+from repro.core.centered import CenteredDiscretization
+from repro.core.robust import RobustDiscretization
+from repro.core.static import StaticGridScheme
+from repro.crypto.hashing import Hasher
+from repro.errors import ParameterError
+from repro.geometry.point import Point
+from repro.obs import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    NULL_SPAN,
+    MetricsRegistry,
+    SpanTracer,
+    export_snapshot,
+    get_registry,
+    set_registry,
+)
+from repro.passwords.defense import DefenseConfig, VirtualClock
+from repro.passwords.passpoints import PassPointsSystem
+from repro.passwords.policy import LockoutPolicy
+from repro.passwords.storage import backend_from_uri
+from repro.passwords.store import PasswordStore
+from repro.passwords.system import enroll_password
+from repro.serving import AsyncVerificationService, LoginServer
+from repro.study.image import cars_image
+
+SCHEMES = {
+    "centered": lambda: CenteredDiscretization.for_pixel_tolerance(2, 9),
+    "robust": lambda: RobustDiscretization.for_pixel_tolerance(2, 9),
+    "static": lambda: StaticGridScheme(dim=2, cell_size=19),
+}
+
+#: The acceptance-criterion backend matrix.
+BACKENDS = ["memory", "sqlite", "shards"]
+
+
+def make_backend(kind: str, tmp_path, tag: str):
+    if kind == "memory":
+        return backend_from_uri("memory:")
+    if kind == "sqlite":
+        return backend_from_uri(f"sqlite:{tmp_path / tag}.db")
+    return backend_from_uri(f"shards:sqlite:{tmp_path / tag}-s{{0..2}}.db")
+
+
+def build_store(scheme_name, backend, policy=None, registry=None):
+    system = PassPointsSystem(image=cars_image(), scheme=SCHEMES[scheme_name]())
+    return PasswordStore(
+        system=system,
+        policy=policy or LockoutPolicy(max_failures=3),
+        backend=backend,
+        registry=registry,
+    )
+
+
+def random_password(rng, image):
+    return [
+        Point.xy(int(x), int(y))
+        for x, y in zip(
+            rng.integers(30, image.width - 30, size=5),
+            rng.integers(30, image.height - 30, size=5),
+        )
+    ]
+
+
+# -- metrics primitives ------------------------------------------------------
+
+
+class TestMetricsPrimitives:
+    def test_counter_increments_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("logins_total", help="x", status="accept")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", status="accept")
+        b = registry.counter("x_total", status="accept")
+        c = registry.counter("x_total", status="reject")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ParameterError):
+            registry.gauge("thing_total")
+        with pytest.raises(ParameterError):
+            registry.histogram("thing_total", status="other_labels")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            registry.counter("bad-name")
+        with pytest.raises(ParameterError):
+            registry.counter("ok_name", **{"bad label": "v"})
+
+    def test_gauge_set_max_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("largest_batch")
+        gauge.set_max(4)
+        gauge.set_max(2)
+        assert gauge.value == 4
+        gauge.set(1.5)
+        gauge.inc(-0.5)
+        assert gauge.value == 1.0
+
+    def test_histogram_exact_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        samples = [0.05 * i for i in range(1, 101)]  # 0.05 .. 5.0
+        for value in samples:
+            hist.observe(value)
+        # Nearest-rank over the full retained window: exact, not
+        # bucket-interpolated.
+        assert hist.quantile(0.5) == samples[49]
+        assert hist.quantile(0.95) == samples[94]
+        assert hist.quantile(0.99) == samples[98]
+        assert hist.quantile(0.0) == samples[0]
+        assert hist.quantile(1.0) == samples[-1]
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == samples[0] and snap["max"] == samples[-1]
+        assert snap["p50"] == samples[49]
+        assert snap["buckets"]["0.1"] == 2  # 0.05, 0.10
+        assert snap["buckets"]["+Inf"] == 100
+
+    def test_histogram_window_bounds_memory_not_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("w_seconds", sample_window=16)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100  # cumulative count never truncates
+        snap = hist.snapshot()
+        assert snap["window"] == 16  # quantiles scope to the ring
+        assert snap["p50"] == 91.0  # nearest-rank over 84..99
+
+    def test_histogram_observe_many_matches_observe(self):
+        registry = MetricsRegistry()
+        one = registry.histogram("one_seconds", buckets=(0.1, 1.0, 10.0))
+        bulk = registry.histogram("bulk_seconds", buckets=(0.1, 1.0, 10.0))
+        samples = [0.05 * i for i in range(1, 101)]
+        for value in samples:
+            one.observe(value)
+        bulk.observe_many(samples)
+        bulk.observe_many([])  # empty batch is a no-op
+        assert bulk.snapshot() == one.snapshot()
+
+    def test_histogram_empty_quantile_is_none(self):
+        hist = MetricsRegistry().histogram("e_seconds")
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["p50"] is None and snap["min"] is None
+
+    def test_default_latency_buckets_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestRegistryExport:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", help="ah", op="x").inc(2)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c_seconds").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["enabled"] is True
+        assert snap["counters"] == {'a_total{op="x"}': 2}
+        assert snap["gauges"] == {"b": 1.5}
+        assert snap["histograms"]["c_seconds"]["count"] == 1
+        # JSON-safe end to end (the {"op": "metrics"} payload).
+        json.dumps(snap)
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="requests", op="login").inc(7)
+        registry.gauge("ratio").set(1.25)
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{op="login"} 7' in text
+        assert "ratio 1.25" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert "lat_seconds_p50 0.05" in text
+        assert text.endswith("\n")
+
+    def test_export_snapshot_default_and_explicit(self):
+        isolated = MetricsRegistry()
+        isolated.counter("only_here_total").inc()
+        assert "only_here_total" in export_snapshot(isolated)["counters"]
+        previous = set_registry(isolated)
+        try:
+            assert export_snapshot() is not None
+            assert get_registry() is isolated
+        finally:
+            set_registry(previous)
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("gone_total").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x_total")
+        gauge = registry.gauge("y")
+        hist = registry.histogram("z_seconds")
+        assert counter is gauge is hist  # the one shared NULL_INSTRUMENT
+        counter.inc(5)
+        gauge.set(3)
+        gauge.set_max(9)
+        hist.observe(0.5)
+        assert counter.value == 0
+        assert hist.count == 0 and hist.quantile(0.5) is None
+        snap = registry.snapshot()
+        assert snap == {
+            "enabled": False, "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert registry.render_prometheus() == ""
+
+    def test_null_registry_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+
+    def test_disabled_service_publishes_nothing(self, tmp_path):
+        store = build_store(
+            "centered", make_backend("memory", tmp_path, "x"),
+            registry=NULL_REGISTRY,
+        )
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        store.create_account("alice", points)
+        assert store.login("alice", points) is True
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+
+# -- span tracer -------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def test_nesting_attributes_and_to_dict(self):
+        clock = VirtualClock()
+        tracer = SpanTracer(capacity=8, clock=clock)
+        span = tracer.start("serving.flush", trigger="size")
+        clock.advance(0.25)
+        child = span.child("serving.login", attempts=2)
+        clock.advance(0.5)
+        child.finish()
+        span.annotate(batch_size=3)
+        clock.advance(0.25)
+        span.finish()
+        [got] = tracer.recent()
+        assert got["name"] == "serving.flush"
+        assert got["duration"] == 1.0
+        assert got["attributes"] == {"trigger": "size", "batch_size": 3}
+        [child_dict] = got["children"]
+        assert child_dict["name"] == "serving.login"
+        assert child_dict["duration"] == 0.5
+        assert child_dict["attributes"] == {"attempts": 2}
+
+    def test_ring_retention_and_finished_count(self):
+        tracer = SpanTracer(capacity=3)
+        for index in range(7):
+            tracer.start(f"span{index}").finish()
+        names = [s["name"] for s in tracer.recent()]
+        assert names == ["span4", "span5", "span6"]  # oldest first
+        assert tracer.finished_count == 7
+        assert [s["name"] for s in tracer.recent(limit=2)] == ["span5", "span6"]
+        tracer.clear()
+        assert tracer.recent() == []
+        assert tracer.finished_count == 7
+
+    def test_child_spans_are_not_committed_as_roots(self):
+        tracer = SpanTracer()
+        span = tracer.start("root")
+        span.child("leaf").finish()
+        assert tracer.recent() == []  # root still open
+        span.finish()
+        assert len(tracer.recent()) == 1
+
+    def test_context_manager_finishes(self):
+        tracer = SpanTracer()
+        with tracer.start("cm") as span:
+            span.annotate(ok=True)
+        assert tracer.recent()[0]["attributes"] == {"ok": True}
+
+    def test_double_finish_commits_once(self):
+        tracer = SpanTracer()
+        span = tracer.start("once")
+        span.finish()
+        first_end = span.end
+        span.finish()
+        assert span.end == first_end
+        assert tracer.finished_count == 1
+
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = SpanTracer(enabled=False)
+        span = tracer.start("anything", key="value")
+        assert span is NULL_SPAN
+        assert span.child("nested") is span
+        assert span.annotate(x=1) is span
+        span.finish()
+        assert tracer.recent() == []
+        assert span.to_dict() == {}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ParameterError):
+            SpanTracer(capacity=0)
+
+
+# -- instrumented components -------------------------------------------------
+
+
+class TestStoreInstrumentation:
+    def test_scalar_login_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        store = build_store(
+            "centered", make_backend("memory", tmp_path, "s"), registry=registry
+        )
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        wrong = [Point.xy(int(p.x) - 25, int(p.y) + 25) for p in points]
+        store.create_account("alice", points)
+        assert store.login("alice", points) is True
+        for _ in range(3):
+            assert store.login("alice", wrong) is False
+        from repro.errors import LockoutError
+
+        with pytest.raises(LockoutError):
+            store.login("alice", points)
+        counters = registry.snapshot()["counters"]
+        assert counters['store_logins_total{status="accept"}'] == 1
+        assert counters['store_logins_total{status="reject"}'] == 3
+        assert counters['store_logins_total{status="locked"}'] == 1
+        assert counters['defense_refusals_total{knob="lockout"}'] == 1
+        hist = registry.snapshot()["histograms"]["store_verify_seconds"]
+        assert hist["count"] == 4  # the locked attempt never hashed
+
+    def test_captcha_and_rate_limit_counters(self, tmp_path):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        backend = make_backend("memory", tmp_path, "d")
+        system = PassPointsSystem(
+            image=cars_image(), scheme=SCHEMES["centered"]()
+        )
+        store = PasswordStore(
+            system=system,
+            policy=LockoutPolicy(max_failures=100),
+            backend=backend,
+            defense=DefenseConfig(
+                captcha_after=1, rate_limit_window=60.0, rate_limit_max=3
+            ),
+            clock=clock,
+            registry=registry,
+        )
+        points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+        wrong = [Point.xy(int(p.x) - 25, int(p.y) + 25) for p in points]
+        store.create_account("bob", points)
+        store.login("bob", wrong)  # failure #1 arms the captcha knob
+        store.login("bob", wrong)  # challenged
+        store.login("bob", wrong)  # challenged; window now exhausted
+        from repro.errors import RateLimitError
+
+        with pytest.raises(RateLimitError):
+            store.login("bob", wrong)  # challenged, then refused
+        counters = registry.snapshot()["counters"]
+        # The refused attempt still counts as challenged: the CAPTCHA is
+        # presented before the rate-limit verdict.
+        assert counters['defense_challenges_total{knob="captcha"}'] == 3
+        assert counters['defense_refusals_total{knob="rate_limit"}'] == 1
+        assert counters['store_logins_total{status="throttled"}'] == 1
+
+
+class TestAttackRunnerInstrumentation:
+    def test_serial_run_publishes_attack_metrics(self):
+        scheme = SCHEMES["centered"]()
+        seeds = tuple(
+            Point.xy(40 + 75 * (i % 4), 60 + 100 * (i // 4)) for i in range(12)
+        )
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        entries = list(dictionary.prioritized_entries(4))
+        records = {
+            f"victim{i}": enroll_password(
+                scheme, entries[i], Hasher(salt=f"victim{i}".encode())
+            )
+            for i in range(2)
+        }
+        registry = MetricsRegistry()
+        runner = ShardedAttackRunner(workers=1, registry=registry)
+        result = runner.run_stolen_file(
+            scheme, records, dictionary, guess_budget=8
+        )
+        assert result.cracked == 2
+        stats = runner.last_stats
+        assert stats is not None and stats.mode == "serial"
+        snap = registry.snapshot()
+        assert snap["counters"]['attack_runs_total{mode="serial"}'] == 1
+        assert snap["counters"]["attack_tasks_total"] == stats.tasks == 1
+        assert snap["counters"]["attack_waves_total"] == stats.waves == 1
+        assert snap["gauges"]["attack_workers"] == 1
+        assert snap["gauges"]["attack_task_size"] == stats.task_size
+        assert snap["gauges"]["attack_straggler_ratio"] == pytest.approx(
+            stats.straggler_ratio
+        )
+        busy = snap["histograms"]["attack_worker_busy_seconds"]
+        assert busy["count"] == len(stats.worker_busy) == 1
+
+    def test_disabled_registry_still_stashes_last_stats(self):
+        scheme = SCHEMES["centered"]()
+        seeds = tuple(
+            Point.xy(40 + 75 * (i % 4), 60 + 100 * (i // 4)) for i in range(12)
+        )
+        dictionary = HumanSeededDictionary(
+            seed_points=seeds, tuple_length=5, image_name="cars"
+        )
+        entries = list(dictionary.prioritized_entries(1))
+        records = {
+            "only": enroll_password(scheme, entries[0], Hasher(salt=b"only"))
+        }
+        runner = ShardedAttackRunner(workers=1, registry=NULL_REGISTRY)
+        runner.run_stolen_file(scheme, records, dictionary, guess_budget=2)
+        assert runner.last_stats is not None
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+
+# -- the acceptance-criterion property test ---------------------------------
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("backend_kind", BACKENDS)
+async def test_registry_matches_service_stats(scheme_name, backend_kind, tmp_path):
+    """Registry counters == legacy ServiceStats across random interleavings."""
+    image = cars_image()
+    rng = np.random.default_rng(20080000 + hash(scheme_name) % 1000)
+    accounts = {f"user{i}": random_password(rng, image) for i in range(4)}
+    clients = 3
+    streams = []
+    for _ in range(clients):
+        stream = []
+        names = sorted(accounts)
+        for _ in range(20):
+            username = names[int(rng.integers(len(names)))]
+            points = accounts[username]
+            if rng.random() < 0.4:  # attacker
+                attempt = [
+                    Point.xy(int(p.x) - 25, int(p.y) + 25) for p in points
+                ]
+            else:
+                attempt = list(points)
+            stream.append((username, attempt))
+        streams.append(stream)
+    yield_plan = [
+        [float(x) < 0.4 for x in rng.random(len(stream))] for stream in streams
+    ]
+
+    registry = MetricsRegistry()
+    backend = make_backend(backend_kind, tmp_path, f"obs-{scheme_name}")
+    store = build_store(scheme_name, backend, registry=registry)
+    for username, points in accounts.items():
+        store.create_account(username, points)
+    service = AsyncVerificationService(store, max_batch=8, registry=registry)
+
+    decided_statuses = []
+
+    async def client(stream, yields):
+        for (username, attempt), should_yield in zip(stream, yields):
+            if should_yield:
+                await asyncio.sleep(0)
+            outcome = await service.submit(username, attempt)
+            decided_statuses.append(outcome.status)
+
+    await asyncio.gather(
+        *(client(s, y) for s, y in zip(streams, yield_plan))
+    )
+    await service.drain()
+
+    stats = service.stats
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    assert counters["serving_submitted_total"] == stats.submitted == 60
+    assert counters["serving_decided_total"] == stats.decided == 60
+    flush_counters = {
+        trigger: counters.get(
+            f'serving_flushes_total{{trigger="{trigger}"}}', 0
+        )
+        for trigger in ("size", "deadline", "drain")
+    }
+    assert sum(flush_counters.values()) == stats.flushes
+    assert flush_counters["size"] == stats.size_flushes
+    assert flush_counters["deadline"] == stats.deadline_flushes
+    assert snap["gauges"]["serving_largest_batch"] == stats.largest_batch
+    batch_hist = snap["histograms"]["serving_batch_size"]
+    assert batch_hist["count"] == stats.flushes
+    assert batch_hist["sum"] == stats.decided
+    assert batch_hist["max"] == stats.largest_batch
+    # Queue-wait: one observation per parked submit() call.
+    assert snap["histograms"]["serving_queue_wait_seconds"]["count"] == 60
+    # Batched decisions land in the service_logins_total{status=...}
+    # family — identical tallies to what the clients observed.
+    for status in ("accept", "reject", "locked"):
+        assert counters[
+            f'service_logins_total{{status="{status}"}}'
+        ] == decided_statuses.count(status), (scheme_name, backend_kind, status)
+    # The stats_view the server's stats op serves agrees field by field.
+    view = service.stats_view()
+    assert view["submitted"] == stats.submitted
+    assert view["pending_count"] == 0
+    assert view["deadline_flushes"] == stats.deadline_flushes
+    backend.close()
+
+
+# -- tracer-wired serving ----------------------------------------------------
+
+
+async def test_async_service_spans_with_virtual_clock(tmp_path):
+    """An injected VirtualClock makes span timings bit-deterministic."""
+    clock = VirtualClock()
+    registry = MetricsRegistry()
+    tracer = SpanTracer(capacity=16, clock=clock)
+    store = build_store(
+        "centered", make_backend("memory", tmp_path, "t"), registry=registry
+    )
+    points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+    store.create_account("alice", points)
+    service = AsyncVerificationService(
+        store, max_batch=64, registry=registry, tracer=tracer
+    )
+    assert service.tracer is tracer
+
+    future = service.submit("alice", points)
+    clock.advance(0.75)
+    await service.drain()
+    assert (await future).status == "accept"
+
+    [span] = tracer.recent()
+    assert span["name"] == "serving.flush"
+    assert span["attributes"]["batch_size"] == 1
+    assert span["attributes"]["kernel_seconds"] >= 0.0  # annotated timings
+    [child] = span["children"]
+    assert child["name"] == "serving.login"
+    assert child["attributes"]["queue_wait_seconds"] == 0.75
+    assert child["duration"] == 0.75
+    # The same clock feeds the queue-wait histogram: exact quantile.
+    wait = registry.snapshot()["histograms"]["serving_queue_wait_seconds"]
+    assert wait["p50"] == 0.75
+
+    # A disabled tracer on the same store is a no-op path.
+    silent = AsyncVerificationService(
+        store, registry=registry, tracer=SpanTracer(enabled=False)
+    )
+    assert silent.tracer is None
+
+
+# -- wire surface ------------------------------------------------------------
+
+
+async def _request(reader, writer, payload: dict) -> dict:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+async def test_server_stats_metrics_and_trace_ops(tmp_path):
+    registry = MetricsRegistry()
+    tracer = SpanTracer(capacity=64)
+    store = build_store(
+        "centered", make_backend("memory", tmp_path, "w"), registry=registry
+    )
+    points = [Point.xy(40 + 60 * i, 50 + 40 * i) for i in range(5)]
+    store.create_account("alice", points)
+    server = await LoginServer(
+        store, port=0, registry=registry, tracer=tracer
+    ).start()
+    host, port = server.address
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        login = await _request(
+            reader, writer,
+            {"op": "login", "id": 1, "user": "alice",
+             "points": [[int(p.x), int(p.y)] for p in points]},
+        )
+        assert login["ok"] and login["status"] == "accept"
+
+        stats = await _request(reader, writer, {"op": "stats", "id": 2})
+        assert stats["ok"]
+        # Satellite: the stats op exposes the live queue depth and the
+        # deadline-flush count alongside the legacy counters.
+        assert stats["pending_count"] == 0
+        assert stats["deadline_flushes"] >= 1
+        assert stats["submitted"] == stats["decided"] == 1
+        assert stats["accounts"] == 1
+
+        metrics = await _request(reader, writer, {"op": "metrics", "id": 3})
+        assert metrics["ok"]
+        snap = metrics["metrics"]
+        assert snap["enabled"] is True
+        assert snap["counters"]["serving_decided_total"] == 1
+        assert snap["counters"]['server_requests_total{op="login"}'] == 1
+        assert snap["histograms"]["serving_queue_wait_seconds"]["count"] == 1
+        assert snap["histograms"]["service_kernel_seconds"]["p50"] is not None
+
+        prom = await _request(
+            reader, writer, {"op": "metrics", "id": 4, "format": "prom"}
+        )
+        assert prom["ok"]
+        assert "serving_decided_total 1" in prom["prom"]
+        assert "serving_queue_wait_seconds_p50 " in prom["prom"]
+
+        trace = await _request(reader, writer, {"op": "trace", "id": 5})
+        assert trace["ok"]
+        flushes = [s for s in trace["spans"] if s["name"] == "serving.flush"]
+        assert flushes and flushes[0]["children"][0]["name"] == "serving.login"
+
+        limited = await _request(
+            reader, writer, {"op": "trace", "id": 6, "limit": 1}
+        )
+        assert len(limited["spans"]) == 1
+
+        writer.close()
+        await writer.wait_closed()
+    finally:
+        await server.aclose()
+    assert registry.snapshot()["counters"]["server_connections_total"] == 1
+
+
+async def test_server_without_tracer_serves_empty_trace(tmp_path):
+    registry = MetricsRegistry()
+    store = build_store(
+        "centered", make_backend("memory", tmp_path, "nt"), registry=registry
+    )
+    server = await LoginServer(store, port=0, registry=registry).start()
+    host, port = server.address
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        trace = await _request(reader, writer, {"op": "trace", "id": 1})
+        assert trace["ok"] and trace["spans"] == []
+        writer.close()
+        await writer.wait_closed()
+    finally:
+        await server.aclose()

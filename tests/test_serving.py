@@ -426,7 +426,7 @@ def test_percentile_nearest_rank():
     assert percentile(samples, 0.0) == 1.0
     assert percentile(samples, 0.5) == 3.0
     assert percentile(samples, 1.0) == 5.0
-    assert math.isnan(percentile([], 0.5))
+    assert percentile([], 0.5) is None
     with pytest.raises(ValueError):
         percentile(samples, 1.5)
 
