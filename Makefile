@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench obs-bench grind-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench obs-bench cluster-bench grind-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -43,6 +43,14 @@ defense-bench:
 ## benchmarks/reports/obs_overhead.txt.
 obs-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_obs.py -q
+
+## Million-user soak of the shard-per-process serving cluster: parallel
+## enrollment across workers, 64-connection pipelined flood through the
+## router, then the 4->8 live reshard drill; regenerates
+## benchmarks/reports/cluster_throughput.txt.
+cluster-bench:
+	CLUSTER_USERS=1000000 CLUSTER_ATTEMPTS=200000 \
+		$(PYTHON) -m pytest benchmarks/test_bench_cluster.py -q
 
 ## Million-account stolen-file grind through the work-stealing queue;
 ## appends its throughput/straggler section to

@@ -26,6 +26,7 @@ def pytest_report_header(config):
     from repro.attacks.parallel import default_workers
     from repro.core.batch import resolve_array_namespace
     from repro.obs import get_registry
+    from repro.serving.cluster import default_cluster_workers
 
     mode = os.environ.get("REPRO_ATTACK_MODE", "queue")
     task_size = os.environ.get("REPRO_ATTACK_TASK_SIZE", "auto")
@@ -33,6 +34,8 @@ def pytest_report_header(config):
     return (
         f"attack engine: {default_workers()} worker(s) schedulable, "
         f"mode={mode}, task size={task_size}; "
+        f"serving cluster: {default_cluster_workers()} shard worker(s) "
+        f"($CLUSTER_WORKERS); "
         f"array backend: {resolve_array_namespace().__name__}; "
         f"obs registry: {obs}"
     )

@@ -264,6 +264,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="serve a shards: store as one worker process per shard",
+    )
+    cluster_parser.add_argument(
+        "uri",
+        help="shards: URI over durable children (run 'store create' first)",
+    )
+    cluster_parser.add_argument("--host", default="127.0.0.1", help="bind host")
+    cluster_parser.add_argument(
+        "--port", type=int, default=7411, help="router port (default: 7411)"
+    )
+    cluster_parser.add_argument(
+        "--max-batch", type=int, default=256,
+        help="per-worker flush size (default: 256)",
+    )
+    cluster_parser.add_argument(
+        "--flush-interval", type=float, default=0.0,
+        help="per-worker flush deadline in seconds (default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--max-pipeline", type=int, default=128,
+        help="in-flight requests allowed per connection (default: 128)",
+    )
+    cluster_parser.add_argument(
+        "--max-request-bytes", type=int, default=64 * 1024,
+        help="request line size limit in bytes (default: 65536)",
+    )
+
     flood_parser = sub.add_parser(
         "flood", help="flood a self-hosted server and report throughput/latency"
     )
@@ -280,6 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
     flood_parser.add_argument(
         "--clients", type=int, default=16,
         help="concurrent TCP client connections (default: 16)",
+    )
+    flood_parser.add_argument(
+        "--connections", type=int, default=None,
+        help="alias for --clients that wins when both are given",
+    )
+    flood_parser.add_argument(
+        "--pipeline-depth", type=int, default=1,
+        help=(
+            "login requests each client keeps in flight per write burst "
+            "(default: 1 = strict request/response)"
+        ),
+    )
+    flood_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "self-host a shard-per-process ServingCluster instead of a "
+            "single in-process server (requires a shards: URI over "
+            "durable children)"
+        ),
     )
     flood_parser.add_argument(
         "--wrong-fraction", type=float, default=0.25,
@@ -458,44 +507,20 @@ def _cmd_demo() -> int:
 
 def _scheme_named(name: str, tolerance: int):
     """Construct a 2-D scheme from its CLI name and pixel tolerance."""
-    from repro.core.centered import CenteredDiscretization
-    from repro.core.robust import RobustDiscretization
-    from repro.core.static import StaticGridScheme
+    from repro.passwords.store import scheme_named
 
-    if name == "centered":
-        return CenteredDiscretization.for_pixel_tolerance(2, tolerance)
-    if name == "robust":
-        return RobustDiscretization.for_pixel_tolerance(2, tolerance)
-    return StaticGridScheme(dim=2, cell_size=2 * tolerance + 1)
+    return scheme_named(name, tolerance)
 
 
 def _store_for_backend(backend, defense_spec: Optional[str] = None):
     """Reconstruct the deployed store from a backend's persisted meta.
 
-    The persisted ``defense`` spec (if any) is re-applied so records
-    enrolled under a pepper / slow-hash deployment verify correctly; a
-    non-``None`` *defense_spec* overrides it for this process.
+    Thin CLI wrapper over :func:`repro.passwords.store.deployed_store`
+    (shared with the cluster workers, which resume shards the same way).
     """
-    from repro.errors import StoreError
-    from repro.passwords.defense import DefenseConfig
-    from repro.passwords.store import PasswordStore
-    from repro.study.image import cars_image, pool_image
+    from repro.passwords.store import deployed_store
 
-    scheme_name = backend.get_meta("scheme")
-    if scheme_name is None:
-        raise StoreError(
-            f"backend {backend.uri!r} holds no deployment meta; "
-            "run 'repro store create' first"
-        )
-    scheme = _scheme_named(scheme_name, int(backend.get_meta("tolerance_px")))
-    image = {"cars": cars_image, "pool": pool_image}[backend.get_meta("image")]()
-    from repro.passwords.passpoints import PassPointsSystem
-
-    if defense_spec is None:
-        defense_spec = backend.get_meta("defense") or ""
-    defense = DefenseConfig.from_spec(defense_spec)
-    system = PassPointsSystem(image=image, scheme=scheme)
-    return PasswordStore(system=system, backend=backend, defense=defense)
+    return deployed_store(backend, defense_spec=defense_spec)
 
 
 def _cmd_store_create(
@@ -770,6 +795,99 @@ def _cmd_serve(
     return 0
 
 
+def _cmd_cluster(
+    uri: str,
+    host: str,
+    port: int,
+    max_batch: int,
+    flush_interval: float,
+    max_pipeline: int,
+    max_request_bytes: int,
+) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.passwords.storage import backend_from_uri
+    from repro.serving.cluster import ServingCluster
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        shard_uris = _cluster_shard_uris(backend)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        backend.close()
+        return 2
+    backend.close()
+    cluster = ServingCluster(
+        shard_uris=shard_uris,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        flush_interval=flush_interval,
+        max_pipeline=max_pipeline,
+        max_request_bytes=max_request_bytes,
+    )
+
+    async def run() -> None:
+        await cluster.start()
+        bound_host, bound_port = cluster.address
+        print(
+            f"cluster: {cluster.worker_count} shard worker(s) behind "
+            f"router {bound_host}:{bound_port} (JSONL ops: "
+            f"login/enroll/stats/metrics/trace/ping; Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await cluster.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cluster_shard_uris(backend) -> "list[str]":
+    """Validate that *backend* can back a worker-per-shard cluster.
+
+    Returns the child shard URIs.  Raises :class:`~repro.errors.ClusterError`
+    when the backend is not sharded, when any shard is process-private
+    (``memory:``), or when the store was never deployed — each worker
+    process re-opens its shard by URI, so all three are fatal before a
+    single child is spawned.
+    """
+    from repro.errors import ClusterError
+    from repro.passwords.storage import ShardedBackend
+
+    if not isinstance(backend, ShardedBackend):
+        raise ClusterError(
+            f"cluster serving needs a shards: URI, got {backend.uri!r}"
+        )
+    shard_uris = [shard.uri for shard in backend.shards]
+    private = [u for u in shard_uris if u.partition(":")[0] == "memory"]
+    if private:
+        raise ClusterError(
+            "cluster workers re-open shards by URI, so every shard must be "
+            f"durable; {len(private)} memory: shard(s) found"
+        )
+    if backend.get_meta("scheme") is None:
+        raise ClusterError(
+            f"{backend.uri} has no deployment metadata; "
+            "run 'repro store create' first"
+        )
+    return shard_uris
+
+
 def _cmd_metrics(host: str, port: int, as_prom: bool) -> int:
     import json
     import socket
@@ -816,6 +934,8 @@ def _cmd_flood(
     seed: int,
     scheme_name: str,
     trace: bool = False,
+    pipeline_depth: int = 1,
+    cluster: bool = False,
 ) -> int:
     import asyncio
 
@@ -855,6 +975,12 @@ def _cmd_flood(
             bounds=(image.width, image.height),
         )
 
+        if cluster:
+            return _flood_cluster(
+                backend, stream, attempts, clients, pipeline_depth,
+                len(accounts), trace,
+            )
+
         # --trace runs against a dedicated registry/tracer so the span
         # trees and serving series describe this flood alone, not
         # whatever else the process published before.
@@ -869,9 +995,12 @@ def _cmd_flood(
             print(
                 f"flooding {backend.uri} via {bound_host}:{bound_port} — "
                 f"{attempts:,} attempts, {clients} clients, "
-                f"{len(accounts)} accounts"
+                f"{len(accounts)} accounts, pipeline depth {pipeline_depth}"
             )
-            report = await flood_server(bound_host, bound_port, stream, clients)
+            report = await flood_server(
+                bound_host, bound_port, stream, clients,
+                pipeline_depth=pipeline_depth,
+            )
             stats = server.service.stats
             await server.aclose()
             return report, stats
@@ -892,6 +1021,74 @@ def _cmd_flood(
     )
     if trace:
         print(report.trace_summary())
+    return 0
+
+
+def _flood_cluster(
+    backend,
+    stream,
+    attempts: int,
+    clients: int,
+    pipeline_depth: int,
+    account_count: int,
+    trace: bool,
+) -> int:
+    """Flood a self-hosted :class:`ServingCluster` built over *backend*.
+
+    The caller has already enrolled accounts through the parent process;
+    this helper closes the parent's backend handle (each worker re-opens
+    its shard by URI), spawns the cluster, drives the prepared attempt
+    *stream* through the router, and prints the flood report plus the
+    cross-worker merged batching stats.
+    """
+    import asyncio
+    import json
+
+    from repro.serving import flood_server
+    from repro.serving.cluster import ServingCluster
+
+    shard_uris = _cluster_shard_uris(backend)
+    backend.close()
+    if trace:
+        print(
+            "note: --trace is per-process; the cluster flood reports "
+            "merged stats instead of span trees",
+            file=sys.stderr,
+        )
+
+    async def run():
+        serving = ServingCluster(shard_uris=shard_uris)
+        try:
+            await serving.start()
+            host, port = serving.address
+            print(
+                f"flooding {len(shard_uris)} shard(s) via cluster router "
+                f"{host}:{port} — {attempts:,} attempts, {clients} clients, "
+                f"{account_count} accounts, pipeline depth {pipeline_depth}"
+            )
+            report = await flood_server(
+                host, port, stream, clients, pipeline_depth=pipeline_depth
+            )
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b'{"op":"stats","id":0}\n')
+                await writer.drain()
+                merged = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        finally:
+            await serving.aclose()
+        return report, merged
+
+    report, merged = asyncio.run(run())
+    print(report.summary())
+    print(
+        f"cluster batching: {merged['workers']} workers, "
+        f"{merged['flushes']} flushes, mean batch {merged['mean_batch']}, "
+        f"largest {merged['largest_batch']}; "
+        f"{merged['throttled']} attempt(s) throttled"
+    )
     return 0
 
 
@@ -1000,16 +1197,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.json,
             args.out,
         )
+    if args.command == "cluster":
+        return _cmd_cluster(
+            args.uri,
+            args.host,
+            args.port,
+            args.max_batch,
+            args.flush_interval,
+            args.max_pipeline,
+            args.max_request_bytes,
+        )
     if args.command == "flood":
         return _cmd_flood(
             args.uri,
             args.users,
             args.attempts,
-            args.clients,
+            args.connections if args.connections is not None else args.clients,
             args.wrong_fraction,
             args.seed,
             args.scheme,
             args.trace,
+            args.pipeline_depth,
+            args.cluster,
         )
     if args.command == "metrics":
         return _cmd_metrics(args.host, args.port, args.prom)

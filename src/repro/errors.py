@@ -56,6 +56,11 @@ class AttackError(ReproError, ValueError):
     """An attack was configured inconsistently with its target."""
 
 
+class ClusterError(ReproError, RuntimeError):
+    """A serving-cluster operation failed (worker startup, upstream loss,
+    or a reshard attempted on a layout that cannot support it)."""
+
+
 class LockoutError(ReproError, RuntimeError):
     """An online login was refused because the account is locked out."""
 

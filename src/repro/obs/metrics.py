@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 import os
+import re
 import threading
 from collections import deque
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -90,6 +91,27 @@ def _render_key(name: str, labels: LabelItems) -> str:
         return name
     inner = ",".join(f'{key}="{value}"' for key, value in labels)
     return f"{name}{{{inner}}}"
+
+
+#: One ``key="value"`` label pair inside a rendered metric key.  Values
+#: were produced by ``str()`` at labelling time and never contain quotes
+#: in this codebase's vocabulary (op names, trigger names, shard ids).
+_LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="([^"]*)"')
+
+
+def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_render_key`: ``'name{k="v"}'`` → ``("name", {"k": "v"})``.
+
+    The inverse exists because snapshots flatten ``(name, labels)`` into
+    one rendered string; :meth:`MetricsRegistry.merge` needs the parts
+    back to re-register the instrument locally.
+    """
+    name, brace, inner = key.partition("{")
+    if not brace:
+        return key, {}
+    if not inner.endswith("}"):
+        raise ParameterError(f"malformed metric key {key!r}")
+    return name, {label: value for label, value in _LABEL_PAIR.findall(inner[:-1])}
 
 
 def _valid_name(name: str) -> bool:
@@ -291,14 +313,23 @@ class Histogram:
         rank = max(math.ceil(q * len(ordered)), 1) - 1
         return ordered[rank]
 
-    def snapshot(self) -> dict:
-        """JSON-safe state: count/sum/min/max, exact p50/p95/p99, buckets."""
+    def snapshot(self, include_samples: bool = False) -> dict:
+        """JSON-safe state: count/sum/min/max, exact p50/p95/p99, buckets.
+
+        With ``include_samples=True`` the dict also carries the retained
+        raw sample ring (oldest→newest) under ``"samples"`` — the extra
+        payload :meth:`merge` needs to reconstitute exact quantiles on the
+        receiving side.  The cluster router's upstream fan-out asks for it
+        (``{"op": "metrics", "samples": true}``); plain scrapes stay
+        compact.
+        """
         with self._lock:
-            ordered = sorted(self._samples)
+            raw = list(self._samples)
             counts = list(self._bucket_counts)
             count, total = self._count, self._sum
             lo = self._min if self._count else None
             hi = self._max if self._count else None
+        ordered = sorted(raw)
 
         def rank(q: float) -> Optional[float]:
             if not ordered:
@@ -311,7 +342,7 @@ class Histogram:
             running += bucket_count
             cumulative[f"{bound:g}"] = running
         cumulative["+Inf"] = running + counts[-1]
-        return {
+        snap = {
             "count": count,
             "sum": total,
             "min": lo,
@@ -322,6 +353,52 @@ class Histogram:
             "window": len(ordered),
             "buckets": cumulative,
         }
+        if include_samples:
+            snap["samples"] = raw
+        return snap
+
+    def merge(self, snap: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket counts add, ``count``/``sum`` add, ``min``/``max`` extend,
+        and the incoming ``"samples"`` ring (when present) appends to this
+        histogram's ring — the ``deque`` re-applies the window cap, so the
+        merged quantiles are exact over the most recently appended
+        ``sample_window`` observations.  The snapshot's bucket bounds must
+        match this histogram's bounds exactly (cross-process merges only
+        make sense between instruments created from the same code path).
+        """
+        if not snap:
+            return
+        expected = [f"{bound:g}" for bound in self.buckets] + ["+Inf"]
+        cumulative = snap.get("buckets") or {}
+        if list(cumulative) != expected:
+            raise ParameterError(
+                f"histogram {self.name}: cannot merge snapshot with bucket "
+                f"bounds {list(cumulative)} into bounds {expected}"
+            )
+        per_bucket: List[int] = []
+        previous = 0
+        for key in expected:
+            value = int(cumulative[key])
+            per_bucket.append(value - previous)
+            previous = value
+        count = int(snap.get("count") or 0)
+        total = float(snap.get("sum") or 0.0)
+        lo = snap.get("min")
+        hi = snap.get("max")
+        samples = snap.get("samples") or ()
+        with self._lock:
+            for index, bucket_count in enumerate(per_bucket):
+                self._bucket_counts[index] += bucket_count
+            for value in samples:
+                self._samples.append(float(value))
+            self._count += count
+            self._sum += total
+            if lo is not None and float(lo) < self._min:
+                self._min = float(lo)
+            if hi is not None and float(hi) > self._max:
+                self._max = float(hi)
 
 
 class _NullInstrument:
@@ -369,9 +446,12 @@ class _NullInstrument:
         """Always 0.0."""
         return 0.0
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """An empty snapshot."""
         return {}
+
+    def merge(self, snap: Mapping[str, object]) -> None:
+        """No-op."""
 
 
 #: The single shared no-op instrument (stateless, so one suffices).
@@ -483,7 +563,7 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics.items())
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """Plain-dict view of every instrument (JSON-safe, diff-friendly).
 
         Shape::
@@ -496,7 +576,11 @@ class MetricsRegistry:
 
         This is the payload of the server's ``{"op": "metrics"}`` response
         and the unit the ablation harness diffs (see
-        :func:`repro.obs.export_snapshot`).
+        :func:`repro.obs.export_snapshot`).  ``include_samples=True``
+        additionally ships each histogram's raw sample ring so the
+        receiving side can :meth:`merge` with exact quantiles — the wire
+        format the cluster router uses to fan ``metrics`` out across
+        worker processes.
         """
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
@@ -508,13 +592,56 @@ class MetricsRegistry:
             elif isinstance(instrument, Gauge):
                 gauges[key] = instrument.value
             elif isinstance(instrument, Histogram):
-                histograms[key] = instrument.snapshot()
+                histograms[key] = instrument.snapshot(include_samples=include_samples)
         return {
             "enabled": self._enabled,
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def merge(self, snapshot: Mapping[str, object]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The cross-process aggregation primitive: the cluster router asks
+        every worker for ``snapshot(include_samples=True)``, merges them
+        into one fresh registry, and answers the client with a single
+        coherent view.  Semantics per kind:
+
+        * **counters** — sum;
+        * **gauges** — last write wins (merge order decides ties, which
+          is the only coherent answer for point-in-time readings);
+        * **histograms** — bucket counts add and sample rings
+          concatenate, with the window cap re-applied by the ring itself
+          (see :meth:`Histogram.merge`).  Snapshots without ``"samples"``
+          still merge bucket-exactly; only window quantiles degrade.
+
+        Instruments are (re-)registered locally on first sight, so merge
+        is associative over counters and histograms and the result of
+        merging N worker snapshots is independent of grouping.  Merging
+        into a disabled registry is a no-op.  Returns ``self`` so calls
+        chain: ``MetricsRegistry().merge(a).merge(b)``.
+        """
+        if not self._enabled or not snapshot:
+            return self
+        for key, value in (snapshot.get("counters") or {}).items():
+            name, labels = _parse_key(key)
+            self.counter(name, **labels).inc(int(value))
+        for key, value in (snapshot.get("gauges") or {}).items():
+            name, labels = _parse_key(key)
+            self.gauge(name, **labels).set(float(value))
+        for key, hist_snap in (snapshot.get("histograms") or {}).items():
+            if not hist_snap:
+                continue
+            name, labels = _parse_key(key)
+            bounds = [
+                float(bound)
+                for bound in (hist_snap.get("buckets") or {})
+                if bound != "+Inf"
+            ]
+            histogram = self.histogram(name, buckets=bounds or LATENCY_BUCKETS, **labels)
+            histogram.merge(hist_snap)
+        return self
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of every instrument.

@@ -20,6 +20,7 @@ from repro.passwords.policy import AccountThrottle, LockoutPolicy
 from repro.passwords.service import LoginOutcome, VerificationService
 from repro.passwords.space3d import ClickSpace3D, Space3DSystem, space3d_password_bits
 from repro.passwords.storage import (
+    ConsistentHashRing,
     JsonlBackend,
     MemoryBackend,
     ShardedBackend,
@@ -41,6 +42,7 @@ __all__ = [
     "BlonderSystem",
     "CCPSystem",
     "ClickSpace3D",
+    "ConsistentHashRing",
     "DefenseConfig",
     "JsonlBackend",
     "LockoutPolicy",

@@ -535,6 +535,40 @@ def _ring_position(key: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+class ConsistentHashRing:
+    """Blake2b consistent-hash ring mapping string keys to shard indices.
+
+    This is the routing brain shared by :class:`ShardedBackend` and the
+    multi-process serving cluster's router: both sides build the ring from
+    ``(shard_count, replicas)`` alone, so a router process and a backend
+    opened elsewhere agree on every username's shard without exchanging
+    any state.  Each shard contributes ``replicas`` virtual nodes at
+    positions ``_ring_position(f"shard:{index}:{replica}")``; a key is
+    owned by the first virtual node clockwise from its own position.
+    """
+
+    def __init__(self, shard_count: int, replicas: int = 64) -> None:
+        if shard_count < 1:
+            raise StoreError(f"ring needs at least one shard, got {shard_count}")
+        if replicas < 1:
+            raise StoreError(f"replicas must be >= 1, got {replicas}")
+        self.shard_count = shard_count
+        self.replicas = replicas
+        ring = sorted(
+            (_ring_position(f"shard:{index}:{replica}"), index)
+            for index in range(shard_count)
+            for replica in range(replicas)
+        )
+        self._keys = [position for position, _ in ring]
+        self._values = [index for _, index in ring]
+
+    def index_for(self, key: str) -> int:
+        """The shard index that owns *key*."""
+        position = _ring_position(key)
+        slot = bisect.bisect_right(self._keys, position)
+        return self._values[slot % len(self._values)]
+
+
 class ShardedBackend(StorageBackend):
     """Consistent-hash router over N child backends.
 
@@ -562,24 +596,21 @@ class ShardedBackend(StorageBackend):
             raise StoreError(f"replicas must be >= 1, got {replicas}")
         self._shards: List[StorageBackend] = list(shards)
         self.uri = uri or f"shards[{','.join(s.uri for s in self._shards)}]"
-        ring = sorted(
-            (_ring_position(f"shard:{index}:{replica}"), index)
-            for index in range(len(self._shards))
-            for replica in range(replicas)
-        )
-        self._ring_keys = [position for position, _ in ring]
-        self._ring_values = [index for _, index in ring]
+        self._ring = ConsistentHashRing(len(self._shards), replicas)
 
     @property
     def shards(self) -> Tuple[StorageBackend, ...]:
         """The child backends, in shard-index order."""
         return tuple(self._shards)
 
+    @property
+    def ring(self) -> ConsistentHashRing:
+        """The consistent-hash ring that routes usernames to shards."""
+        return self._ring
+
     def shard_index_for(self, username: str) -> int:
         """The index of the child backend that owns *username*."""
-        position = _ring_position(username)
-        slot = bisect.bisect_right(self._ring_keys, position)
-        return self._ring_values[slot % len(self._ring_values)]
+        return self._ring.index_for(username)
 
     def shard_for(self, username: str) -> StorageBackend:
         """The child backend that owns *username*."""
@@ -656,16 +687,20 @@ class ShardedBackend(StorageBackend):
             shard.close()
 
 
-def rebalance(source: StorageBackend, dest: StorageBackend) -> int:
+def rebalance(source: StorageBackend, dest: StorageBackend, clear: bool = True) -> int:
     """Copy every account — record, throttle state, meta — into *dest*.
 
-    *dest* is cleared first, then repopulated through its own routing, so
-    moving a population between shard layouts (4 shards → 2, single file →
-    sharded, …) preserves lockout state: an account locked on the old
-    layout is still locked on the new one.  Returns the number of accounts
-    moved.
+    By default *dest* is cleared first, then repopulated through its own
+    routing, so moving a population between shard layouts (4 shards → 2,
+    single file → sharded, …) preserves lockout state: an account locked
+    on the old layout is still locked on the new one.  Pass
+    ``clear=False`` for *incremental* migration — the online reshard drill
+    drains one old shard at a time into an already-live destination
+    layout, and clearing would drop the shards migrated earlier.  Returns
+    the number of accounts moved.
     """
-    dest.clear()
+    if clear:
+        dest.clear()
     moved = 0
     for username, record in source.iter_records():
         dest.put(username, record)

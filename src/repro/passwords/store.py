@@ -34,7 +34,60 @@ from repro.passwords.policy import AccountThrottle, LockoutPolicy
 from repro.passwords.storage import MemoryBackend, StorageBackend
 from repro.passwords.system import StoredPassword
 
-__all__ = ["PasswordStore"]
+__all__ = ["PasswordStore", "deployed_store", "scheme_named"]
+
+
+def scheme_named(name: str, tolerance: int):
+    """Construct a 2-D scheme from its deployment name and pixel tolerance.
+
+    The inverse of the ``scheme`` metadata string a created store
+    persists: ``"centered"``, ``"robust"``, or anything else for the
+    static-grid baseline.  Imports lazily so the storage layer stays
+    importable without the scheme modules.
+    """
+    from repro.core.centered import CenteredDiscretization
+    from repro.core.robust import RobustDiscretization
+    from repro.core.static import StaticGridScheme
+
+    if name == "centered":
+        return CenteredDiscretization.for_pixel_tolerance(2, tolerance)
+    if name == "robust":
+        return RobustDiscretization.for_pixel_tolerance(2, tolerance)
+    return StaticGridScheme(dim=2, cell_size=2 * tolerance + 1)
+
+
+def deployed_store(
+    backend: StorageBackend,
+    defense_spec: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> "PasswordStore":
+    """Reconstruct the deployed store from a backend's persisted meta.
+
+    Every process that opens a durable backend — the CLI, a cluster
+    worker owning one shard — must resume it under the deployment it was
+    created with (scheme, tolerance, image, defense), so that machinery
+    lives here rather than in any one front end.  The persisted
+    ``defense`` spec (if any) is re-applied so records enrolled under a
+    pepper / slow-hash deployment verify correctly; a non-``None``
+    *defense_spec* overrides it for this process.
+    """
+    from repro.study.image import cars_image, pool_image
+
+    scheme_name = backend.get_meta("scheme")
+    if scheme_name is None:
+        raise StoreError(
+            f"backend {backend.uri!r} holds no deployment meta; "
+            "run 'repro store create' first"
+        )
+    scheme = scheme_named(scheme_name, int(backend.get_meta("tolerance_px")))
+    image = {"cars": cars_image, "pool": pool_image}[backend.get_meta("image")]()
+    if defense_spec is None:
+        defense_spec = backend.get_meta("defense") or ""
+    defense = DefenseConfig.from_spec(defense_spec)
+    system = PassPointsSystem(image=image, scheme=scheme)
+    return PasswordStore(
+        system=system, backend=backend, defense=defense, registry=registry
+    )
 
 
 @dataclass

@@ -9,15 +9,30 @@ scalar-equivalent.
   login coroutines park on futures; a size-or-deadline trigger flushes the
   shared :class:`~repro.passwords.service.VerificationService` batch;
 * :class:`~repro.serving.server.LoginServer` — asyncio TCP server speaking
-  a JSON-lines protocol (``repro serve``);
+  a JSON-lines protocol (``repro serve``), with per-connection hardening
+  (request-size limits, bounded pipelining, slow-client backpressure);
+* :mod:`~repro.serving.cluster` — shard-per-process cluster: one worker
+  process per shard behind a ring-routing :class:`ClusterRouter`, with
+  online resharding (``repro cluster``, ``make cluster-bench``);
 * :mod:`~repro.serving.flood` — load generation with throughput and
   p50/p95 latency reporting (``repro flood``,
   ``benchmarks/test_bench_serving.py``).
 
 See the "Serving layer" section of ``docs/architecture.md`` for the
-queue → flush trigger → kernel batch → futures pipeline.
+queue → flush trigger → kernel batch → futures pipeline and the
+router → ring → worker-process diagram.
 """
 
+from repro.serving.cluster import (
+    ClusterRouter,
+    ReshardReport,
+    ServingCluster,
+    WorkerSpec,
+    cluster_username,
+    default_cluster_workers,
+    merge_stats,
+    synthetic_points,
+)
 from repro.serving.flood import (
     FloodReport,
     flood_server,
@@ -25,17 +40,27 @@ from repro.serving.flood import (
     mixed_stream,
     percentile,
 )
-from repro.serving.server import LoginServer, parse_points
+from repro.serving.server import LineReader, LoginServer, OVERSIZE, parse_points
 from repro.serving.service import AsyncVerificationService, ServiceStats
 
 __all__ = [
     "AsyncVerificationService",
+    "ClusterRouter",
     "FloodReport",
+    "LineReader",
     "LoginServer",
+    "OVERSIZE",
+    "ReshardReport",
     "ServiceStats",
+    "ServingCluster",
+    "WorkerSpec",
+    "cluster_username",
+    "default_cluster_workers",
     "flood_server",
     "flood_service",
+    "merge_stats",
     "mixed_stream",
     "parse_points",
     "percentile",
+    "synthetic_points",
 ]

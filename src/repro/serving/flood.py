@@ -297,19 +297,41 @@ async def flood_service(
     return report
 
 
+def _login_line(request_id: int, username: str, points: Sequence[Point]) -> bytes:
+    """One encoded JSONL login request (shared by all flood clients)."""
+    return json.dumps(
+        {
+            "op": "login",
+            "id": request_id,
+            "user": username,
+            "points": [[int(p.x), int(p.y)] for p in points],
+        },
+        separators=(",", ":"),
+    ).encode() + b"\n"
+
+
 async def flood_server(
     host: str,
     port: int,
     stream: Sequence[Attempt],
     clients: int = 16,
+    pipeline_depth: int = 1,
 ) -> FloodReport:
     """Drive *stream* through a live :class:`~repro.serving.server.LoginServer`
     over real TCP connections speaking the JSONL protocol.
 
-    Each client opens its own connection and runs closed-loop (send one
-    login line, await its response line); concurrency across connections
-    is what fills the server's batches.
+    The stream splits round-robin across *clients* connections.
+    ``pipeline_depth=1`` is the closed loop (send one login line, await
+    its response line); deeper values write a burst of ``pipeline_depth``
+    lines before reading the burst's responses — the shape that exercises
+    the server's bounded-pipelining and write-buffer backpressure paths
+    (``repro flood --pipeline-depth``).  Per-attempt latency in a burst
+    is measured from the burst's first write to that response's arrival
+    (responses may interleave; the protocol correlates by ``id``).
+    Concurrency across connections is what fills the server's batches.
     """
+    if pipeline_depth < 1:
+        raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
     report = FloodReport(attempts=len(stream), clients=clients, seconds=0.0)
     tally = report.tally
     latencies = report.latencies_ms
@@ -318,33 +340,40 @@ async def flood_server(
     async def client(attempts: List[Attempt]) -> None:
         reader, writer = await asyncio.open_connection(host, port)
         try:
-            for request_id, (username, points) in enumerate(attempts):
-                line = json.dumps(
-                    {
-                        "op": "login",
-                        "id": request_id,
-                        "user": username,
-                        "points": [[int(p.x), int(p.y)] for p in points],
-                    },
-                    separators=(",", ":"),
-                ).encode() + b"\n"
+            for start in range(0, len(attempts), pipeline_depth):
+                chunk = attempts[start : start + pipeline_depth]
+                burst = b"".join(
+                    _login_line(start + offset, username, points)
+                    for offset, (username, points) in enumerate(chunk)
+                )
                 begin = perf_counter()
-                writer.write(line)
+                writer.write(burst)
+                received = 0
+                alive = True
                 try:
                     await writer.drain()
-                    raw = await reader.readline()
                 except ConnectionError:
-                    raw = b""
-                if not raw:
-                    # Server went away mid-flood: count this and every
-                    # unsent attempt as dropped instead of crashing the run.
-                    dropped = len(attempts) - request_id
+                    alive = False
+                while alive and received < len(chunk):
+                    try:
+                        raw = await reader.readline()
+                    except ConnectionError:
+                        raw = b""
+                    if not raw:
+                        alive = False
+                        break
+                    response = json.loads(raw)
+                    latencies.append((perf_counter() - begin) * 1000.0)
+                    status = response.get("status") if response.get("ok") else "error"
+                    tally[status] = tally.get(status, 0) + 1
+                    received += 1
+                if not alive:
+                    # Server went away mid-flood: count this burst's missing
+                    # responses and every unsent attempt as dropped instead
+                    # of crashing the run.
+                    dropped = len(attempts) - start - received
                     tally["dropped"] = tally.get("dropped", 0) + dropped
                     break
-                response = json.loads(raw)
-                latencies.append((perf_counter() - begin) * 1000.0)
-                status = response.get("status") if response.get("ok") else "error"
-                tally[status] = tally.get(status, 0) + 1
         finally:
             writer.close()
             try:

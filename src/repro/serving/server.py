@@ -37,21 +37,137 @@ Failures come back as ``{"id": ..., "ok": false, "error": "<ErrorClass>",
 out-of-image point) fail only their own request; malformed JSON fails the
 line it arrived on.  The CLI front door is ``repro serve URI``; the
 matching load generator is :mod:`repro.serving.flood` / ``repro flood``.
+
+Since frames now also cross process boundaries (the shard-per-process
+cluster in :mod:`repro.serving.cluster` speaks this protocol upstream),
+the server enforces three hardening contracts per connection:
+
+* **request-size limit** — a line longer than ``max_request_bytes`` gets
+  a structured ``{"error": "request_too_large"}`` reply and the
+  connection survives (the oversize line is discarded through its
+  newline; previously ``reader.readline()`` raised out of the handler
+  and killed the connection silently);
+* **bounded pipelining** — at most ``max_pipeline`` requests in flight
+  per connection; the reader parks until the count drains;
+* **slow-client backpressure** — when a client stops reading and the
+  connection's write buffer exceeds the high-water mark, the server
+  stops reading further requests from that connection until the buffer
+  drains, without stalling other connections.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
-from repro.errors import ReproError
+from repro.errors import ParameterError, ReproError
 from repro.geometry.point import Point
 from repro.obs import MetricsRegistry, SpanTracer, get_registry
 from repro.passwords.store import PasswordStore
 from repro.serving.service import AsyncVerificationService
 
-__all__ = ["LoginServer", "parse_points"]
+__all__ = ["LineReader", "LoginServer", "OVERSIZE", "parse_points"]
+
+#: Default per-request size limit (bytes), matching asyncio's historical
+#: 64 KiB stream limit that oversize lines used to trip over.
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024
+
+#: Default cap on in-flight pipelined requests per connection.
+DEFAULT_MAX_PIPELINE = 128
+
+#: Default write-buffer high-water mark (bytes) above which the server
+#: stops reading from a slow client until its responses drain.
+DEFAULT_WRITE_HIGH_WATER = 64 * 1024
+
+
+class _OversizeLine:
+    """Sentinel type for :data:`OVERSIZE` (see :class:`LineReader`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<OVERSIZE>"
+
+
+#: Returned by :meth:`LineReader.readline` in place of a line that
+#: exceeded the size limit.  The line is consumed; the stream stays
+#: usable for the next request.
+OVERSIZE = _OversizeLine()
+
+
+class LineReader:
+    """Size-limited line framing over an :class:`asyncio.StreamReader`.
+
+    ``StreamReader.readline()`` enforces its limit by *raising* (and
+    leaves the tail of the oversize line in the stream as garbage), which
+    is how the server used to lose connections.  This reader owns its own
+    buffer: a line within ``max_line_bytes`` comes back as ``bytes``
+    (newline stripped), an oversize line is swallowed through its
+    terminating newline and reported as the :data:`OVERSIZE` sentinel,
+    and EOF is ``None``.  Both the login server and the cluster router
+    frame their sockets through it.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_line_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        chunk_size: int = 65536,
+    ) -> None:
+        if max_line_bytes < 1:
+            raise ValueError(f"max_line_bytes must be >= 1, got {max_line_bytes}")
+        self._reader = reader
+        self._max = max_line_bytes
+        self._chunk = max(chunk_size, 1)
+        self._buffer = bytearray()
+        self._eof = False
+
+    async def readline(self) -> Union[bytes, _OversizeLine, None]:
+        """The next line, :data:`OVERSIZE`, or ``None`` at EOF."""
+        search_from = 0
+        while True:
+            index = self._buffer.find(b"\n", search_from)
+            if index >= 0:
+                if index > self._max:
+                    del self._buffer[: index + 1]
+                    return OVERSIZE
+                line = bytes(self._buffer[:index])
+                del self._buffer[: index + 1]
+                return line
+            if len(self._buffer) > self._max:
+                await self._discard_line()
+                return OVERSIZE
+            if self._eof:
+                if self._buffer:  # unterminated final line
+                    line = bytes(self._buffer)
+                    self._buffer.clear()
+                    return line
+                return None
+            search_from = len(self._buffer)
+            chunk = await self._reader.read(self._chunk)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buffer.extend(chunk)
+
+    async def _discard_line(self) -> None:
+        """Drop buffered bytes up to and including the next newline.
+
+        Anything after that newline is kept — it is the start of the next
+        (possibly well-formed) request.
+        """
+        while True:
+            index = self._buffer.find(b"\n")
+            if index >= 0:
+                del self._buffer[: index + 1]
+                return
+            self._buffer.clear()
+            chunk = await self._reader.read(self._chunk)
+            if not chunk:
+                self._eof = True
+                return
+            self._buffer.extend(chunk)
 
 
 def parse_points(payload: object) -> Sequence[Point]:
@@ -89,6 +205,19 @@ class LoginServer:
         self-hosted ``repro flood`` run).
     max_batch / flush_interval:
         Forwarded to the async service (size / deadline flush triggers).
+    max_request_bytes:
+        Per-request size limit; a longer line is answered with a
+        structured ``{"error": "request_too_large"}`` reply and the
+        connection survives.
+    max_pipeline:
+        Cap on in-flight pipelined requests per connection — the reader
+        parks until the count drains, bounding per-connection memory.
+    write_high_water:
+        Write-buffer size (bytes) above which the server stops reading
+        further requests from a slow client until its responses drain.
+        Backpressure pauses are counted per reason in
+        :attr:`backpressure` and in
+        ``server_backpressure_total{reason=...}``.
     registry / tracer:
         Telemetry sinks, forwarded to the async service.  ``registry``
         defaults to the process registry (:func:`repro.obs.get_registry`);
@@ -105,9 +234,20 @@ class LoginServer:
         port: int = 0,
         max_batch: int = 256,
         flush_interval: float = 0.0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        max_pipeline: int = DEFAULT_MAX_PIPELINE,
+        write_high_water: int = DEFAULT_WRITE_HIGH_WATER,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
     ) -> None:
+        if max_request_bytes < 1:
+            raise ParameterError(
+                f"max_request_bytes must be >= 1, got {max_request_bytes}"
+            )
+        if max_pipeline < 1:
+            raise ParameterError(f"max_pipeline must be >= 1, got {max_pipeline}")
+        if write_high_water < 1:
+            raise ParameterError(f"write_high_water must be >= 1, got {write_high_water}")
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer
         self.service = AsyncVerificationService(
@@ -119,17 +259,38 @@ class LoginServer:
         )
         self._host = host
         self._port = port
+        self._max_request_bytes = max_request_bytes
+        self._max_pipeline = max_pipeline
+        self._write_high_water = write_high_water
         self._server: Optional[asyncio.base_events.Server] = None
         self.connections_served = 0
+        #: Backpressure pauses by reason — ``"pipeline"`` (in-flight cap
+        #: reached) and ``"write_buffer"`` (slow client above high-water).
+        self.backpressure = {"pipeline": 0, "write_buffer": 0}
+        self.oversize_rejected = 0
         if self.registry.enabled:
             self._obs_connections = self.registry.counter(
                 "server_connections_total",
                 help="TCP connections accepted by the login server",
             )
             self._obs_requests: dict = {}
+            self._obs_backpressure = {
+                reason: self.registry.counter(
+                    "server_backpressure_total",
+                    help="reader pauses from per-connection flow control",
+                    reason=reason,
+                )
+                for reason in ("pipeline", "write_buffer")
+            }
+            self._obs_oversize = self.registry.counter(
+                "server_oversize_total",
+                help="requests rejected for exceeding max_request_bytes",
+            )
         else:
             self._obs_connections = None
             self._obs_requests = None
+            self._obs_backpressure = None
+            self._obs_oversize = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -183,6 +344,12 @@ class LoginServer:
             )
         counter.inc()
 
+    def _count_backpressure(self, reason: str) -> None:
+        """Record one reader pause (plain dict + registry counter)."""
+        self.backpressure[reason] += 1
+        if self._obs_backpressure is not None:
+            self._obs_backpressure[reason].inc()
+
     async def _handle_request(
         self, writer: asyncio.StreamWriter, request: dict
     ) -> None:
@@ -216,7 +383,9 @@ class LoginServer:
                     response = {
                         "id": request_id,
                         "ok": True,
-                        "metrics": self.registry.snapshot(),
+                        "metrics": self.registry.snapshot(
+                            include_samples=bool(request.get("samples"))
+                        ),
                     }
             elif op == "trace":
                 limit = request.get("limit")
@@ -257,20 +426,63 @@ class LoginServer:
         self.connections_served += 1
         if self._obs_connections is not None:
             self._obs_connections.inc()
+        transport = writer.transport
+        if transport is not None:
+            try:
+                transport.set_write_buffer_limits(high=self._write_high_water)
+            except (AttributeError, ValueError, RuntimeError):
+                pass  # exotic transports without buffer limits
+        lines = LineReader(reader, self._max_request_bytes)
+        inflight = asyncio.Semaphore(self._max_pipeline)
         # Only in-flight requests are tracked: completed tasks remove
         # themselves, so a long-lived pipelining connection doesn't
         # accumulate one Task object per request it ever made.
         tasks: set = set()
+
+        def _settle(task: asyncio.Task) -> None:
+            tasks.discard(task)
+            inflight.release()
+
         try:
             while True:
+                # Slow-client backpressure: responses are piling up faster
+                # than this client reads them — park the reader (only this
+                # connection) until the write buffer drains.
+                if (
+                    transport is not None
+                    and not writer.is_closing()
+                    and transport.get_write_buffer_size() > self._write_high_water
+                ):
+                    self._count_backpressure("write_buffer")
+                    try:
+                        await writer.drain()
+                    except (asyncio.CancelledError, ConnectionError):
+                        break
                 try:
-                    line = await reader.readline()
+                    line = await lines.readline()
                 except (asyncio.CancelledError, ConnectionError):
                     # Server shutdown (handler task cancelled) or client
                     # reset: stop reading, settle in-flight requests below.
                     break
-                if not line:
+                if line is None:
                     break
+                if line is OVERSIZE:
+                    self.oversize_rejected += 1
+                    if self._obs_oversize is not None:
+                        self._obs_oversize.inc()
+                    await self._respond(
+                        writer,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": "request_too_large",
+                            "message": (
+                                "request line exceeded "
+                                f"{self._max_request_bytes} bytes"
+                            ),
+                        },
+                    )
+                    continue
                 line = line.strip()
                 if not line:
                     continue
@@ -287,11 +499,16 @@ class LoginServer:
                         },
                     )
                     continue
+                # Bounded pipelining: cap in-flight requests on this
+                # connection; the reader parks here until one drains.
+                if inflight.locked():
+                    self._count_backpressure("pipeline")
+                await inflight.acquire()
                 # Each request is its own task so pipelined logins from one
                 # connection land in the same batch instead of serializing.
                 task = asyncio.ensure_future(self._handle_request(writer, request))
                 tasks.add(task)
-                task.add_done_callback(tasks.discard)
+                task.add_done_callback(_settle)
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)

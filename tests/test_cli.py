@@ -176,6 +176,46 @@ class TestServeFlood:
         assert main(["serve", f"sqlite:{tmp_path / 'empty.db'}", "--port", "0"]) == 2
         assert "store create" in capsys.readouterr().err
 
+    def test_flood_pipelined_with_connections_alias(self, tmp_path, capsys):
+        uri = f"shards:sqlite:{tmp_path / 'p'}{{0..1}}.db"
+        code = main(
+            ["flood", uri, "--users", "4", "--attempts", "80",
+             "--connections", "4", "--pipeline-depth", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 clients" in out  # --connections overrode the default 16
+        assert "pipeline depth 8" in out
+        assert "logins/s" in out
+
+    def test_flood_cluster_over_sharded_backend(self, tmp_path, capsys):
+        uri = f"shards:sqlite:{tmp_path / 'c'}{{0..1}}.db"
+        code = main(
+            ["flood", uri, "--cluster", "--users", "4", "--attempts", "60",
+             "--connections", "4", "--pipeline-depth", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster router" in out
+        assert "cluster batching: 2 workers" in out
+        assert "logins/s" in out
+
+    def test_flood_cluster_refuses_memory_shards(self, capsys):
+        assert main(
+            ["flood", "shards:memory:{0..1}", "--cluster", "--users", "2",
+             "--attempts", "4"]
+        ) == 2
+        assert "durable" in capsys.readouterr().err
+
+    def test_cluster_requires_sharded_durable_store(self, tmp_path, capsys):
+        assert main(["cluster", f"sqlite:{tmp_path / 'one.db'}"]) == 2
+        assert "shards:" in capsys.readouterr().err
+        assert main(["cluster", "shards:memory:{0..1}"]) == 2
+        assert "durable" in capsys.readouterr().err
+        empty = f"shards:sqlite:{tmp_path / 'e'}{{0..1}}.db"
+        assert main(["cluster", empty]) == 2
+        assert "store create" in capsys.readouterr().err
+
 
 class TestDemo:
     def test_demo_output(self, capsys):

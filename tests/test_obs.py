@@ -667,3 +667,96 @@ async def test_server_without_tracer_serves_empty_trace(tmp_path):
         await writer.wait_closed()
     finally:
         await server.aclose()
+
+
+# -- cross-process snapshot merging (the cluster router's fan-out path) -------
+
+
+def _merge_sample_snapshot(seed: int) -> dict:
+    """One worker-shaped registry snapshot with counters/gauges/histograms."""
+    rng = np.random.default_rng(seed)
+    registry = MetricsRegistry()
+    registry.counter("server_requests_total", op="login").inc(
+        int(rng.integers(1, 50))
+    )
+    registry.counter("server_requests_total", op="stats").inc(
+        int(rng.integers(1, 10))
+    )
+    registry.counter("server_connections_total").inc(int(rng.integers(1, 5)))
+    registry.gauge("service_pending").set(float(seed))
+    registry.histogram("login_flush_seconds", trigger="size").observe_many(
+        rng.random(40) * 0.5
+    )
+    registry.histogram("login_flush_seconds", trigger="deadline").observe_many(
+        rng.random(25) * 2.0
+    )
+    return registry.snapshot(include_samples=True)
+
+
+class TestRegistryMerge:
+    def _fold(self, *snapshots: dict) -> dict:
+        registry = MetricsRegistry()
+        for snapshot in snapshots:
+            registry.merge(snapshot)
+        return registry.snapshot(include_samples=True)
+
+    def test_merge_is_associative(self):
+        """Merging worker snapshots in any grouping is bit-identical — the
+        router may fold replies in whatever order the fan-out resolves."""
+        a, b, c = (_merge_sample_snapshot(seed) for seed in (1, 2, 3))
+        left = self._fold(self._fold(a, b), c)
+        right = self._fold(a, self._fold(b, c))
+        flat = self._fold(a, b, c)
+        assert left == right == flat
+
+    def test_merge_sums_counts_and_extends_extrema(self):
+        a, b = (_merge_sample_snapshot(seed) for seed in (4, 5))
+        merged = self._fold(a, b)
+        for key in set(a["counters"]) | set(b["counters"]):
+            assert merged["counters"][key] == (
+                a["counters"].get(key, 0) + b["counters"].get(key, 0)
+            )
+        for key, hist in merged["histograms"].items():
+            parts = [
+                snap["histograms"][key]
+                for snap in (a, b)
+                if key in snap["histograms"]
+            ]
+            assert hist["count"] == sum(part["count"] for part in parts)
+            assert hist["min"] == min(part["min"] for part in parts)
+            assert hist["max"] == max(part["max"] for part in parts)
+        # Gauges are last-write-wins across the fold.
+        assert merged["gauges"]["service_pending"] == b["gauges"][
+            "service_pending"
+        ]
+
+    def test_merge_rejects_mismatched_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("probe_seconds", buckets=[0.1, 1.0]).observe(0.5)
+        donor = MetricsRegistry()
+        donor.histogram("probe_seconds", buckets=[0.2, 2.0]).observe(0.5)
+        with pytest.raises(ParameterError):
+            registry.merge(donor.snapshot(include_samples=True))
+
+    def test_merge_without_samples_still_sums(self):
+        """Bucket-only snapshots (no raw rings) merge too — quantiles are
+        then bucket-resolution, which is what the wire default ships."""
+        a, b = (_merge_sample_snapshot(seed) for seed in (6, 7))
+        for snap in (a, b):
+            for hist in snap["histograms"].values():
+                hist.pop("samples", None)
+        merged = self._fold(a, b)
+        key = 'login_flush_seconds{trigger="size"}'
+        assert merged["histograms"][key]["count"] == (
+            a["histograms"][key]["count"] + b["histograms"][key]["count"]
+        )
+
+    def test_merge_empty_and_disabled_are_noops(self):
+        registry = MetricsRegistry()
+        registry.counter("server_connections_total").inc(3)
+        before = registry.snapshot(include_samples=True)
+        registry.merge({})
+        assert registry.snapshot(include_samples=True) == before
+        disabled = MetricsRegistry(enabled=False)
+        assert disabled.merge(before) is disabled
+        assert disabled.snapshot()["counters"] == {}
