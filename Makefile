@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench obs-bench cluster-bench grind-bench examples docs-check check
+.PHONY: test unit bench bench-store serve-bench attack-bench defense-bench obs-bench cluster-bench durable-bench grind-bench examples docs-check check
 
 ## Full tier-1 run: tests + benchmark reproduction gates.
 test:
@@ -51,6 +51,14 @@ obs-bench:
 cluster-bench:
 	CLUSTER_USERS=1000000 CLUSTER_ATTEMPTS=200000 \
 		$(PYTHON) -m pytest benchmarks/test_bench_cluster.py -q
+
+## Group-commit write-path gate on a durable backend: sqlite-backed async
+## serving flood >=3x the forced per-record-commit path, plus the bulk
+## enrollment (enroll_many) gate; regenerates
+## benchmarks/reports/durable_throughput.txt (+ .json).
+durable-bench:
+	DURABLE_ATTEMPTS=8000 DURABLE_ENROLL_ACCOUNTS=500 \
+		$(PYTHON) -m pytest benchmarks/test_bench_durable.py -q
 
 ## Million-account stolen-file grind through the work-stealing queue;
 ## appends its throughput/straggler section to

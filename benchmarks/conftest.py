@@ -9,6 +9,7 @@ through the ``report`` fixture (bypassing capture so the rows land in
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -21,11 +22,13 @@ def pytest_report_header(config):
     matching lines inside ``attack_throughput.txt``) makes every bench run
     self-describing about the hardware, the attack-engine scheduling
     configuration (``REPRO_ATTACK_MODE`` / ``REPRO_ATTACK_TASK_SIZE``
-    environment overrides included) and the backend that produced it.
+    environment overrides included), the storage commit mode
+    (``$REPRO_STORE_COMMIT``) and the backend that produced it.
     """
     from repro.attacks.parallel import default_workers
     from repro.core.batch import resolve_array_namespace
     from repro.obs import get_registry
+    from repro.passwords.storage import commit_mode
     from repro.serving.cluster import default_cluster_workers
 
     mode = os.environ.get("REPRO_ATTACK_MODE", "queue")
@@ -37,7 +40,8 @@ def pytest_report_header(config):
         f"serving cluster: {default_cluster_workers()} shard worker(s) "
         f"($CLUSTER_WORKERS); "
         f"array backend: {resolve_array_namespace().__name__}; "
-        f"obs registry: {obs}"
+        f"obs registry: {obs}; "
+        f"storage commit mode: {commit_mode()} ($REPRO_STORE_COMMIT)"
     )
 
 
@@ -56,6 +60,41 @@ def reports_dir():
     path = os.path.join(os.path.dirname(__file__), "reports")
     os.makedirs(path, exist_ok=True)
     return path
+
+
+@pytest.fixture(scope="session")
+def json_report(reports_dir):
+    """Write the machine-readable companion of a ``.txt`` bench report.
+
+    Each gated bench calls ``json_report(name, entries)`` with one entry
+    per gated (or report-only) metric: ``{"metric": ..., "value": ...,
+    "gate": floor-or-None, "skipped": reason-or-None}``.  The file lands
+    as ``benchmarks/reports/<name>.json`` next to the human-readable
+    ``.txt``, so the perf trajectory is diffable across PRs without
+    parsing prose.
+    """
+
+    def _write(name: str, entries, **extra):
+        payload = {
+            "name": name,
+            "entries": [
+                {
+                    "metric": entry["metric"],
+                    "value": entry["value"],
+                    "gate": entry.get("gate"),
+                    "skipped": entry.get("skipped"),
+                }
+                for entry in entries
+            ],
+        }
+        payload.update(extra)
+        path = os.path.join(reports_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _write
 
 
 @pytest.fixture()

@@ -111,7 +111,7 @@ def _time(fn):
 
 
 def test_parallel_attack_throughput(
-    stolen_workload, skewed_workload, reports_dir, capsys
+    stolen_workload, skewed_workload, reports_dir, capsys, json_report
 ):
     """Gate the engine: bit-identical always, fast and balanced with cores."""
     records, dictionary = stolen_workload
@@ -230,6 +230,28 @@ def test_parallel_attack_throughput(
         os.path.join(reports_dir, "attack_throughput.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    skipped = None if gated else gate_note
+    json_report(
+        "attack_throughput",
+        [
+            {
+                "metric": "uniform_queue_seconds",
+                "value": round(queue_seconds, 3),
+                "gate": MAX_QUEUE_SECONDS,
+                "skipped": skipped,
+            },
+            {
+                "metric": "skewed_queue_over_static_speedup",
+                "value": round(queue_speedup, 3),
+                "gate": MIN_QUEUE_SPEEDUP,
+                "skipped": skipped,
+            },
+            {
+                "metric": "queue_straggler_ratio",
+                "value": round(steal_stats.straggler_ratio, 3),
+            },
+        ],
+    )
 
     if gated:
         assert queue_seconds < MAX_QUEUE_SECONDS, (

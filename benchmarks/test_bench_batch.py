@@ -65,7 +65,7 @@ def _measure(scheme, array, points):
     return scalar_seconds, batch_seconds
 
 
-def test_verify_batch_speedup(candidates, reports_dir, capsys):
+def test_verify_batch_speedup(candidates, reports_dir, capsys, json_report):
     """verify_batch >= 20x over the scalar loop at 100k points, per scheme."""
     array, points = candidates
     lines = [
@@ -97,6 +97,17 @@ def test_verify_batch_speedup(candidates, reports_dir, capsys):
         os.path.join(reports_dir, "batch_throughput.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    json_report(
+        "batch_throughput",
+        [
+            {
+                "metric": f"{name}_verify_batch_speedup",
+                "value": round(speedup, 1),
+                "gate": MIN_SPEEDUP,
+            }
+            for name, speedup in speedups.items()
+        ],
+    )
 
     for name, speedup in speedups.items():
         assert speedup >= MIN_SPEEDUP, (

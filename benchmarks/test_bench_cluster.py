@@ -144,7 +144,7 @@ async def _flood_baseline(stream, accounts):
     return report
 
 
-def test_cluster_soak_throughput(reports_dir, capsys):
+def test_cluster_soak_throughput(reports_dir, capsys, json_report):
     """The soak gate: N-worker cluster ≥2x one process, when cores allow."""
     cores = _cores()
     gated = cores >= GATE_WORKERS
@@ -187,6 +187,26 @@ def test_cluster_soak_throughput(reports_dir, capsys):
         f"{_gate_note(gated)}",
     ]
     _emit(reports_dir, capsys, "\n".join(lines), "w")
+    skipped = None if gated else _gate_note(False)
+    json_report(
+        "cluster_throughput",
+        [
+            {
+                "metric": "cluster_over_single_process_speedup",
+                "value": round(speedup, 3),
+                "gate": MIN_SPEEDUP,
+                "skipped": skipped,
+            },
+            {
+                "metric": "cluster_logins_per_s",
+                "value": round(cluster_report.throughput, 1),
+            },
+            {
+                "metric": "single_process_logins_per_s",
+                "value": round(baseline_report.throughput, 1),
+            },
+        ],
+    )
 
     if gated:
         assert speedup >= MIN_SPEEDUP, (
@@ -195,7 +215,7 @@ def test_cluster_soak_throughput(reports_dir, capsys):
         )
 
 
-def test_cluster_reshard_drill(reports_dir, tmp_path, capsys):
+def test_cluster_reshard_drill(reports_dir, tmp_path, capsys, json_report):
     """4→8 live reshard: zero loss always; latency bounds when cores allow."""
     cores = _cores()
     gated = cores >= 4
@@ -341,6 +361,25 @@ def test_cluster_reshard_drill(reports_dir, tmp_path, capsys):
         f"{_gate_note(gated)}",
     ]
     _emit(reports_dir, capsys, "\n".join(lines), "a")
+    skipped = None if gated else _gate_note(False)
+    json_report(
+        "cluster_reshard",
+        [
+            {
+                "metric": "max_cutover_seconds",
+                "value": round(report.max_cutover_seconds, 3),
+                "gate": MAX_CUTOVER_SECONDS,
+                "skipped": skipped,
+            },
+            {
+                "metric": "drill_p99_ms",
+                "value": round(p99, 2),
+                "gate": MAX_DRILL_P99_SECONDS * 1000.0,
+                "skipped": skipped,
+            },
+            {"metric": "accounts_moved", "value": sum(report.moved)},
+        ],
+    )
 
     if gated:
         assert report.max_cutover_seconds < MAX_CUTOVER_SECONDS

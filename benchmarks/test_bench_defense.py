@@ -88,7 +88,7 @@ def _time_run(accounts, stream, **defense_kwargs):
     return seconds, outcomes
 
 
-def test_neutral_cell_serving_cost(reports_dir, capsys):
+def test_neutral_cell_serving_cost(reports_dir, capsys, json_report):
     """DefenseConfig.none() costs < 5% batched serving throughput."""
     accounts, stream = _workload()
     neutral = dict(defense=DefenseConfig.none(), clock=VirtualClock())
@@ -137,6 +137,20 @@ def test_neutral_cell_serving_cost(reports_dir, capsys):
         os.path.join(reports_dir, "defense_matrix.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    json_report(
+        "defense_matrix",
+        [
+            {
+                "metric": "neutral_cell_overhead",
+                "value": round(overhead, 4),
+                "gate": OVERHEAD_CEILING,
+            },
+            {
+                "metric": "undefended_logins_per_s",
+                "value": round(ATTEMPTS / plain_best, 1),
+            },
+        ],
+    )
 
     assert overhead < OVERHEAD_CEILING, (
         f"neutral defense cell costs {overhead:.2%} serving throughput "

@@ -127,7 +127,7 @@ def _paired_rounds(accounts, stream):
     return pairs
 
 
-def test_obs_overhead_gate(workload, reports_dir, capsys):
+def test_obs_overhead_gate(workload, reports_dir, capsys, json_report):
     """Instrumented serving >= 95% of the NULL_REGISTRY throughput."""
     accounts, stream = workload
     pairs = _paired_rounds(accounts, stream)
@@ -161,6 +161,20 @@ def test_obs_overhead_gate(workload, reports_dir, capsys):
         os.path.join(reports_dir, "obs_overhead.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    json_report(
+        "obs_overhead",
+        [
+            {
+                "metric": "instrumented_over_baseline_ratio",
+                "value": round(ratio, 4),
+                "gate": OVERHEAD_FLOOR,
+            },
+            {
+                "metric": "baseline_logins_per_s",
+                "value": round(baseline, 1),
+            },
+        ],
+    )
     assert ratio >= OVERHEAD_FLOOR, (
         f"telemetry overhead too high: instrumented serving at {ratio:.1%} "
         f"of the no-op baseline (floor {OVERHEAD_FLOOR:.0%})"

@@ -118,7 +118,7 @@ def _measure(scheme, accounts, stream):
     return scalar_seconds, results
 
 
-def test_async_serving_speedup(workload, reports_dir, capsys):
+def test_async_serving_speedup(workload, reports_dir, capsys, json_report):
     """Async front-end >= 8x scalar login at 64 clients (centered+robust)."""
     accounts, stream = workload
     lines = [
@@ -161,6 +161,17 @@ def test_async_serving_speedup(workload, reports_dir, capsys):
         os.path.join(reports_dir, "serving_throughput.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    json_report(
+        "serving_throughput",
+        [
+            {
+                "metric": f"{name}_async_speedup_window{GATED_WINDOW}",
+                "value": round(speedup, 2),
+                "gate": floor,
+            }
+            for name, (speedup, floor) in gated.items()
+        ],
+    )
 
     for name, (speedup, floor) in gated.items():
         assert speedup >= floor, (

@@ -115,7 +115,7 @@ def _measure(scheme, accounts, stream):
     return scalar_seconds, batch_seconds
 
 
-def test_service_login_speedup(workload, reports_dir, capsys):
+def test_service_login_speedup(workload, reports_dir, capsys, json_report):
     """Batched service >= 10x over scalar login for centered and robust."""
     accounts, stream = workload
     lines = [
@@ -149,6 +149,17 @@ def test_service_login_speedup(workload, reports_dir, capsys):
         os.path.join(reports_dir, "store_throughput.txt"), "w", encoding="utf-8"
     ) as handle:
         handle.write(text + "\n")
+    json_report(
+        "store_throughput",
+        [
+            {
+                "metric": f"{name}_service_speedup",
+                "value": round(speedup, 2),
+                "gate": floor,
+            }
+            for name, (speedup, floor) in speedups.items()
+        ],
+    )
 
     for name, (speedup, floor) in speedups.items():
         assert speedup >= floor, (

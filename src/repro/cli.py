@@ -11,11 +11,12 @@ Subcommands:
   schemes;
 * ``repro attack`` — the §5.1 known-identifier dictionary attack on the
   simulated field study, sharded across worker processes (``--workers``);
-* ``repro store create/login/dump/attack`` — operate a persistent password
-  store on a backend URI (``memory:``, ``sqlite:PATH``, ``jsonl:PATH``,
-  ``shards:sqlite:PREFIX{0..N}.db``): enroll a simulated population
-  (resuming if already enrolled), run throttled logins, steal the password
-  file, and grind it offline;
+* ``repro store create/login/dump/compact/attack`` — operate a persistent
+  password store on a backend URI (``memory:``, ``sqlite:PATH``,
+  ``jsonl:PATH``, ``shards:sqlite:PREFIX{0..N}.db``): enroll a simulated
+  population (resuming if already enrolled), run throttled logins, steal
+  the password file, compact a grown-forever JSONL log down to its live
+  state, and grind the stolen file offline;
 * ``repro serve`` — expose a store over TCP through the asyncio JSONL
   login protocol (micro-batched verification under the hood);
 * ``repro flood`` — self-hosted load generation: start a server on an
@@ -196,6 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
         "dump", help="print the password file (what an attacker steals)"
     )
     dump_parser.add_argument("uri", help="backend URI")
+
+    compact_parser = store_sub.add_parser(
+        "compact",
+        help="rewrite a jsonl: append-only log to one event per live fact",
+    )
+    compact_parser.add_argument(
+        "uri",
+        help=(
+            "jsonl:PATH backend URI (a served log grows one throttle event "
+            "per login forever; compaction rewrites it to the live state)"
+        ),
+    )
 
     attack_parser = store_sub.add_parser(
         "attack", help="steal the password file and grind it offline"
@@ -579,14 +592,17 @@ def _cmd_store_create(
     system = PassPointsSystem(image=image, scheme=_scheme_named(scheme_name, tolerance))
     store = PasswordStore(system=system, backend=backend, defense=defense)
     samples = default_dataset().passwords_on(image_name)[:users]
-    enrolled = skipped = 0
+    to_enroll = []
+    skipped = 0
     for sample in samples:
         username = f"user{sample.password_id}"
         if username in backend:
             skipped += 1
             continue
-        store.create_account(username, list(sample.points))
-        enrolled += 1
+        to_enroll.append((username, list(sample.points)))
+    # Bulk enrollment: every new record and initial throttle state lands
+    # in one group commit (a single transaction on sqlite backends).
+    enrolled = store.enroll_many(to_enroll) if to_enroll else 0
     defended = "" if defense.is_neutral else f", defense {defense.to_spec()!r}"
     print(
         f"{backend.uri}: enrolled {enrolled} new accounts under "
@@ -643,6 +659,39 @@ def _cmd_store_dump(uri: str) -> int:
         print(backend.dump())
     finally:
         backend.close()
+    return 0
+
+
+def _cmd_store_compact(uri: str) -> int:
+    from repro.errors import ReproError
+    from repro.passwords.storage import JsonlBackend, backend_from_uri
+
+    try:
+        backend = backend_from_uri(uri)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(backend, JsonlBackend):
+        print(
+            f"error: store compact only applies to jsonl: backends "
+            f"(append-only logs), not {backend.uri}",
+            file=sys.stderr,
+        )
+        backend.close()
+        return 2
+    try:
+        before, after = backend.compact()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    saved = before - after
+    percent = (saved / before * 100.0) if before else 0.0
+    print(
+        f"{backend.uri}: compacted {before:,} -> {after:,} bytes "
+        f"(saved {saved:,}, {percent:.1f}%; {len(backend)} live accounts)"
+    )
     return 0
 
 
@@ -1169,6 +1218,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_store_login(args.uri, args.user, args.points)
         if args.store_command == "dump":
             return _cmd_store_dump(args.uri)
+        if args.store_command == "compact":
+            return _cmd_store_compact(args.uri)
         if args.store_command == "attack":
             return _cmd_store_attack(
                 args.uri,

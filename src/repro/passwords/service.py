@@ -382,6 +382,17 @@ class VerificationService:
         accounts — even with different click counts — share the call).
         Decisions then replay sequentially so per-account lockout
         ordering is preserved bit-for-bit.
+
+        Durability is batched the same way the kernel work is: under the
+        store's group-commit mode (the default; see
+        :attr:`~repro.passwords.store.PasswordStore.batched_writes`)
+        every throttle the flush changed is persisted in **one**
+        :meth:`~repro.passwords.store.PasswordStore.persist_throttles`
+        group commit at the end of the flush, instead of one durable
+        commit per changed attempt.  The persisted end state is
+        byte-identical — the in-memory throttles are authoritative
+        during the flush — so decisions and lockout sequences cannot
+        differ between modes.
         """
         pending, self._pending = self._pending, []
         outcomes: List[LoginOutcome] = []
@@ -396,6 +407,14 @@ class VerificationService:
         pepper = defense.pepper
         captcha_after = defense.captcha_after
         rate_limited = defense.rate_limited
+        # Group commit, hoisted: under batched writes every throttle that
+        # changes during this flush is collected (an insertion-ordered
+        # dict doubles as the dedup set) and persisted in ONE
+        # put_throttle_many at the end — the in-memory throttles already
+        # hold post-flush state, so only durability batching changes.
+        # Per-record mode keeps the historical commit-per-change loop.
+        batched_persist = store.batched_writes
+        dirty: Dict[str, None] = {}
         # Telemetry, hoisted likewise: `obs` is False on a disabled
         # registry and every timed branch below disappears — the
         # per-attempt loop body is never touched either way.
@@ -461,7 +480,10 @@ class VerificationService:
                 before = (throttle.failures, throttle.locked)
                 throttle.record(ok)
                 if (throttle.failures, throttle.locked) != before:
-                    store._persist_throttle(username)
+                    if batched_persist:
+                        dirty[username] = None
+                    else:
+                        store._persist_throttle(username)
                 outcomes.append(
                     LoginOutcome(
                         username=username,
@@ -473,6 +495,8 @@ class VerificationService:
                 chunk_seconds = perf() - chunk_started
                 hash_seconds += chunk_seconds
                 self._obs_hash.observe(chunk_seconds)
+        if dirty:
+            store.persist_throttles(list(dirty))
         if obs and outcomes:
             # One registry touch per status per flush, not per attempt:
             # tally at C speed, then publish.  The captcha pass only runs

@@ -24,7 +24,17 @@ Four implementations ship:
 Backends are addressed by URI — ``memory:``, ``sqlite:PATH``,
 ``jsonl:PATH``, ``shards:CHILD{A..B}`` — via :func:`backend_from_uri`; the
 CLI ``repro store`` / ``repro serve`` / ``repro flood`` subcommands operate
-on these URIs.  A backend's :meth:`~StorageBackend.dump` is the portable
+on these URIs.
+
+Every backend also speaks the **group-commit** protocol —
+:meth:`~StorageBackend.put_many`, :meth:`~StorageBackend.put_throttle_many`
+and the :meth:`~StorageBackend.write_batch` context — which coalesces many
+writes into one durable commit (one SQLite transaction, one buffered JSONL
+write + flush, a per-ring-slice fan-out for shards).  The serving hot
+paths (``VerificationService.flush`` throttle persists, bulk enrollment)
+ride this protocol; :func:`commit_mode` / ``$REPRO_STORE_COMMIT`` can
+force them back to one commit per record, which is what the durable
+benchmark compares against.  A backend's :meth:`~StorageBackend.dump` is the portable
 password-file artifact (same JSON for every backend, shards merged): the
 offline attacks in :mod:`repro.attacks.offline` consume it directly, so
 stealing a sharded deployment still yields one file.
@@ -34,13 +44,15 @@ from __future__ import annotations
 
 import abc
 import bisect
+import contextlib
 import hashlib
 import heapq
 import json
 import os
 import re
 import sqlite3
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StoreError
 from repro.passwords.system import StoredPassword
@@ -52,8 +64,28 @@ __all__ = [
     "JsonlBackend",
     "ShardedBackend",
     "backend_from_uri",
+    "commit_mode",
     "rebalance",
 ]
+
+
+def commit_mode() -> str:
+    """The process-wide storage commit mode: ``"group"`` or ``"per-record"``.
+
+    Controlled by ``$REPRO_STORE_COMMIT``.  ``"group"`` (the default) lets
+    the hot paths — :meth:`~repro.passwords.service.VerificationService.flush`
+    throttle persists, :meth:`~repro.passwords.store.PasswordStore.enroll_many`
+    — coalesce their durable writes through :meth:`StorageBackend.put_many`
+    / :meth:`StorageBackend.put_throttle_many` /
+    :meth:`StorageBackend.write_batch`; ``"per-record"`` forces one commit
+    per write, the pre-group-commit behaviour the durable benchmark gates
+    against.  An explicit ``PasswordStore(group_commit=...)`` overrides
+    this for that store.
+    """
+    value = os.environ.get("REPRO_STORE_COMMIT", "group").strip().lower()
+    if value in ("per-record", "per_record", "record"):
+        return "per-record"
+    return "group"
 
 
 class StorageBackend(abc.ABC):
@@ -125,6 +157,51 @@ class StorageBackend(abc.ABC):
     def get_throttle(self, username: str) -> Optional[dict]:
         """The persisted throttle state, or ``None`` when never recorded."""
 
+    # -- group commit -------------------------------------------------------
+
+    def put_many(self, items: Iterable[Tuple[str, StoredPassword]]) -> None:
+        """Insert or replace many records in one group commit.
+
+        Equivalent to calling :meth:`put` per pair — same final state,
+        same read-back bytes — but durable backends coalesce the batch
+        into a single commit (one SQLite transaction, one buffered JSONL
+        write + flush).  This base implementation loops per-record, so
+        minimal third-party backends keep working unchanged.
+        """
+        for username, stored in items:
+            self.put(username, stored)
+
+    def put_throttle_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist many accounts' throttle states in one group commit.
+
+        The batched counterpart of :meth:`put_throttle`, with the same
+        per-backend coalescing contract as :meth:`put_many`; the base
+        implementation loops per-record.
+        """
+        for username, state in items:
+            self.put_throttle(username, state)
+
+    @contextlib.contextmanager
+    def write_batch(self) -> Iterator["StorageBackend"]:
+        """Coalesce mixed record/throttle/meta writes into one commit.
+
+        Inside the ``with`` block every mutation through this backend —
+        ``put``, ``put_throttle``, ``put_meta``, ``delete``, ``clear``,
+        and the ``*_many`` bulk forms — is deferred into a single commit
+        applied at successful exit.  Atomicity on failure is per-backend
+        (see each implementation's docstring and the batching-contract
+        table in ``docs/architecture.md``): SQLite and JSONL roll the
+        whole batch back, memory applies writes immediately, a sharded
+        batch is atomic per shard only.  Reads of a single account
+        (``get`` / ``get_throttle`` / ``get_meta``) observe the batch's
+        own writes; population scans may not until it commits.
+
+        This base implementation applies writes immediately (the
+        per-record path), so third-party backends inherit correct —
+        just uncoalesced — behaviour.
+        """
+        yield self
+
     # -- meta ---------------------------------------------------------------
 
     @abc.abstractmethod
@@ -174,8 +251,7 @@ class StorageBackend(abc.ABC):
             for username, stored in data.items()
         }
         self.clear()
-        for username, stored in records.items():
-            self.put(username, stored)
+        self.put_many(records.items())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -216,9 +292,17 @@ class MemoryBackend(StorageBackend):
         self._records.clear()
         self._throttles.clear()
 
+    def put_many(self, items: Iterable[Tuple[str, StoredPassword]]) -> None:
+        """Insert or replace many records (one dict update)."""
+        self._records.update(items)
+
     def put_throttle(self, username: str, state: dict) -> None:
         """Persist an account's throttle state."""
         self._throttles[username] = dict(state)
+
+    def put_throttle_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist many accounts' throttle states (one dict update)."""
+        self._throttles.update((username, dict(state)) for username, state in items)
 
     def get_throttle(self, username: str) -> Optional[dict]:
         """The persisted throttle state, or ``None``."""
@@ -248,17 +332,28 @@ class SQLiteBackend(StorageBackend):
     model (modulo the throttle/meta tables, which :meth:`dump` excludes).
 
     The connection runs in WAL journal mode with a busy timeout, and
-    :meth:`dump` / :meth:`iter_records` read through a *fresh read-only
-    connection*: an offline attack grinding a live store snapshots the
-    password file without ever blocking the login writer (and cannot
-    mutate it — the reader connection is opened ``mode=ro``).
+    :meth:`dump` / :meth:`iter_records` / :meth:`usernames` read through
+    a *fresh read-only connection*: an offline attack grinding a live
+    store snapshots the password file without ever blocking the login
+    writer (and cannot mutate it — the reader connection is opened
+    ``mode=ro``).
+
+    Group commit: :meth:`put_many` / :meth:`put_throttle_many` are one
+    ``executemany`` transaction each, and :meth:`write_batch` wraps all
+    enclosed writes in a single transaction that commits at exit — or
+    rolls back *entirely* if any write inside it raises, which is the
+    strongest atomicity in the backend family.
     """
 
     #: Milliseconds a connection waits on a locked database before failing.
     BUSY_TIMEOUT_MS = 5_000
 
+    #: Rows fetched per cursor step while streaming :meth:`iter_records`.
+    READ_CHUNK_ROWS = 1_024
+
     def __init__(self, path: str) -> None:
         self._path = str(path)
+        self._batch_depth = 0
         self.uri = f"sqlite:{self._path}"
         self._conn = sqlite3.connect(self._path)
         self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
@@ -304,31 +399,62 @@ class SQLiteBackend(StorageBackend):
         except sqlite3.Error:
             return None
 
+    def _txn(self):
+        """The commit scope for one write: a transaction, or the open batch.
+
+        Outside a :meth:`write_batch` this is the connection itself
+        (``with conn:`` commits on exit, rolls back on exception — the
+        historical one-commit-per-write behaviour).  Inside a batch the
+        enclosing ``write_batch`` transaction owns the commit, so writes
+        just execute into it.
+        """
+        if self._batch_depth:
+            return contextlib.nullcontext(self._conn)
+        return self._conn
+
     def iter_records(self) -> Iterator[Tuple[str, StoredPassword]]:
         """Yield ``(username, record)`` pairs in sorted username order.
 
-        Reads through a dedicated read-only connection (one ``SELECT``
-        over the whole table) so concurrent writers are never blocked;
-        falls back to the writer connection if a reader cannot be opened.
+        Streams through a dedicated read-only connection in
+        ``fetchmany`` chunks of :data:`READ_CHUNK_ROWS` rows, so a
+        10⁶-account dump or reshard scan never materializes the whole
+        table and never blocks a concurrent writer; falls back to the
+        writer connection if a reader cannot be opened.
         """
         reader = self._reader()
         conn = reader if reader is not None else self._conn
         try:
-            rows = conn.execute(
+            cursor = conn.execute(
                 "SELECT username, payload FROM records ORDER BY username"
-            ).fetchall()
+            )
+            while True:
+                rows = cursor.fetchmany(self.READ_CHUNK_ROWS)
+                if not rows:
+                    break
+                for username, payload in rows:
+                    yield username, StoredPassword.from_json(json.loads(payload))
         finally:
             if reader is not None:
                 reader.close()
-        for username, payload in rows:
-            yield username, StoredPassword.from_json(json.loads(payload))
 
     def put(self, username: str, stored: StoredPassword) -> None:
         """Insert or replace the record for *username* (committed)."""
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 "INSERT OR REPLACE INTO records (username, payload) VALUES (?, ?)",
                 (username, json.dumps(stored.to_json(), sort_keys=True)),
+            )
+
+    def put_many(self, items: Iterable[Tuple[str, StoredPassword]]) -> None:
+        """Insert or replace many records in one ``executemany`` transaction."""
+        rows = [
+            (username, json.dumps(stored.to_json(), sort_keys=True))
+            for username, stored in items
+        ]
+        with self._txn():
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO records (username, payload) VALUES (?, ?)",
+                rows,
             )
 
     def get(self, username: str) -> Optional[StoredPassword]:
@@ -342,36 +468,87 @@ class SQLiteBackend(StorageBackend):
 
     def delete(self, username: str) -> None:
         """Remove an account's record and throttle state (committed)."""
-        with self._conn:
+        with self._txn():
             cursor = self._conn.execute(
                 "DELETE FROM records WHERE username = ?", (username,)
             )
             self._conn.execute(
                 "DELETE FROM throttles WHERE username = ?", (username,)
             )
-        if cursor.rowcount == 0:
-            raise StoreError(f"unknown account {username!r}")
+            if cursor.rowcount == 0:
+                raise StoreError(f"unknown account {username!r}")
 
     def usernames(self) -> Tuple[str, ...]:
-        """All account names, sorted."""
-        rows = self._conn.execute(
-            "SELECT username FROM records ORDER BY username"
-        ).fetchall()
+        """All account names, sorted (read off a snapshot connection).
+
+        Routed through the same read-only reader as :meth:`iter_records`
+        so a population listing during a login flood never contends with
+        the writer; falls back to the writer connection when a reader
+        cannot be opened (e.g. the database file does not exist yet).
+        """
+        reader = self._reader()
+        conn = reader if reader is not None else self._conn
+        try:
+            rows = conn.execute(
+                "SELECT username FROM records ORDER BY username"
+            ).fetchall()
+        finally:
+            if reader is not None:
+                reader.close()
         return tuple(row[0] for row in rows)
 
     def clear(self) -> None:
         """Drop every record and all throttle state (committed)."""
-        with self._conn:
+        with self._txn():
             self._conn.execute("DELETE FROM records")
             self._conn.execute("DELETE FROM throttles")
 
     def put_throttle(self, username: str, state: dict) -> None:
         """Persist an account's throttle state (committed)."""
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 "INSERT OR REPLACE INTO throttles (username, payload) VALUES (?, ?)",
                 (username, json.dumps(state, sort_keys=True)),
             )
+
+    def put_throttle_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist many throttle states in one ``executemany`` transaction."""
+        rows = [
+            (username, json.dumps(state, sort_keys=True))
+            for username, state in items
+        ]
+        with self._txn():
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO throttles (username, payload) VALUES (?, ?)",
+                rows,
+            )
+
+    @contextlib.contextmanager
+    def write_batch(self) -> Iterator["SQLiteBackend"]:
+        """One transaction over every enclosed write — all or nothing.
+
+        Commits at successful exit; any exception inside the block rolls
+        the *whole* batch back (the atomicity test in
+        ``tests/test_group_commit.py`` pins this down).  Nested batches
+        join the outermost transaction.  Point reads through the writer
+        connection (``get`` / ``get_throttle`` / ``get_meta``) see the
+        batch's own uncommitted writes; snapshot reads
+        (``iter_records`` / ``usernames`` / ``dump``) see the pre-batch
+        state until commit.
+        """
+        if self._batch_depth:
+            self._batch_depth += 1
+            try:
+                yield self
+            finally:
+                self._batch_depth -= 1
+            return
+        self._batch_depth = 1
+        try:
+            with self._conn:
+                yield self
+        finally:
+            self._batch_depth = 0
 
     def get_throttle(self, username: str) -> Optional[dict]:
         """The persisted throttle state, or ``None``."""
@@ -382,7 +559,7 @@ class SQLiteBackend(StorageBackend):
 
     def put_meta(self, key: str, value: str) -> None:
         """Persist one metadata string (committed)."""
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                 (key, value),
@@ -415,7 +592,21 @@ class JsonlBackend(StorageBackend):
     is always a valid history and the latest state is recovered by a
     linear replay.  This is the "flat password file" deployment shape,
     and doubles as an audit log of the account lifecycle.
+
+    Group commit: :meth:`put_many` / :meth:`put_throttle_many` buffer
+    their event lines and issue **one** multi-line write + one flush;
+    :meth:`write_batch` extends that to mixed writes, and keeps an undo
+    log so an exception inside the batch restores the in-memory state
+    and writes nothing — the log never diverges from memory.  Because a
+    log grows one event per mutation forever, :meth:`compact` rewrites
+    it down to one event per live fact.
     """
+
+    #: Live instances per absolute log path — the refuse-on-live-handle
+    #: guard :meth:`compact` checks before swapping the file out from
+    #: under a concurrent writer.  Weak references, so leaked (never
+    #: closed, garbage-collected) backends do not pin the guard forever.
+    _open_logs: Dict[str, "weakref.WeakSet"] = {}
 
     def __init__(self, path: str) -> None:
         self._path = str(path)
@@ -423,9 +614,13 @@ class JsonlBackend(StorageBackend):
         self._records: Dict[str, StoredPassword] = {}
         self._throttles: Dict[str, dict] = {}
         self._meta: Dict[str, str] = {}
+        self._buffer: Optional[List[str]] = None
+        self._undo: List[tuple] = []
         if os.path.exists(self._path):
             self._replay()
         self._handle = open(self._path, "a", encoding="utf-8")
+        self._abspath = os.path.abspath(self._path)
+        self._open_logs.setdefault(self._abspath, weakref.WeakSet()).add(self)
 
     @property
     def path(self) -> str:
@@ -465,14 +660,49 @@ class JsonlBackend(StorageBackend):
         else:
             raise StoreError(f"unknown log op {op!r}")
 
-    def _append(self, event: dict) -> None:
-        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+    def _emit(self, events: Sequence[dict]) -> None:
+        """Write *events* as one buffered multi-line write + one flush.
+
+        Inside an open :meth:`write_batch` the lines are deferred into
+        the batch buffer instead, to be written at commit.
+        """
+        lines = [json.dumps(event, sort_keys=True) + "\n" for event in events]
+        if self._buffer is not None:
+            self._buffer.extend(lines)
+            return
+        self._handle.write("".join(lines))
         self._handle.flush()
+
+    def _append(self, event: dict) -> None:
+        self._emit((event,))
+
+    def _note_record(self, username: str) -> None:
+        """Record the undo entry for an imminent record mutation."""
+        if self._buffer is not None:
+            self._undo.append(("record", username, self._records.get(username)))
+
+    def _note_throttle(self, username: str) -> None:
+        """Record the undo entry for an imminent throttle mutation."""
+        if self._buffer is not None:
+            self._undo.append(("throttle", username, self._throttles.get(username)))
 
     def put(self, username: str, stored: StoredPassword) -> None:
         """Insert or replace the record for *username* (appended + flushed)."""
+        self._note_record(username)
         self._records[username] = stored
         self._append({"op": "put", "username": username, "record": stored.to_json()})
+
+    def put_many(self, items: Iterable[Tuple[str, StoredPassword]]) -> None:
+        """Insert or replace many records: one buffered write, one flush."""
+        events = []
+        for username, stored in items:
+            self._note_record(username)
+            self._records[username] = stored
+            events.append(
+                {"op": "put", "username": username, "record": stored.to_json()}
+            )
+        if events:
+            self._emit(events)
 
     def get(self, username: str) -> Optional[StoredPassword]:
         """The record for *username*, or ``None`` when unknown."""
@@ -482,6 +712,8 @@ class JsonlBackend(StorageBackend):
         """Remove an account (a ``delete`` event; the log keeps history)."""
         if username not in self._records:
             raise StoreError(f"unknown account {username!r}")
+        self._note_record(username)
+        self._note_throttle(username)
         del self._records[username]
         self._throttles.pop(username, None)
         self._append({"op": "delete", "username": username})
@@ -492,14 +724,30 @@ class JsonlBackend(StorageBackend):
 
     def clear(self) -> None:
         """Drop every record and all throttle state (a ``clear`` event)."""
+        if self._buffer is not None:
+            self._undo.append(
+                ("snapshot", dict(self._records), dict(self._throttles))
+            )
         self._records.clear()
         self._throttles.clear()
         self._append({"op": "clear"})
 
     def put_throttle(self, username: str, state: dict) -> None:
         """Persist an account's throttle state (appended + flushed)."""
+        self._note_throttle(username)
         self._throttles[username] = dict(state)
         self._append({"op": "throttle", "username": username, "state": dict(state)})
+
+    def put_throttle_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist many throttle states: one buffered write, one flush."""
+        events = []
+        for username, state in items:
+            self._note_throttle(username)
+            state = dict(state)
+            self._throttles[username] = state
+            events.append({"op": "throttle", "username": username, "state": state})
+        if events:
+            self._emit(events)
 
     def get_throttle(self, username: str) -> Optional[dict]:
         """The persisted throttle state, or ``None``."""
@@ -508,6 +756,8 @@ class JsonlBackend(StorageBackend):
 
     def put_meta(self, key: str, value: str) -> None:
         """Persist one metadata string (appended + flushed)."""
+        if self._buffer is not None:
+            self._undo.append(("meta", key, self._meta.get(key)))
         self._meta[key] = value
         self._append({"op": "meta", "key": key, "value": value})
 
@@ -519,8 +769,128 @@ class JsonlBackend(StorageBackend):
         """All persisted metadata pairs, sorted by key."""
         return tuple(sorted(self._meta.items()))
 
+    def _rollback(self, undo: Sequence[tuple]) -> None:
+        """Rewind the in-memory state of an abandoned :meth:`write_batch`."""
+        for entry in reversed(undo):
+            kind = entry[0]
+            if kind == "record":
+                _, username, previous = entry
+                if previous is None:
+                    self._records.pop(username, None)
+                else:
+                    self._records[username] = previous
+            elif kind == "throttle":
+                _, username, previous = entry
+                if previous is None:
+                    self._throttles.pop(username, None)
+                else:
+                    self._throttles[username] = previous
+            elif kind == "meta":
+                _, key, previous = entry
+                if previous is None:
+                    self._meta.pop(key, None)
+                else:
+                    self._meta[key] = previous
+            else:  # snapshot (clear inside a batch)
+                _, records, throttles = entry
+                self._records = records
+                self._throttles = throttles
+
+    @contextlib.contextmanager
+    def write_batch(self) -> Iterator["JsonlBackend"]:
+        """Defer every enclosed event into one multi-line write + flush.
+
+        On success the buffered lines hit the log in one write; on
+        failure *nothing* is written and the in-memory dicts are rewound
+        through the undo log, so replaying the file still reconstructs
+        exactly the live state.  Nested batches join the outer one.
+        """
+        if self._buffer is not None:
+            yield self
+            return
+        self._buffer = []
+        self._undo = []
+        try:
+            yield self
+        except BaseException:
+            self._buffer = None
+            self._rollback(self._undo)
+            self._undo = []
+            raise
+        buffer, self._buffer = self._buffer, None
+        self._undo = []
+        if buffer:
+            self._handle.write("".join(buffer))
+            self._handle.flush()
+
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite the append-only log to one event per live fact.
+
+        A served log accrues one ``throttle`` event per login forever;
+        compaction rewrites it to the current state — every ``meta``
+        pair, then one ``put`` and (when present) one ``throttle`` event
+        per live account, in sorted order — via an atomic
+        ``os.replace`` of a sibling temp file.  Returns ``(before,
+        after)`` sizes in bytes.
+
+        Refuses (:class:`~repro.errors.StoreError`) while a write batch
+        is open or while any *other* live :class:`JsonlBackend` in this
+        process holds the same log open — swapping the inode under a
+        concurrent writer would silently fork the history.
+        """
+        if self._buffer is not None:
+            raise StoreError(
+                f"cannot compact {self._path!r} inside an open write_batch"
+            )
+        others = [
+            backend
+            for backend in self._open_logs.get(self._abspath, ())
+            if backend is not self
+        ]
+        if others:
+            raise StoreError(
+                f"refusing to compact {self._path!r}: "
+                f"{len(others)} other live handle(s) hold this log open"
+            )
+        self._handle.flush()
+        before = os.path.getsize(self._path)
+        events: List[dict] = [
+            {"op": "meta", "key": key, "value": value}
+            for key, value in sorted(self._meta.items())
+        ]
+        for username in sorted(self._records):
+            events.append(
+                {
+                    "op": "put",
+                    "username": username,
+                    "record": self._records[username].to_json(),
+                }
+            )
+        for username in sorted(self._throttles):
+            events.append(
+                {
+                    "op": "throttle",
+                    "username": username,
+                    "state": self._throttles[username],
+                }
+            )
+        temp_path = self._path + ".compact"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(temp_path, self._path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        return before, os.path.getsize(self._path)
+
     def close(self) -> None:
-        """Close the log file handle."""
+        """Close the log file handle (and drop the live-handle guard entry)."""
+        open_set = self._open_logs.get(self._abspath)
+        if open_set is not None:
+            open_set.discard(self)
         self._handle.close()
 
 
@@ -616,9 +986,22 @@ class ShardedBackend(StorageBackend):
         """The child backend that owns *username*."""
         return self._shards[self.shard_index_for(username)]
 
+    def _group_by_shard(self, items: Iterable[Tuple[str, object]]) -> Dict[int, list]:
+        """Split ``(username, payload)`` pairs into per-shard slices."""
+        grouped: Dict[int, list] = {}
+        index_for = self._ring.index_for
+        for username, payload in items:
+            grouped.setdefault(index_for(username), []).append((username, payload))
+        return grouped
+
     def put(self, username: str, stored: StoredPassword) -> None:
         """Insert or replace the record on the owning shard."""
         self.shard_for(username).put(username, stored)
+
+    def put_many(self, items: Iterable[Tuple[str, StoredPassword]]) -> None:
+        """Group records by ring slice; one batched put per touched shard."""
+        for index, group in self._group_by_shard(items).items():
+            self._shards[index].put_many(group)
 
     def get(self, username: str) -> Optional[StoredPassword]:
         """The record from the owning shard, or ``None`` when unknown."""
@@ -656,6 +1039,27 @@ class ShardedBackend(StorageBackend):
         """Persist throttle state on the owning shard."""
         self.shard_for(username).put_throttle(username, state)
 
+    def put_throttle_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Group throttle states by ring slice; one batched put per shard."""
+        for index, group in self._group_by_shard(items).items():
+            self._shards[index].put_throttle_many(group)
+
+    @contextlib.contextmanager
+    def write_batch(self) -> Iterator["ShardedBackend"]:
+        """Open every child's write batch and fan enclosed writes out.
+
+        Atomicity is **per shard**: each child commits (or rolls back)
+        its own slice of the batch, and the commits land sequentially at
+        exit — an exception raised while one shard commits can leave
+        earlier shards committed.  Cross-shard writes are disjoint by
+        routing, so this is the same consistency a per-record fan-out
+        gives, minus N-1 commits per shard.
+        """
+        with contextlib.ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.write_batch())
+            yield self
+
     def get_throttle(self, username: str) -> Optional[dict]:
         """Throttle state from the owning shard, or ``None``."""
         return self.shard_for(username).get_throttle(username)
@@ -687,6 +1091,12 @@ class ShardedBackend(StorageBackend):
             shard.close()
 
 
+#: Accounts moved per batched commit while rebalancing between layouts —
+#: bounds both the destination's transaction size and the JSONL batch
+#: buffer, so migrating 10⁶ accounts never builds a 10⁶-line buffer.
+REBALANCE_CHUNK = 1_024
+
+
 def rebalance(source: StorageBackend, dest: StorageBackend, clear: bool = True) -> int:
     """Copy every account — record, throttle state, meta — into *dest*.
 
@@ -698,16 +1108,36 @@ def rebalance(source: StorageBackend, dest: StorageBackend, clear: bool = True) 
     drains one old shard at a time into an already-live destination
     layout, and clearing would drop the shards migrated earlier.  Returns
     the number of accounts moved.
+
+    Writes land through the destination's group-commit path in chunks of
+    :data:`REBALANCE_CHUNK` accounts — one batched commit per chunk
+    instead of one per record — which is what keeps the live reshard
+    drill's per-shard cutover window short on durable destinations.
     """
     if clear:
         dest.clear()
     moved = 0
+    records: List[Tuple[str, StoredPassword]] = []
+    throttles: List[Tuple[str, dict]] = []
+
+    def _flush_chunk() -> None:
+        nonlocal records, throttles
+        with dest.write_batch():
+            dest.put_many(records)
+            dest.put_throttle_many(throttles)
+        records = []
+        throttles = []
+
     for username, record in source.iter_records():
-        dest.put(username, record)
+        records.append((username, record))
         state = source.get_throttle(username)
         if state is not None:
-            dest.put_throttle(username, state)
+            throttles.append((username, state))
         moved += 1
+        if len(records) >= REBALANCE_CHUNK:
+            _flush_chunk()
+    if records or throttles:
+        _flush_chunk()
     for key, value in source.meta_items():
         dest.put_meta(key, value)
     return moved

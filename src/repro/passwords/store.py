@@ -27,11 +27,11 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.crypto.hashing import Hasher
 from repro.errors import LockoutError, RateLimitError, StoreError
 from repro.geometry.point import Point
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import SIZE_BUCKETS, MetricsRegistry, get_registry
 from repro.passwords.defense import DefenseConfig, RateLimiter, apply_pepper
 from repro.passwords.passpoints import PassPointsSystem
 from repro.passwords.policy import AccountThrottle, LockoutPolicy
-from repro.passwords.storage import MemoryBackend, StorageBackend
+from repro.passwords.storage import MemoryBackend, StorageBackend, commit_mode
 from repro.passwords.system import StoredPassword
 
 __all__ = ["PasswordStore", "deployed_store", "scheme_named"]
@@ -124,6 +124,16 @@ class PasswordStore:
     # batched VerificationService uses the *same* counter names, so both
     # paths fold into one vocabulary.
     registry: Optional[MetricsRegistry] = field(default=None, repr=False)
+    # Group-commit switch for the bulk write paths (enroll_many, the
+    # verification service's flush-coalesced throttle persists).  None
+    # (default) follows the process-wide storage commit mode
+    # ($REPRO_STORE_COMMIT via repro.passwords.storage.commit_mode);
+    # True/False pins this store — the durable benchmark pins one store
+    # per mode to measure the batching win in isolation.  Decisions,
+    # lockout sequences and dump() bytes are identical either way
+    # (property-tested in tests/test_group_commit.py); only how many
+    # durable commits carry them differs.
+    group_commit: Optional[bool] = None
     # In-process caches over the backend.  The store assumes it is the
     # sole writer of its backend while open (same assumption the
     # throttle cache already makes); durable backends are re-read only
@@ -312,6 +322,136 @@ class PasswordStore:
         """Write an account's current throttle state through the backend."""
         self.backend.put_throttle(username, self.throttle_for(username).state())
 
+    # -- group commit --------------------------------------------------------
+
+    @property
+    def batched_writes(self) -> bool:
+        """Whether bulk paths group-commit (vs. one commit per record).
+
+        The explicit ``group_commit`` field wins; otherwise the
+        process-wide :func:`~repro.passwords.storage.commit_mode`
+        (``$REPRO_STORE_COMMIT``) decides.
+        """
+        if self.group_commit is not None:
+            return self.group_commit
+        return commit_mode() == "group"
+
+    def _batch_obs(self) -> Optional[dict]:
+        """Cached group-commit instruments, or ``None`` when disabled.
+
+        ``store_write_batch_size`` (writes coalesced per commit) and
+        ``store_write_batch_seconds`` (wall time of the commit) — the
+        registry surface that shows whether serving durability is riding
+        the batched path or degrading to per-record commits.
+        """
+        cached = self.__dict__.get("_batch_instruments", False)
+        if cached is not False:
+            return cached
+        registry = self.registry if self.registry is not None else get_registry()
+        if not registry.enabled:
+            instruments = None
+        else:
+            instruments = {
+                "size": registry.histogram(
+                    "store_write_batch_size",
+                    help="records+throttles coalesced into one group commit",
+                    buckets=SIZE_BUCKETS,
+                ),
+                "seconds": registry.histogram(
+                    "store_write_batch_seconds",
+                    help="wall time of one group commit",
+                ),
+            }
+        self.__dict__["_batch_instruments"] = instruments
+        return instruments
+
+    def persist_throttles(self, usernames: Sequence[str]) -> None:
+        """Group-commit the current throttle state of many accounts.
+
+        The batched counterpart of :meth:`_persist_throttle`: one
+        :meth:`~repro.passwords.storage.StorageBackend.put_throttle_many`
+        call (one SQLite transaction / one JSONL write) instead of one
+        commit per account.  The in-memory throttle objects are
+        authoritative — this only batches durability, which is why
+        :meth:`~repro.passwords.service.VerificationService.flush` can
+        defer all of a flush's persists to its end without changing a
+        single decision.
+        """
+        items = [
+            (username, self.throttle_for(username).state())
+            for username in usernames
+        ]
+        if not items:
+            return
+        obs = self._batch_obs()
+        if obs is None:
+            self.backend.put_throttle_many(items)
+            return
+        started = time.perf_counter()
+        self.backend.put_throttle_many(items)
+        obs["seconds"].observe(time.perf_counter() - started)
+        obs["size"].observe(len(items))
+
+    def enroll_many(
+        self, accounts: Sequence[tuple]
+    ) -> int:
+        """Bulk-enroll ``(username, points)`` accounts through ``put_many``.
+
+        Semantically a loop of :meth:`create_account` — same records,
+        same salts, same fresh throttle per account — but all durable
+        writes land as **one** group commit: every record through
+        :meth:`~repro.passwords.storage.StorageBackend.put_many` and
+        every initial throttle state through ``put_throttle_many``,
+        inside one ``write_batch``.  Validation (duplicate within the
+        batch, already enrolled) raises *before* any write, so a refused
+        batch leaves the backend untouched.  Returns the number of
+        accounts enrolled.
+
+        With :attr:`batched_writes` off this degrades to the per-record
+        loop, which is exactly what the durable benchmark's bulk
+        enrollment gate compares against.
+        """
+        accounts = list(accounts)
+        seen = set()
+        for username, _ in accounts:
+            if username in seen:
+                raise StoreError(
+                    f"duplicate account {username!r} in enrollment batch"
+                )
+            seen.add(username)
+            if username in self.backend:
+                raise StoreError(f"account {username!r} already exists")
+        pepper = self.defense.pepper
+        policy = self.effective_policy
+        records = []
+        throttles = []
+        for username, points in accounts:
+            stored = self._salted_system(username).enroll(points)
+            if pepper:
+                stored = apply_pepper(stored, pepper)
+            records.append((username, stored))
+            throttles.append((username, AccountThrottle(policy)))
+        if not self.batched_writes:
+            for (username, stored), (_, throttle) in zip(records, throttles):
+                self.backend.put(username, stored)
+                self.backend.put_throttle(username, throttle.state())
+        else:
+            obs = self._batch_obs()
+            started = time.perf_counter() if obs is not None else 0.0
+            with self.backend.write_batch():
+                self.backend.put_many(records)
+                self.backend.put_throttle_many(
+                    [(username, throttle.state()) for username, throttle in throttles]
+                )
+            if obs is not None:
+                obs["seconds"].observe(time.perf_counter() - started)
+                obs["size"].observe(2 * len(records))
+        for username, stored in records:
+            self._record_cache[username] = stored
+        for username, throttle in throttles:
+            self._throttles[username] = throttle
+        return len(records)
+
     # -- login ---------------------------------------------------------------
 
     def login(self, username: str, points: Sequence[Point]) -> bool:
@@ -388,7 +528,14 @@ class PasswordStore:
         self._throttles = {}
         self._record_cache = {}
         self._rate_limiters = {}
+        policy = self.effective_policy
         for username in self.backend.usernames():
-            throttle = AccountThrottle(self.effective_policy)
-            self._throttles[username] = throttle
-            self.backend.put_throttle(username, throttle.state())
+            self._throttles[username] = AccountThrottle(policy)
+        # One group commit for the reset throttle states (the records
+        # already landed batched through the backend's load()).
+        self.backend.put_throttle_many(
+            [
+                (username, throttle.state())
+                for username, throttle in self._throttles.items()
+            ]
+        )

@@ -170,13 +170,16 @@ def _synthetic_store(spec: WorkerSpec):
         system=system, policy=LockoutPolicy(max_failures=spec.lockout_failures)
     )
     ring = ConsistentHashRing(spec.shard_count, spec.replicas)
-    for index in range(spec.users):
-        username = cluster_username(index)
-        if ring.index_for(username) != spec.index:
-            continue
-        store.create_account(
-            username, synthetic_points(index, spec.seed, image.width, image.height)
-        )
+    # Bulk-enroll the whole ring slice through the store's group-commit
+    # path: one put_many/put_throttle_many instead of two backend writes
+    # per account — the enrollment half of the soak's startup time.
+    store.enroll_many(
+        [
+            (username, synthetic_points(index, spec.seed, image.width, image.height))
+            for index in range(spec.users)
+            if ring.index_for(username := cluster_username(index)) == spec.index
+        ]
+    )
     return store
 
 
